@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Every paper table/figure has one benchmark module; parameters are scaled
+for minutes-long total runtime.  The experiment harness functions in
+:mod:`repro.experiments` accept larger configs for paper-scale runs (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.datasets import make_engine, zebranet_dataset
+from repro.experiments.fig4 import Fig4Config
+
+#: Baseline workload for the Fig. 4 benchmarks.
+BENCH_FIG4 = Fig4Config(k=5, n_trajectories=30, n_ticks=40, target_cells=1024)
+
+
+@pytest.fixture(scope="session")
+def zebra_engine():
+    """One shared ZebraNet engine for the miner micro-benchmarks."""
+    dataset = zebranet_dataset(n_trajectories=30, n_ticks=40, sigma=0.01, seed=7)
+    return make_engine(dataset, cell_size=0.02, min_prob=1e-4)

@@ -1,0 +1,60 @@
+"""A1/A2: ablation of the miner's two pruning mechanisms.
+
+* A1 -- section 4.1's 1-extension pruning of the candidate set Q;
+* A2 -- the lazy min-max bound evaluation (DESIGN.md 4.3).
+
+Both are result-preserving; the benchmark quantifies their cost impact and
+asserts the mined top-k is identical across all four on/off combinations.
+"""
+
+import pytest
+
+from repro.core.trajpattern import TrajPatternMiner
+
+VARIANTS = {
+    "both": (True, True),
+    "no-extension-pruning": (False, True),
+    "no-bound-pruning": (True, False),
+    "no-pruning": (False, False),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_bench_ablation_pruning(benchmark, zebra_engine, variant):
+    benchmark.group = "ablation-pruning"
+    extension, bound = VARIANTS[variant]
+    result = benchmark.pedantic(
+        lambda: TrajPatternMiner(
+            zebra_engine,
+            k=5,
+            max_length=4,
+            use_extension_pruning=extension,
+            use_bound_pruning=bound,
+        ).mine(),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == 5
+
+
+def test_bench_ablation_results_identical(benchmark, zebra_engine):
+    def run_all():
+        tops = []
+        evaluated = {}
+        for name, (extension, bound) in VARIANTS.items():
+            result = TrajPatternMiner(
+                zebra_engine,
+                k=5,
+                max_length=4,
+                use_extension_pruning=extension,
+                use_bound_pruning=bound,
+            ).mine()
+            tops.append([p.cells for p in result.patterns])
+            evaluated[name] = result.stats.candidates_evaluated
+        return tops, evaluated
+
+    tops, evaluated = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert all(t == tops[0] for t in tops), "pruning must not change the answer"
+    # The bound pruning is the big saver: evaluations drop by orders of
+    # magnitude relative to the literal evaluate-everything loop.
+    assert evaluated["both"] < evaluated["no-bound-pruning"]

@@ -1,0 +1,54 @@
+"""Fig. 4(a): runtime vs the number of patterns k (TrajPattern vs PB).
+
+Paper: both grow superlinearly with k, but TrajPattern grows far slower
+than the projection-based baseline.
+"""
+
+import pytest
+
+from repro.baselines.pb import PBMiner
+from repro.core.trajpattern import TrajPatternMiner
+
+from benchmarks.conftest import BENCH_FIG4
+
+
+@pytest.mark.parametrize("k", [3, 6, 12])
+def test_bench_fig4a_trajpattern(benchmark, zebra_engine, k):
+    benchmark.group = "fig4a-trajpattern"
+    result = benchmark.pedantic(
+        lambda: TrajPatternMiner(zebra_engine, k=k).mine(), rounds=2, iterations=1
+    )
+    assert len(result) == k
+
+
+@pytest.mark.parametrize("k", [3, 6, 12])
+def test_bench_fig4a_pb(benchmark, zebra_engine, k):
+    benchmark.group = "fig4a-pb"
+    result, _ = benchmark.pedantic(
+        lambda: PBMiner(
+            zebra_engine, k=k, max_length=BENCH_FIG4.pb_max_length
+        ).mine(),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == k
+
+
+def test_bench_fig4a_shape(benchmark, zebra_engine):
+    """TrajPattern beats PB on the same workload (the Fig. 4(a) gap)."""
+    import time
+
+    def run_both():
+        k = BENCH_FIG4.k
+        t0 = time.perf_counter()
+        TrajPatternMiner(zebra_engine, k=k).mine()
+        tp = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        PBMiner(zebra_engine, k=k, max_length=BENCH_FIG4.pb_max_length).mine()
+        return tp, time.perf_counter() - t0
+
+    tp_time, pb_time = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert tp_time < pb_time, (
+        f"paper: TrajPattern much faster than PB; got {tp_time:.2f}s vs "
+        f"{pb_time:.2f}s"
+    )

@@ -1,0 +1,38 @@
+"""Fig. 4(b): runtime vs the number of trajectories S.
+
+Paper: TrajPattern scales linearly with S; PB super-linearly (more
+trajectories raise singular NMs, inflating PB's extensible prefix set).
+"""
+
+import pytest
+
+from repro.baselines.pb import PBMiner
+from repro.core.trajpattern import TrajPatternMiner
+
+from benchmarks.conftest import BENCH_FIG4
+
+
+@pytest.mark.parametrize("s", [15, 30, 60])
+def test_bench_fig4b_trajpattern(benchmark, s):
+    benchmark.group = "fig4b-trajpattern"
+    engine = BENCH_FIG4.make_engine(n_trajectories=s)
+    result = benchmark.pedantic(
+        lambda: TrajPatternMiner(engine, k=BENCH_FIG4.k).mine(),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k
+
+
+@pytest.mark.parametrize("s", [15, 30, 60])
+def test_bench_fig4b_pb(benchmark, s):
+    benchmark.group = "fig4b-pb"
+    engine = BENCH_FIG4.make_engine(n_trajectories=s)
+    result, _ = benchmark.pedantic(
+        lambda: PBMiner(
+            engine, k=BENCH_FIG4.k, max_length=BENCH_FIG4.pb_max_length
+        ).mine(),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k

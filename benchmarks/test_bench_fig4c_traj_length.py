@@ -1,0 +1,37 @@
+"""Fig. 4(c): runtime vs the average trajectory length L.
+
+Paper: both algorithms scale linearly with L -- the data scan dominates.
+"""
+
+import pytest
+
+from repro.baselines.pb import PBMiner
+from repro.core.trajpattern import TrajPatternMiner
+
+from benchmarks.conftest import BENCH_FIG4
+
+
+@pytest.mark.parametrize("length", [20, 40, 80])
+def test_bench_fig4c_trajpattern(benchmark, length):
+    benchmark.group = "fig4c-trajpattern"
+    engine = BENCH_FIG4.make_engine(n_ticks=length)
+    result = benchmark.pedantic(
+        lambda: TrajPatternMiner(engine, k=BENCH_FIG4.k).mine(),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k
+
+
+@pytest.mark.parametrize("length", [20, 40, 80])
+def test_bench_fig4c_pb(benchmark, length):
+    benchmark.group = "fig4c-pb"
+    engine = BENCH_FIG4.make_engine(n_ticks=length)
+    result, _ = benchmark.pedantic(
+        lambda: PBMiner(
+            engine, k=BENCH_FIG4.k, max_length=BENCH_FIG4.pb_max_length
+        ).mine(),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k

@@ -1,0 +1,56 @@
+"""Fig. 4(d): runtime vs the number of grids G.
+
+Paper: TrajPattern scales linearly with G while PB grows exponentially
+(every extra candidate position multiplies PB's extensible prefixes).
+"""
+
+import pytest
+
+from repro.baselines.pb import PBMiner
+from repro.core.trajpattern import TrajPatternMiner
+
+from benchmarks.conftest import BENCH_FIG4
+
+
+@pytest.mark.parametrize("grids", [256, 1024, 4096])
+def test_bench_fig4d_trajpattern(benchmark, grids):
+    benchmark.group = "fig4d-trajpattern"
+    engine = BENCH_FIG4.make_engine(target_cells=grids)
+    result = benchmark.pedantic(
+        lambda: TrajPatternMiner(engine, k=BENCH_FIG4.k).mine(),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k
+
+
+@pytest.mark.parametrize("grids", [256, 1024, 4096])
+def test_bench_fig4d_pb(benchmark, grids):
+    benchmark.group = "fig4d-pb"
+    engine = BENCH_FIG4.make_engine(target_cells=grids)
+    result, _ = benchmark.pedantic(
+        lambda: PBMiner(
+            engine, k=BENCH_FIG4.k, max_length=BENCH_FIG4.pb_max_length
+        ).mine(),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == BENCH_FIG4.k
+
+
+def test_bench_fig4d_pb_prefix_growth(benchmark):
+    """PB's prefix set (not just its runtime) grows with G -- the paper's
+    G^c explanation of the exponential curve."""
+
+    def measure():
+        sizes = []
+        for grids in (256, 1024):
+            engine = BENCH_FIG4.make_engine(target_cells=grids)
+            _, stats = PBMiner(
+                engine, k=BENCH_FIG4.k, max_length=BENCH_FIG4.pb_max_length
+            ).mine()
+            sizes.append(max(stats.prefix_set_sizes))
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes[1] > sizes[0]

@@ -1,0 +1,38 @@
+"""Fig. 4(e): number of discovered pattern groups vs the indifference delta.
+
+Paper: the group count decreases as delta grows -- a larger indifference
+threshold makes more grid cells indistinguishable, so more of the top-k
+patterns are similar and collapse into fewer groups.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import Fig4Config, run_fig4e_delta
+
+# Grouping needs gamma (= 3 sigma) to span several cells and a sizable
+# top-k, so this panel runs its own finer-grained configuration.
+FIG4E = Fig4Config(k=20, n_trajectories=25, n_ticks=40, target_cells=16384)
+
+
+def _mine_groups(delta_factor: float) -> int:
+    sweep = run_fig4e_delta(FIG4E, delta_factors=(delta_factor,))
+    return sweep.points[0].extra["n_groups"]
+
+
+@pytest.mark.parametrize("factor", [0.5, 1.0, 2.0, 4.0])
+def test_bench_fig4e_delta(benchmark, factor):
+    benchmark.group = "fig4e-delta"
+    n_groups = benchmark.pedantic(
+        lambda: _mine_groups(factor), rounds=1, iterations=1
+    )
+    assert n_groups >= 1
+
+
+def test_bench_fig4e_shape(benchmark):
+    """Group count decreases from the smallest to the largest delta."""
+    small, large = benchmark.pedantic(
+        lambda: (_mine_groups(0.5), _mine_groups(8.0)), rounds=1, iterations=1
+    )
+    assert large < small, (
+        f"paper: groups decrease with delta; got {small} -> {large}"
+    )

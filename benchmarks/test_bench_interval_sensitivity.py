@@ -1,0 +1,28 @@
+"""A5: mining cost/quality vs the snapshot interval (section 5 discussion).
+
+Coarser snapshots shrink the data and the mining time; the benchmark
+records the trade-off curve and asserts the cost direction.
+"""
+
+import pytest
+
+from repro.experiments.interval_sensitivity import (
+    IntervalSensitivityConfig,
+    run_interval_sensitivity,
+)
+
+CONFIG = IntervalSensitivityConfig(
+    factors=(1, 2, 4), k=10, n_trajectories=30, n_ticks=80
+)
+
+
+def test_bench_interval_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_interval_sensitivity(CONFIG), rounds=1, iterations=1
+    )
+    rows = result.rows
+    assert [r.factor for r in rows] == [1, 2, 4]
+    # Decimation shrinks the data proportionally...
+    assert rows[1].snapshots < rows[0].snapshots
+    # ...and the coarsest interval mines faster than the finest.
+    assert rows[-1].wall_time_s < rows[0].wall_time_s * 1.5

@@ -1,0 +1,35 @@
+"""A4: dead-reckoning sensitivity to uplink loss (section 3.1 discussion).
+
+Not a paper figure -- section 3.1 only argues that the confidence constant
+``c`` should absorb the loss rate.  The benchmark quantifies the protocol:
+attempts and tracking error grow with the loss rate, gracefully rather
+than catastrophically.
+"""
+
+import pytest
+
+from repro.datagen.bus import BusFleetConfig
+from repro.experiments.loss_sensitivity import (
+    LossSensitivityConfig,
+    run_loss_sensitivity,
+)
+
+CONFIG = LossSensitivityConfig(
+    loss_rates=(0.0, 0.05, 0.2, 0.5),
+    fleet=BusFleetConfig(n_routes=2, buses_per_route=3, n_days=2, n_ticks=60),
+)
+
+
+def test_bench_loss_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_loss_sensitivity(CONFIG), rounds=1, iterations=1
+    )
+    rows = result.rows
+    # Attempts and error are non-decreasing in the loss rate.
+    attempts = [r.attempts for r in rows]
+    errors = [r.mean_tracking_error for r in rows]
+    assert attempts == sorted(attempts)
+    assert errors == sorted(errors)
+    # Even at 50% loss the protocol keeps tracking: the error stays within
+    # a small multiple of the lossless baseline.
+    assert errors[-1] < 5 * errors[0]

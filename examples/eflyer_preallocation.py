@@ -1,0 +1,79 @@
+"""e-Flyer pre-allocation: forecast where customers go next (introduction).
+
+The paper's introduction: "retail stores will distribute e-Flyers to
+potential customers' mobile devices based on their locations ... finding
+common moving patterns of mobile devices is valuable for inferring
+potential movement".  This example builds that pipeline:
+
+1. simulate customers moving over a road network (shared corridors);
+2. track them imprecisely and mine top-k location patterns;
+3. forecast each held-out customer's next cell from their recent movement
+   and pre-allocate e-Flyers to the smallest cell set covering 90% of the
+   forecast mass;
+4. report the hit rate (how often the customer actually shows up in an
+   allocated cell) and the fire rate (how often the patterns speak at all).
+
+Run:  python examples/eflyer_preallocation.py
+"""
+
+import numpy as np
+
+from repro.apps.forecast import LocationForecaster, coverage_allocation, forecast_hit_rate
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.datagen.network import RoadNetworkConfig, RoadNetworkGenerator
+from repro.datagen.observe import observe_paths
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    config = RoadNetworkConfig(grid_side=4, n_objects=40, n_ticks=80)
+    paths = RoadNetworkGenerator(config).generate_paths(rng)
+    train_paths, test_paths = paths[:32], paths[32:]
+    print(f"{len(train_paths)} training customers, {len(test_paths)} held out")
+
+    sigma = 0.012
+    train = observe_paths(train_paths, sigma=sigma, rng=rng)
+    test = observe_paths(test_paths, sigma=sigma, rng=rng)
+
+    grid = train.make_grid(0.05)
+    engine = NMEngine(train, grid, EngineConfig(delta=0.05, min_prob=1e-4))
+    result = TrajPatternMiner(engine, k=150, min_length=3, max_length=6).mine()
+    print(
+        f"mined {len(result)} location patterns "
+        f"(mean length {result.mean_length():.1f}) over {grid}"
+    )
+
+    forecaster = LocationForecaster(
+        result.patterns, grid, delta=0.05, confirm_threshold=0.5
+    )
+    hit_rate, fire_rate = forecast_hit_rate(
+        forecaster, test, coverage=0.9, horizon=3
+    )
+    print(
+        f"\npre-allocation at 90% coverage, 3-tick horizon: hit rate "
+        f"{hit_rate:.0%} on the {fire_rate:.0%} of snapshots where patterns spoke"
+    )
+
+    # One concrete allocation decision, spelled out.
+    customer = test[0]
+    t = len(customer) // 2
+    history = customer.means[max(0, t - forecaster.max_prefix) : t + 1]
+    forecast = forecaster.forecast(history, sigma=sigma)
+    if forecast:
+        allocated = coverage_allocation(forecast, coverage=0.9)
+        print(f"\ncustomer {customer.object_id} at tick {t}:")
+        for entry in forecast[:5]:
+            center = grid.cell_center(entry.cell)
+            mark = "*" if entry.cell in allocated else " "
+            print(
+                f"  {mark} cell {entry.cell:4d} ({center.x:.2f},{center.y:.2f})"
+                f"  p = {entry.probability:.2f}"
+            )
+        print(f"  -> e-Flyers pre-allocated to {len(allocated)} cell(s)")
+    else:
+        print(f"\ncustomer {customer.object_id}: no confident forecast at tick {t}")
+
+
+if __name__ == "__main__":
+    main()

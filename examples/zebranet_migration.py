@@ -1,0 +1,63 @@
+"""ZebraNet: mining migration patterns of animal herds (section 6.2 data).
+
+Generates group-structured herd movement with the paper's procedure
+(shared per-group steps, per-animal jitter, group-leaving events), adds
+tracking uncertainty, and mines location patterns -- the "migration
+patterns" use-case from the paper's introduction.  Also demonstrates the
+support-measure baseline losing the herd corridor under the same noise.
+
+Run:  python examples/zebranet_migration.py
+"""
+
+import numpy as np
+
+from repro.baselines.support import SupportMiner
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.datagen.observe import observe_paths
+from repro.datagen.zebranet import ZebraNetConfig, ZebraNetGenerator
+
+
+def main() -> None:
+    rng = np.random.default_rng(20040601)
+    config = ZebraNetConfig(
+        n_groups=8, zebras_per_group=6, n_ticks=120, p_leave=0.01
+    )
+    paths = ZebraNetGenerator(config).generate_paths(rng)
+    solo = sum(1 for p in paths if p.label == "solo")
+    print(f"{len(paths)} zebras in {config.n_groups} groups ({solo} went solo)")
+
+    # Sensor tracking: 0.01 space-unit standard deviation per snapshot.
+    dataset = observe_paths(paths, sigma=0.01, rng=rng)
+    grid = dataset.make_grid(0.02)
+    print(f"grid: {grid}")
+
+    engine = NMEngine(dataset, grid, EngineConfig(delta=0.02, min_prob=1e-4))
+    result = TrajPatternMiner(engine, k=20, min_length=3, max_length=6).mine(
+        discover_groups=True
+    )
+
+    print(f"\ntop NM migration patterns (mean length {result.mean_length():.1f}):")
+    for pattern, nm in result.as_pairs()[:8]:
+        waypoints = " -> ".join(
+            f"({c.x:.2f},{c.y:.2f})" for c in map(grid.cell_center, pattern.cells)
+        )
+        print(f"  NM {nm:9.1f}  {waypoints}")
+
+    print(f"\n{len(result.groups)} pattern groups cover the top-{len(result)}:")
+    for group in result.groups[:6]:
+        print(f"  group of {len(group)} length-{group.length} pattern(s)")
+
+    # Contrast: the classic support measure on the same (imprecise) data.
+    support = SupportMiner(dataset, grid, k=5, min_length=3).mine()
+    print("\nsupport-measure baseline (most-likely cell collapse):")
+    for pattern, count in support.as_pairs():
+        print(f"  support {count:3d}  {pattern.cells}")
+    print(
+        "note how low the supports are: exact cell repetition is rare under "
+        "imprecision, which is why the paper replaces support with NM."
+    )
+
+
+if __name__ == "__main__":
+    main()

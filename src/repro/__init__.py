@@ -1,0 +1,59 @@
+"""repro: a full reproduction of TrajPattern (Yang & Hu, EDBT 2006).
+
+Mining sequential patterns from imprecise trajectories of mobile objects.
+
+Public API highlights
+---------------------
+* :class:`repro.trajectory.UncertainTrajectory`, :class:`repro.trajectory.TrajectoryDataset`
+* :class:`repro.geometry.Grid`
+* :class:`repro.core.NMEngine`, :class:`repro.core.TrajPatternMiner`
+* :func:`repro.core.discover_pattern_groups`
+* baselines in :mod:`repro.baselines`, mobility simulation in
+  :mod:`repro.mobility`, data generators in :mod:`repro.datagen`,
+  applications in :mod:`repro.apps` and the paper's experiments in
+  :mod:`repro.experiments`.
+"""
+
+from repro.core.engine import EngineConfig, NMEngine, build_engine
+from repro.core.groups import PatternGroup, discover_pattern_groups
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.core.parameters import SuggestedParameters, suggest_parameters
+from repro.core.results_io import load_mining_result, save_mining_result
+from repro.core.wildcards import Gap, GapPattern
+from repro.core.trajpattern import MiningResult, TrajPatternMiner
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.geometry.point import Point
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.trajectory.velocity import to_velocity_dataset, to_velocity_trajectory
+from repro.uncertainty.gaussian import ProbModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UncertainTrajectory",
+    "TrajectoryDataset",
+    "to_velocity_trajectory",
+    "to_velocity_dataset",
+    "Point",
+    "BoundingBox",
+    "Grid",
+    "ProbModel",
+    "EngineConfig",
+    "NMEngine",
+    "build_engine",
+    "TrajectoryPattern",
+    "WILDCARD",
+    "Gap",
+    "GapPattern",
+    "SuggestedParameters",
+    "suggest_parameters",
+    "save_mining_result",
+    "load_mining_result",
+    "TrajPatternMiner",
+    "MiningResult",
+    "PatternGroup",
+    "discover_pattern_groups",
+    "__version__",
+]

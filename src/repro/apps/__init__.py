@@ -1,0 +1,39 @@
+"""Applications of trajectory patterns.
+
+* :mod:`~repro.apps.prediction` -- the paper's headline application
+  (section 6.1, Fig. 3): plugging mined velocity patterns into a
+  dead-reckoning location predictor and measuring the mis-prediction
+  reduction.
+* :mod:`~repro.apps.classification` -- the classifier use-case motivated
+  in the introduction: identifying which route/class a trajectory belongs
+  to from its pattern affinities.
+* :mod:`~repro.apps.forecast` -- probabilistic next-location forecasting
+  and coverage-based pre-allocation (the introduction's network-resource
+  and e-Flyer scenarios).
+"""
+
+from repro.apps.classification import PatternClassifier
+from repro.apps.forecast import (
+    CellForecast,
+    LocationForecaster,
+    coverage_allocation,
+    forecast_hit_rate,
+)
+from repro.apps.prediction import (
+    PatternLibrary,
+    PredictionComparison,
+    compare_prediction,
+    pattern_override,
+)
+
+__all__ = [
+    "PatternLibrary",
+    "pattern_override",
+    "PredictionComparison",
+    "compare_prediction",
+    "PatternClassifier",
+    "LocationForecaster",
+    "CellForecast",
+    "coverage_allocation",
+    "forecast_hit_rate",
+]

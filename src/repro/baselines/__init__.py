@@ -1,0 +1,33 @@
+"""Baseline miners the paper compares TrajPattern against (section 6).
+
+* :class:`~repro.baselines.match_miner.MatchMiner` -- top-k mining under the
+  *match* measure of [14] (Yang et al., SIGMOD 2002).  The Apriori property
+  holds for match, so a level-wise miner is exact; the paper used [14]'s
+  border-collapsing algorithm, which is a speed-up of the same search.
+* :class:`~repro.baselines.pb.PBMiner` -- the projection-based approach of
+  [13] (InfoMiner) adapted to the NM measure, with the loose per-position
+  upper bound described in section 6.2; the comparison baseline of the
+  scalability experiments (Fig. 4).
+* :class:`~repro.baselines.support.SupportMiner` -- the traditional support
+  model on most-likely grid sequences; included to demonstrate why plain
+  support fails on imprecise data (section 3.3's motivation).
+* :class:`~repro.baselines.prefixspan.PrefixSpan` -- the classic
+  gapped-subsequence miner of [8], the related-work reference model.
+"""
+
+from repro.baselines.match_miner import MatchMiner, MatchMiningResult
+from repro.baselines.pb import PBMiner, PBStats
+from repro.baselines.prefixspan import PrefixSpan, PrefixSpanResult, top_k_prefixspan
+from repro.baselines.support import SupportMiner, SupportMiningResult
+
+__all__ = [
+    "MatchMiner",
+    "MatchMiningResult",
+    "PBMiner",
+    "PBStats",
+    "SupportMiner",
+    "SupportMiningResult",
+    "PrefixSpan",
+    "PrefixSpanResult",
+    "top_k_prefixspan",
+]

@@ -1,0 +1,252 @@
+"""Command-line interface: ``trajpattern <command>``.
+
+Two families of commands:
+
+* **library commands** operating on user data (JSONL trajectory files):
+  ``mine`` (top-k patterns -> pattern file), ``score`` (re-score a pattern
+  file out-of-core), ``suggest`` (section 5 parameter guidance);
+* **reproduction commands** regenerating the paper's evaluation:
+  ``table1``, ``fig3``, ``fig4``, ``ablations``, ``all`` and ``report``
+  (everything into one markdown file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datagen.bus import BusFleetConfig
+from repro.experiments import (
+    Fig3Config,
+    Fig4Config,
+    Table1Config,
+    run_fig3,
+    run_interval_sensitivity,
+    run_fig4a_k,
+    run_fig4b_trajectories,
+    run_fig4c_length,
+    run_fig4d_grids,
+    run_fig4e_delta,
+    run_loss_sensitivity,
+    run_prob_model_ablation,
+    run_pruning_ablation,
+    run_table1,
+)
+
+_SMALL_FLEET = BusFleetConfig(n_routes=3, buses_per_route=4, n_days=3, n_ticks=60)
+
+
+# -- reproduction commands ----------------------------------------------------
+
+
+def _table1(scale: str) -> str:
+    config = (
+        Table1Config(k=30, fleet=_SMALL_FLEET, max_length=6)
+        if scale == "small"
+        else Table1Config()
+    )
+    return run_table1(config).render()
+
+
+def _fig3(scale: str) -> str:
+    config = (
+        Fig3Config(k=25, fleet=_SMALL_FLEET, max_length=6)
+        if scale == "small"
+        else Fig3Config()
+    )
+    return run_fig3(config).render()
+
+
+def _fig4(scale: str) -> str:
+    if scale == "small":
+        config = Fig4Config(k=5, n_trajectories=25, n_ticks=40, target_cells=1024)
+        panels = [
+            run_fig4a_k(config, ks=(3, 5, 10)),
+            run_fig4b_trajectories(config, sizes=(15, 25, 50)),
+            run_fig4c_length(config, lengths=(20, 40, 80)),
+            run_fig4d_grids(config, grid_counts=(256, 1024, 4096)),
+            run_fig4e_delta(
+                Fig4Config(k=25, n_trajectories=25, n_ticks=40),
+                delta_factors=(0.5, 1.0, 2.0, 4.0, 8.0),
+            ),
+        ]
+    else:
+        config = Fig4Config()
+        panels = [
+            run_fig4a_k(config),
+            run_fig4b_trajectories(config),
+            run_fig4c_length(config),
+            run_fig4d_grids(config),
+            run_fig4e_delta(config),
+        ]
+    return "\n\n".join(panel.render() for panel in panels)
+
+
+def _ablations(scale: str) -> str:
+    del scale  # the ablations are already laptop-scale
+    return "\n\n".join(
+        [
+            run_pruning_ablation().render(),
+            run_prob_model_ablation().render(),
+            run_loss_sensitivity().render(),
+            run_interval_sensitivity().render(),
+        ]
+    )
+
+
+_EXPERIMENTS = {
+    "table1": _table1,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "ablations": _ablations,
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_EXPERIMENTS[name](args.scale))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    report = build_report()
+    report.write(args.output)
+    print(f"wrote {args.output} ({len(report.sections)} sections)")
+    return 0
+
+
+# -- library commands -----------------------------------------------------------
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.core.engine import EngineConfig, NMEngine
+    from repro.core.parameters import suggest_parameters
+    from repro.core.results_io import save_mining_result
+    from repro.core.trajpattern import TrajPatternMiner
+    from repro.trajectory.io import load_dataset_jsonl
+
+    dataset = load_dataset_jsonl(args.dataset)
+    suggestion = suggest_parameters(dataset)
+    cell = args.cell_size if args.cell_size else suggestion.cell_size
+    delta = args.delta if args.delta else cell
+    grid = dataset.make_grid(cell)
+    engine = NMEngine(
+        dataset, grid, EngineConfig(delta=delta, min_prob=args.min_prob)
+    )
+    print(
+        f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
+        f"delta {delta:.6g}"
+    )
+    result = TrajPatternMiner(
+        engine,
+        k=args.k,
+        min_length=args.min_length,
+        max_length=args.max_length,
+    ).mine(discover_groups=True, gamma=suggestion.gamma)
+    save_mining_result(result, grid, args.output)
+    print(
+        f"mined {len(result)} patterns (mean length {result.mean_length():.2f}, "
+        f"{result.stats.wall_time_s:.1f}s) -> {args.output}"
+    )
+    for pattern, nm in result.as_pairs()[: args.show]:
+        print(f"  NM {nm:12.2f}  {pattern.cells}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    from repro.core.engine import EngineConfig
+    from repro.core.results_io import load_mining_result
+    from repro.core.streaming import StreamingNMEngine
+
+    result, grid = load_mining_result(args.patterns)
+    engine_config = EngineConfig(delta=args.delta, min_prob=args.min_prob)
+    streaming = StreamingNMEngine(
+        args.dataset, grid, engine_config, chunk_size=args.chunk_size
+    )
+    verified = streaming.verify_top_k(result.patterns, k=len(result.patterns))
+    print(f"re-scored {len(verified)} patterns against {args.dataset}:")
+    for pattern, nm in verified[: args.show]:
+        print(f"  NM {nm:12.2f}  {pattern.cells}")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.core.parameters import suggest_parameters
+    from repro.trajectory.io import load_dataset_jsonl
+
+    dataset = load_dataset_jsonl(args.dataset)
+    print(suggest_parameters(dataset).render())
+    return 0
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trajpattern",
+        description=(
+            "TrajPattern (EDBT 2006): mine sequential patterns from imprecise "
+            "trajectories, and reproduce the paper's experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("run", help="run a paper experiment")
+    exp.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"])
+    exp.add_argument("--scale", choices=["small", "paper"], default="small")
+    exp.set_defaults(func=_cmd_experiment)
+    # Back-compat: the experiment names also work as top-level commands.
+    for name in sorted(_EXPERIMENTS) + ["all"]:
+        alias = sub.add_parser(name, help=f"alias for: run {name}")
+        alias.add_argument("--scale", choices=["small", "paper"], default="small")
+        alias.set_defaults(func=_cmd_experiment, experiment=name)
+
+    report = sub.add_parser("report", help="write the full reproduction report")
+    report.add_argument("--output", default="REPORT.md")
+    report.set_defaults(func=_cmd_report)
+
+    mine = sub.add_parser("mine", help="mine top-k patterns from a JSONL dataset")
+    mine.add_argument("dataset", help="trajectory JSONL file")
+    mine.add_argument("--output", default="patterns.json")
+    mine.add_argument("-k", type=int, default=20)
+    mine.add_argument("--min-length", type=int, default=2, dest="min_length")
+    mine.add_argument("--max-length", type=int, default=8, dest="max_length")
+    mine.add_argument("--cell-size", type=float, default=None, dest="cell_size")
+    mine.add_argument("--delta", type=float, default=None)
+    mine.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
+    mine.add_argument("--show", type=int, default=10)
+    mine.set_defaults(func=_cmd_mine)
+
+    score = sub.add_parser(
+        "score", help="re-score a pattern file against a dataset (out-of-core)"
+    )
+    score.add_argument("patterns", help="pattern file from \'mine\'")
+    score.add_argument("dataset", help="trajectory JSONL file")
+    score.add_argument("--delta", type=float, required=True)
+    score.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
+    score.add_argument("--chunk-size", type=int, default=64, dest="chunk_size")
+    score.add_argument("--show", type=int, default=10)
+    score.set_defaults(func=_cmd_score)
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest delta/grid/gamma for a dataset (section 5)"
+    )
+    suggest.add_argument("dataset", help="trajectory JSONL file")
+    suggest.set_defaults(func=_cmd_suggest)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

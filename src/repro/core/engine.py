@@ -1,0 +1,505 @@
+"""Vectorised dataset-wide evaluation of the match / NM measures.
+
+The TrajPattern miner evaluates the NM of thousands of candidate patterns
+per iteration; doing that with the scalar reference functions would be
+hopeless in Python.  :class:`NMEngine` makes a pattern evaluation a handful
+of numpy operations over the whole dataset:
+
+1. **Sparse index** (built once): for every snapshot of every trajectory,
+   the exact ``log Prob(l, sigma, cell, delta)`` is computed for every grid
+   cell whose probability exceeds the floor ``min_prob``; everything else
+   *is* the floor.  Entries are stored per cell as ``(global_row, value)``
+   arrays, where global rows concatenate all trajectories along the time
+   axis.
+
+2. **Pattern evaluation**: for pattern ``(p_1..p_m)`` the window score of
+   the window starting at global row ``r`` is ``sum_j column(p_j)[r + j]``.
+   All window sums are computed with ``m`` shifted slice-adds, windows that
+   cross a trajectory boundary are masked out, and the per-trajectory maxima
+   (Eq. 4) fall out of one ``np.maximum.reduceat``.
+
+Exactness: with the default auto radius the index stores every cell whose
+probability can exceed ``min_prob`` (the enumeration radius is derived from
+the normal quantile of ``min_prob``), so the engine agrees with the scalar
+reference implementation to floating-point accuracy -- the test suite checks
+this property directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.uncertainty.gaussian import ProbModel, prob_within
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of the sparse probability index.
+
+    Parameters
+    ----------
+    delta:
+        The indifference distance of section 3.3.
+    prob_model:
+        Box (default) or disk geometry for ``Prob``.
+    min_prob:
+        Per-position probability floor; cells below it collapse onto the
+        floor.  Larger values shrink the index and speed up construction at
+        the cost of flattening the tail of the measure.
+    radius_sigmas:
+        Half-width (in sigmas, plus ``delta``) of the neighbourhood
+        enumerated around each snapshot mean.  ``None`` (default) derives
+        the radius from ``min_prob`` so no above-floor cell is missed.
+    max_cells_per_snapshot:
+        Memory guard: keep at most this many highest-probability cells per
+        snapshot.  The default is high enough to be inactive in ordinary
+        configurations.
+    column_cache_size:
+        Number of materialised per-cell dense columns kept in an LRU cache;
+        candidate patterns reuse cells heavily, so this trades memory for a
+        large constant-factor win during mining.
+    """
+
+    delta: float
+    prob_model: ProbModel = ProbModel.BOX
+    min_prob: float = 1e-9
+    radius_sigmas: float | None = None
+    max_cells_per_snapshot: int = 4096
+    column_cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if not 0.0 < self.min_prob < 1.0:
+            raise ValueError("min_prob must be in (0, 1)")
+        if self.radius_sigmas is not None and self.radius_sigmas <= 0:
+            raise ValueError("radius_sigmas must be positive")
+        if self.max_cells_per_snapshot <= 0:
+            raise ValueError("max_cells_per_snapshot must be positive")
+        if self.column_cache_size <= 0:
+            raise ValueError("column_cache_size must be positive")
+
+    @property
+    def min_log_prob(self) -> float:
+        """The log-space floor."""
+        return float(np.log(self.min_prob))
+
+    def effective_radius_sigmas(self) -> float:
+        """Enumeration radius in sigmas: explicit, or the ``min_prob`` quantile."""
+        if self.radius_sigmas is not None:
+            return self.radius_sigmas
+        # P(|X - c| <= delta) <= Phi(-(R - delta)/sigma); force it <= min_prob.
+        return float(-special.ndtri(self.min_prob))
+
+
+class NMEngine:
+    """Evaluates NM / match of patterns over a whole dataset (see module docs)."""
+
+    def __init__(
+        self, dataset: TrajectoryDataset, grid: Grid, config: EngineConfig
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("cannot build an engine over an empty dataset")
+        self.dataset = dataset
+        self.grid = grid
+        self.config = config
+        self._floor = config.min_log_prob
+
+        lengths = np.array([len(t) for t in dataset], dtype=np.int64)
+        self._lengths = lengths
+        self._starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        self._total_rows = int(lengths.sum())
+        self._row_traj = np.repeat(np.arange(len(dataset), dtype=np.int64), lengths)
+
+        self._entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._column_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._valid_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self.n_evaluations = 0  # instrumentation for the scalability benches
+
+        # Flat segment index (filled by _build_index when entries exist).
+        self._flat_rows = np.empty(0, dtype=np.int64)
+        self._flat_vals = np.empty(0)
+        self._seg_starts = np.empty(0, dtype=np.int64)
+        self._seg_traj = np.empty(0, dtype=np.int64)
+        self._cell_seg_starts = np.empty(0, dtype=np.int64)
+        self._flat_cell_order = np.empty(0, dtype=np.int64)
+
+        self._build_index()
+
+    # -- public metadata -------------------------------------------------------
+
+    @property
+    def active_cells(self) -> list[int]:
+        """Cells with at least one above-floor entry, ascending.
+
+        These are the only cells that can beat an inactive cell's NM; the
+        miner seeds its singular patterns from them.
+        """
+        return sorted(self._entries)
+
+    @property
+    def floor_log_prob(self) -> float:
+        """The log-space probability floor."""
+        return self._floor
+
+    @property
+    def n_index_entries(self) -> int:
+        """Number of stored (snapshot, cell) probability entries."""
+        return sum(len(rows) for rows, _ in self._entries.values())
+
+    # -- index construction ------------------------------------------------------
+
+    def _build_index(self) -> None:
+        """Compute above-floor log-probabilities for every (snapshot, cell)."""
+        cfg = self.config
+        radius_sigmas = cfg.effective_radius_sigmas()
+        cells_acc: list[np.ndarray] = []
+        rows_acc: list[np.ndarray] = []
+        vals_acc: list[np.ndarray] = []
+
+        row = 0
+        for traj in self.dataset:
+            for mean, sigma in zip(traj.means, traj.sigmas):
+                radius = radius_sigmas * sigma + cfg.delta
+                cells = self.grid.cells_near(float(mean[0]), float(mean[1]), radius)
+                if len(cells):
+                    centers = self.grid.cell_centers(cells)
+                    probs = prob_within(
+                        mean, np.asarray(sigma), centers, cfg.delta, model=cfg.prob_model
+                    )
+                    keep = probs > cfg.min_prob
+                    cells, probs = cells[keep], probs[keep]
+                    if len(cells) > cfg.max_cells_per_snapshot:
+                        top = np.argpartition(probs, -cfg.max_cells_per_snapshot)[
+                            -cfg.max_cells_per_snapshot :
+                        ]
+                        cells, probs = cells[top], probs[top]
+                    if len(cells):
+                        cells_acc.append(cells)
+                        rows_acc.append(np.full(len(cells), row, dtype=np.int64))
+                        vals_acc.append(np.log(probs))
+                row += 1
+
+        if not cells_acc:
+            return
+        all_cells = np.concatenate(cells_acc)
+        all_rows = np.concatenate(rows_acc)
+        all_vals = np.concatenate(vals_acc)
+        order = np.lexsort((all_rows, all_cells))
+        all_cells, all_rows, all_vals = all_cells[order], all_rows[order], all_vals[order]
+        uniq, first = np.unique(all_cells, return_index=True)
+        bounds = np.append(first, len(all_cells))
+        for i, cell in enumerate(uniq):
+            sl = slice(bounds[i], bounds[i + 1])
+            self._entries[int(cell)] = (all_rows[sl].copy(), all_vals[sl].copy())
+
+        # Flat segment index for the vectorised bulk-extension path: entries
+        # sorted by (cell, row), segmented at every (cell, trajectory)
+        # change.  Pattern-independent, built once.
+        self._flat_rows = all_rows
+        self._flat_vals = all_vals
+        entry_traj = self._row_traj[all_rows]
+        if len(all_rows):
+            change = np.nonzero(
+                (np.diff(all_cells) != 0) | (np.diff(entry_traj) != 0)
+            )[0] + 1
+            self._seg_starts = np.concatenate([[0], change])
+            self._seg_traj = entry_traj[self._seg_starts]
+            seg_cells = all_cells[self._seg_starts]
+            cell_change = np.nonzero(np.diff(seg_cells))[0] + 1
+            self._cell_seg_starts = np.concatenate([[0], cell_change])
+            self._flat_cell_order = seg_cells[self._cell_seg_starts]
+        else:
+            self._seg_starts = np.empty(0, dtype=np.int64)
+            self._seg_traj = np.empty(0, dtype=np.int64)
+            self._cell_seg_starts = np.empty(0, dtype=np.int64)
+            self._flat_cell_order = np.empty(0, dtype=np.int64)
+
+    # -- columns -------------------------------------------------------------------
+
+    def _column(self, cell: int) -> np.ndarray:
+        """Dense log-prob column of ``cell`` over all global rows (LRU cached)."""
+        cached = self._column_cache.get(cell)
+        if cached is not None:
+            self._column_cache.move_to_end(cell)
+            return cached
+        col = np.full(self._total_rows, self._floor)
+        entry = self._entries.get(cell)
+        if entry is not None:
+            rows, vals = entry
+            col[rows] = vals
+        col.setflags(write=False)
+        self._column_cache[cell] = col
+        if len(self._column_cache) > self.config.column_cache_size:
+            self._column_cache.popitem(last=False)
+        return col
+
+    def _window_plumbing(self, m: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-length cached (validity mask, reduceat bounds, eligible trajs)."""
+        cached = self._valid_cache.get(m)
+        if cached is not None:
+            return cached
+        n_windows = self._total_rows - m + 1
+        if n_windows <= 0:
+            plumbing = (
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        else:
+            valid = self._row_traj[:n_windows] == self._row_traj[m - 1 :]
+            eligible = np.nonzero(self._lengths >= m)[0]
+            bounds = self._starts[eligible]
+            plumbing = (valid, bounds, eligible)
+        self._valid_cache[m] = plumbing
+        return plumbing
+
+    def _window_scores(self, pattern: TrajectoryPattern) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Masked window log-sums plus reduceat plumbing for ``pattern``."""
+        m = len(pattern)
+        valid, bounds, eligible = self._window_plumbing(m)
+        if len(eligible) == 0:
+            return np.empty(0), bounds, eligible
+        n_windows = self._total_rows - m + 1
+        scores = np.zeros(n_windows)
+        for j, cell in enumerate(pattern.cells):
+            if cell == WILDCARD:
+                continue  # log 1 contribution
+            scores += self._column(cell)[j : j + n_windows]
+        scores[~valid] = -np.inf
+        return scores, bounds, eligible
+
+    # -- measures ----------------------------------------------------------------------
+
+    def nm_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
+        """Eq. 4 per trajectory: array of ``NM(P, T_i)`` over the dataset."""
+        self.n_evaluations += 1
+        n_spec = len(pattern.specified_positions())
+        out = np.full(len(self.dataset), self._floor)
+        scores, bounds, eligible = self._window_scores(pattern)
+        if len(eligible) == 0:
+            return out
+        maxes = np.maximum.reduceat(scores, bounds)
+        out[eligible] = maxes / n_spec if n_spec else 0.0
+        return out
+
+    def nm(self, pattern: TrajectoryPattern) -> float:
+        """``NM(P)`` over the dataset (section 3.3)."""
+        return float(self.nm_per_trajectory(pattern).sum())
+
+    def match_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
+        """Un-normalised match of [14] per trajectory."""
+        self.n_evaluations += 1
+        n_spec = len(pattern.specified_positions())
+        out = np.full(len(self.dataset), np.exp(self._floor * n_spec))
+        scores, bounds, eligible = self._window_scores(pattern)
+        if len(eligible) == 0:
+            return out
+        maxes = np.maximum.reduceat(scores, bounds)
+        out[eligible] = np.exp(maxes)
+        return out
+
+    def match(self, pattern: TrajectoryPattern) -> float:
+        """Dataset match: sum of per-trajectory max window probabilities."""
+        return float(self.match_per_trajectory(pattern).sum())
+
+    def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """NM of several patterns, in order."""
+        return np.array([self.nm(p) for p in patterns])
+
+    # -- bulk singular evaluation ---------------------------------------------------------
+
+    def singular_nm_table(self) -> dict[int, float]:
+        """``NM`` of every active singular pattern, without column building.
+
+        For length-1 patterns the per-trajectory max is just the max stored
+        entry (or the floor when a trajectory never touches the cell), so
+        the whole table comes straight out of the index.
+        """
+        n_traj = len(self.dataset)
+        base = self._floor * n_traj
+        table: dict[int, float] = {}
+        for cell, (rows, vals) in self._entries.items():
+            trajs = self._row_traj[rows]
+            # rows are sorted, hence trajs is non-decreasing.
+            change = np.nonzero(np.diff(trajs))[0] + 1
+            seg_starts = np.concatenate([[0], change])
+            seg_max = np.maximum.reduceat(vals, seg_starts)
+            # Each touched trajectory swaps its floor term for its max entry,
+            # but only when the entry beats the floor (it always does,
+            # entries are above min_prob by construction).
+            table[cell] = base + float(np.sum(seg_max - self._floor))
+        return table
+
+    def singular_match_table(self) -> dict[int, float]:
+        """Match of every active singular pattern (used by the match miner)."""
+        n_traj = len(self.dataset)
+        floor_p = np.exp(self._floor)
+        table: dict[int, float] = {}
+        for cell, (rows, vals) in self._entries.items():
+            trajs = self._row_traj[rows]
+            change = np.nonzero(np.diff(trajs))[0] + 1
+            seg_starts = np.concatenate([[0], change])
+            seg_max = np.maximum.reduceat(vals, seg_starts)
+            n_touched = len(seg_starts)
+            table[cell] = float(np.exp(seg_max).sum()) + floor_p * (n_traj - n_touched)
+        return table
+
+    # -- bulk single-cell extensions --------------------------------------------------------
+
+    def extend_right_tables(
+        self, pattern: TrajectoryPattern
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """NM and match of ``pattern + (c,)`` for every active cell ``c`` at once.
+
+        The level-wise miners (match/Apriori, PB) extend each frontier
+        prefix by the whole alphabet; evaluating those extensions one by one
+        costs ``G`` full passes.  This method shares the prefix's window
+        scores across all extensions and then visits every index entry once,
+        so the whole table costs one prefix evaluation plus ``O(index)``.
+
+        Returns ``(nm_by_cell, match_by_cell)`` over the active alphabet.
+        """
+        m = len(pattern)
+        n_spec = len(pattern.specified_positions())
+        ext_len = m + 1
+        n_traj = len(self.dataset)
+        floor = self._floor
+
+        # Prefix window scores aligned to extended-window starts.
+        valid, bounds, eligible = self._window_plumbing(ext_len)
+        nm_default = np.full(n_traj, floor)
+        match_default = np.full(n_traj, np.exp(floor * (n_spec + 1)))
+        if len(eligible) == 0:
+            nm_total = float(nm_default.sum())
+            match_total = float(match_default.sum())
+            return (
+                {c: nm_total for c in self._entries},
+                {c: match_total for c in self._entries},
+            )
+
+        n_windows = self._total_rows - ext_len + 1
+        prefix_scores = np.zeros(n_windows)
+        for j, cell in enumerate(pattern.cells):
+            if cell == WILDCARD:
+                continue
+            prefix_scores += self._column(cell)[j : j + n_windows]
+
+        # Base case: the new position scores the floor everywhere.
+        base = prefix_scores + floor
+        base_masked = np.where(valid, base, -np.inf)
+        base_max = np.maximum.reduceat(base_masked, bounds)  # per eligible traj
+
+        nm_base = nm_default.copy()
+        nm_base[eligible] = base_max / (n_spec + 1)
+        match_base = match_default.copy()
+        match_base[eligible] = np.exp(base_max)
+        nm_base_total = float(nm_base.sum())
+        match_base_total = float(match_base.sum())
+
+        if self._seg_starts.size == 0:
+            return {}, {}
+
+        # Per-trajectory best base, aligned for comparison with entries.
+        best_base_by_traj = np.full(n_traj, -np.inf)
+        best_base_by_traj[eligible] = base_max
+
+        # Fully vectorised over the flat segment index: one masked score per
+        # entry, one max per (cell, trajectory) segment, one sum per cell.
+        starts = self._flat_rows - m
+        entry_valid = starts >= 0
+        safe_starts = np.where(entry_valid, starts, 0)
+        entry_valid &= self._row_traj[safe_starts] == self._row_traj[self._flat_rows]
+        scores = np.where(
+            entry_valid, prefix_scores[safe_starts] + self._flat_vals, -np.inf
+        )
+        seg_max = np.maximum.reduceat(scores, self._seg_starts)
+        old = best_base_by_traj[self._seg_traj]
+        improved = seg_max > old
+        # Masked subtraction: unimproved segments may hold -inf on both
+        # sides, and (-inf) - (-inf) would poison a plain np.where.
+        nm_delta_seg = np.zeros(len(seg_max))
+        np.subtract(seg_max, old, out=nm_delta_seg, where=improved)
+        match_delta_seg = np.zeros(len(seg_max))
+        np.subtract(
+            np.exp(seg_max), np.exp(old), out=match_delta_seg, where=improved
+        )
+        nm_delta = np.add.reduceat(nm_delta_seg, self._cell_seg_starts) / (n_spec + 1)
+        match_delta = np.add.reduceat(match_delta_seg, self._cell_seg_starts)
+
+        nm_by_cell = {
+            int(cell): nm_base_total + float(d)
+            for cell, d in zip(self._flat_cell_order, nm_delta)
+        }
+        match_by_cell = {
+            int(cell): match_base_total + float(d)
+            for cell, d in zip(self._flat_cell_order, match_delta)
+        }
+        self.n_evaluations += len(self._entries)
+        return nm_by_cell, match_by_cell
+
+    # -- point queries -----------------------------------------------------------------------
+
+    def log_prob_at(self, traj_index: int, snapshot: int, cell: int) -> float:
+        """``log Prob`` of one (trajectory, snapshot, cell) triple."""
+        if not 0 <= traj_index < len(self.dataset):
+            raise IndexError(f"trajectory index {traj_index} out of range")
+        if not 0 <= snapshot < self._lengths[traj_index]:
+            raise IndexError(
+                f"snapshot {snapshot} out of range for trajectory {traj_index}"
+            )
+        entry = self._entries.get(int(cell))
+        if entry is None:
+            return self._floor
+        rows, vals = entry
+        row = int(self._starts[traj_index] + snapshot)
+        pos = int(np.searchsorted(rows, row))
+        if pos < len(rows) and rows[pos] == row:
+            return float(vals[pos])
+        return self._floor
+
+    def best_window(
+        self, pattern: TrajectoryPattern, traj_index: int
+    ) -> tuple[int, float] | None:
+        """Best (start, NM) window of ``pattern`` in one trajectory, or ``None``.
+
+        ``None`` when the trajectory is shorter than the pattern.
+        """
+        m = len(pattern)
+        length = int(self._lengths[traj_index])
+        if length < m:
+            return None
+        start_row = int(self._starts[traj_index])
+        scores = np.zeros(length - m + 1)
+        for j, cell in enumerate(pattern.cells):
+            if cell == WILDCARD:
+                continue
+            col = self._column(cell)
+            scores += col[start_row + j : start_row + j + len(scores)]
+        best = int(np.argmax(scores))
+        n_spec = len(pattern.specified_positions())
+        nm = float(scores[best] / n_spec) if n_spec else 0.0
+        return best, nm
+
+
+def build_engine(
+    dataset: TrajectoryDataset,
+    cell_size: float,
+    delta: float | None = None,
+    **config_kwargs,
+) -> NMEngine:
+    """Convenience constructor: grid covering the dataset + engine in one call.
+
+    ``delta`` defaults to ``cell_size`` (the paper sets ``g_x = g_y = delta``).
+    """
+    grid = dataset.make_grid(cell_size)
+    config = EngineConfig(delta=delta if delta is not None else cell_size, **config_kwargs)
+    return NMEngine(dataset, grid, config)

@@ -1,0 +1,179 @@
+"""Scalar reference implementation of the match / NM measures (section 3.3).
+
+These functions compute Eq. 2 - Eq. 4 directly from their definitions, one
+pattern and one trajectory at a time.  They are deliberately simple: the
+vectorised :class:`~repro.core.engine.NMEngine` is validated against them in
+the test suite, and they remain the readable specification of the measures.
+
+Conventions shared with the engine (documented in DESIGN.md):
+
+* all probabilities live in log-space;
+* each per-position probability is floored at ``exp(min_log_prob)`` so a
+  single impossible position keeps the NM finite;
+* a trajectory shorter than the pattern has no window, and its NM defaults
+  to the floor ``min_log_prob`` (the worst possible per-position value);
+* a wildcard position matches anything (probability 1) and does not count
+  toward the normalising length, keeping padded patterns comparable to
+  their unpadded cores.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.uncertainty.gaussian import ProbModel, prob_within
+
+#: Default per-position probability floor (log of 1e-9); see DESIGN.md.
+DEFAULT_MIN_LOG_PROB: float = math.log(1e-9)
+
+
+def position_log_probs(
+    pattern: TrajectoryPattern,
+    window: UncertainTrajectory,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> np.ndarray:
+    """Per-position ``log Prob(l_i, sigma_i, p_i, delta)`` for a window of equal length.
+
+    Wildcard positions contribute ``log 1 = 0``.
+    """
+    if len(window) != len(pattern):
+        raise ValueError(
+            f"window length {len(window)} != pattern length {len(pattern)}"
+        )
+    cells = np.asarray(pattern.cells, dtype=np.int64)
+    out = np.zeros(len(cells))
+    specified = cells != WILDCARD
+    if specified.any():
+        centers = grid.cell_centers(cells[specified])
+        probs = prob_within(
+            window.means[specified], window.sigmas[specified], centers, delta, model=model
+        )
+        with np.errstate(divide="ignore"):
+            logs = np.where(probs > 0, np.log(np.maximum(probs, 1e-300)), -np.inf)
+        out[specified] = np.maximum(logs, min_log_prob)
+    return out
+
+
+def match_pattern_window(
+    pattern: TrajectoryPattern,
+    window: UncertainTrajectory,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """Eq. 2: ``M(P, T')``, the joint probability over an equal-length window."""
+    return float(
+        np.exp(
+            position_log_probs(pattern, window, grid, delta, model, min_log_prob).sum()
+        )
+    )
+
+
+def nm_pattern_window(
+    pattern: TrajectoryPattern,
+    window: UncertainTrajectory,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """Eq. 3: ``NM(P, T') = log M(P, T') / m`` (m = specified positions)."""
+    logs = position_log_probs(pattern, window, grid, delta, model, min_log_prob)
+    m = len(pattern.specified_positions())
+    if m == 0:
+        return 0.0  # an all-wildcard pattern matches everything perfectly
+    return float(logs.sum() / m)
+
+
+def nm_pattern_trajectory(
+    pattern: TrajectoryPattern,
+    trajectory: UncertainTrajectory,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """Eq. 4: max NM over all contiguous windows of the pattern's length."""
+    m = len(pattern)
+    if len(trajectory) < m:
+        return min_log_prob
+    return max(
+        nm_pattern_window(
+            pattern, trajectory.window(start, m), grid, delta, model, min_log_prob
+        )
+        for start in range(len(trajectory) - m + 1)
+    )
+
+
+def match_pattern_trajectory(
+    pattern: TrajectoryPattern,
+    trajectory: UncertainTrajectory,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """The un-normalised match of [14]: max window joint probability."""
+    m = len(pattern)
+    if len(trajectory) < m:
+        return math.exp(min_log_prob * len(pattern.specified_positions()))
+    return max(
+        match_pattern_window(
+            pattern, trajectory.window(start, m), grid, delta, model, min_log_prob
+        )
+        for start in range(len(trajectory) - m + 1)
+    )
+
+
+def nm_pattern_dataset(
+    pattern: TrajectoryPattern,
+    dataset: TrajectoryDataset,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """``NM(P) = sum over trajectories of NM(P, T)`` (section 3.3)."""
+    return sum(
+        nm_pattern_trajectory(pattern, t, grid, delta, model, min_log_prob)
+        for t in dataset
+    )
+
+
+def match_pattern_dataset(
+    pattern: TrajectoryPattern,
+    dataset: TrajectoryDataset,
+    grid: Grid,
+    delta: float,
+    model: ProbModel = ProbModel.BOX,
+    min_log_prob: float = DEFAULT_MIN_LOG_PROB,
+) -> float:
+    """Dataset match: sum of per-trajectory max window probabilities."""
+    return sum(
+        match_pattern_trajectory(pattern, t, grid, delta, model, min_log_prob)
+        for t in dataset
+    )
+
+
+def minmax_upper_bound(
+    nm_left: float, len_left: int, nm_right: float, len_right: int
+) -> float:
+    """The weighted-mean bound from the min-max property's proof (Property 1).
+
+    ``NM(P_left + P_right) <= (i * NM(P_left) + j * NM(P_right)) / (i + j)``,
+    which is itself at most ``max(NM(P_left), NM(P_right))``.  The miner uses
+    this tighter middle term as an optional candidate pre-filter.
+    """
+    if len_left <= 0 or len_right <= 0:
+        raise ValueError("pattern lengths must be positive")
+    return (len_left * nm_left + len_right * nm_right) / (len_left + len_right)

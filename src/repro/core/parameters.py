@@ -1,0 +1,130 @@
+"""Parameter selection guidance (paper section 5's discussion).
+
+Section 5 discusses how to choose the model parameters: the snapshot
+interval comes from the domain; the indifference distance ``delta`` should
+be "a small distance unit ... considered ignorable"; the grid unit lengths
+``g_x = g_y`` can be set to ``delta``; and the maximum similar-pattern
+distance ``gamma`` follows the normal distribution -- ``3 sigma`` covers
+~99.7% of the placement error.
+
+:func:`suggest_parameters` turns those rules into code, deriving a
+complete, consistent parameter set from a dataset's own statistics, and
+:class:`SuggestedParameters` carries the result with the derivations
+spelled out.  The suggestions are starting points -- every knob remains
+explicit on :class:`~repro.core.engine.EngineConfig` and the miners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import EngineConfig
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class SuggestedParameters:
+    """A consistent parameter set derived from dataset statistics."""
+
+    delta: float  # indifference distance (section 5: an ignorable unit)
+    cell_size: float  # g_x = g_y = delta (section 5)
+    gamma: float  # similar-pattern distance = 3 sigma (section 5)
+    sigma_typical: float  # median snapshot sigma the derivations used
+    step_typical: float  # median per-snapshot displacement
+    n_cells_estimate: int  # grid size the suggestion implies
+
+    def make_grid(self, dataset: TrajectoryDataset) -> Grid:
+        """Grid over ``dataset`` at the suggested cell size."""
+        return dataset.make_grid(self.cell_size)
+
+    def make_engine_config(self, min_prob: float = 1e-6) -> EngineConfig:
+        """Engine configuration at the suggested delta."""
+        return EngineConfig(delta=self.delta, min_prob=min_prob)
+
+    def render(self) -> str:
+        """Human-readable summary with the section 5 derivations."""
+        return "\n".join(
+            [
+                "suggested parameters (paper section 5 rules):",
+                f"  delta  = {self.delta:.6g}   "
+                f"(ignorable unit: ~1/4 of the typical step {self.step_typical:.6g})",
+                f"  g_x=g_y= {self.cell_size:.6g}   (= delta)",
+                f"  gamma  = {self.gamma:.6g}   (= 3 sigma, sigma ~ {self.sigma_typical:.6g})",
+                f"  => grid of ~{self.n_cells_estimate} cells over the data extent",
+            ]
+        )
+
+
+def suggest_parameters(
+    dataset: TrajectoryDataset,
+    delta_step_fraction: float = 0.25,
+    gamma_sigmas: float = 3.0,
+    max_cells: int = 1_000_000,
+) -> SuggestedParameters:
+    """Derive delta / grid / gamma from a dataset per section 5.
+
+    Parameters
+    ----------
+    dataset:
+        The mining input; its displacement and sigma statistics drive the
+        derivation.
+    delta_step_fraction:
+        "Ignorable" distance as a fraction of the typical per-snapshot
+        displacement (a quarter step by default: small enough that
+        positions within delta are interchangeable for pattern purposes).
+    gamma_sigmas:
+        Section 5 sets gamma to 3 sigma (the ~99.7% band); override for
+        tighter or looser grouping.
+    max_cells:
+        Safety cap: if delta implies more than this many grid cells over
+        the data extent, delta is scaled up to respect the cap (finer
+        grids refine results but cost linearly in cells, section 5).
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot derive parameters from an empty dataset")
+    if delta_step_fraction <= 0:
+        raise ValueError("delta_step_fraction must be positive")
+    if gamma_sigmas <= 0:
+        raise ValueError("gamma_sigmas must be positive")
+    if max_cells < 1:
+        raise ValueError("max_cells must be positive")
+
+    steps = []
+    sigmas = []
+    for trajectory in dataset:
+        if len(trajectory) >= 2:
+            diffs = np.diff(trajectory.means, axis=0)
+            steps.append(np.hypot(diffs[:, 0], diffs[:, 1]))
+        sigmas.append(trajectory.sigmas)
+    sigma_typical = float(np.median(np.concatenate(sigmas)))
+    if steps:
+        step_typical = float(np.median(np.concatenate(steps)))
+    else:
+        step_typical = 0.0
+
+    # An "ignorable" unit: a fraction of the typical step, but never below
+    # a sliver of sigma (data noisier than its motion still needs a
+    # non-degenerate grid).
+    delta = max(step_typical * delta_step_fraction, sigma_typical / 10.0)
+    if delta <= 0:
+        raise ValueError(
+            "dataset is degenerate (no displacement and no uncertainty)"
+        )
+
+    box = dataset.bounding_box(n_sigmas=4.0)
+    implied = (box.width / delta) * (box.height / delta)
+    if implied > max_cells:
+        delta *= float(np.sqrt(implied / max_cells))
+        implied = max_cells
+
+    return SuggestedParameters(
+        delta=delta,
+        cell_size=delta,
+        gamma=gamma_sigmas * sigma_typical,
+        sigma_typical=sigma_typical,
+        step_typical=step_typical,
+        n_cells_estimate=int(implied),
+    )

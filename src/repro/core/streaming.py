@@ -1,0 +1,182 @@
+"""Out-of-core NM evaluation (the paper's section 4.4 space argument).
+
+Section 4.4: "Although the input data set size N could be larger than that
+of Q, it is not necessary to load the entire input data set at once since
+we only need a portion of the data set at a time for computing the NM.
+Thus the space complexity of our algorithm can be considered as O(kMG)."
+
+:class:`StreamingNMEngine` realises that claim: it evaluates the NM and
+match of pattern batches by streaming trajectories from a JSONL file in
+bounded-size chunks, building the in-memory probability index only for the
+chunk in flight.  Because NM and match are *sums of per-trajectory terms*
+(Eq. 4 summed over D), chunk results combine by plain addition -- the
+evaluation is embarrassingly partitionable over trajectories.
+
+Intended use: verifying or re-scoring mined pattern sets against datasets
+too large for one resident index (the miner itself wants the random access
+of :class:`~repro.core.engine.NMEngine`; run it on a sample, then confirm
+the final top-k out-of-core).  The test suite checks chunked results equal
+the in-memory engine exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+class StreamingNMEngine:
+    """Chunked NM/match evaluation over a JSONL trajectory file.
+
+    Parameters
+    ----------
+    path:
+        A dataset file written by
+        :func:`repro.trajectory.io.save_dataset_jsonl`.
+    grid, config:
+        The same geometry/probability configuration an in-memory engine
+        would use; results are identical by construction.
+    chunk_size:
+        Trajectories resident per chunk -- the memory knob.  Peak memory is
+        one chunk's probability index instead of the whole dataset's.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        grid: Grid,
+        config: EngineConfig,
+        chunk_size: int = 64,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.path = Path(path)
+        self.grid = grid
+        self.config = config
+        self.chunk_size = chunk_size
+        self.n_chunks_scanned = 0  # instrumentation
+        # Validate the header eagerly so misuse fails at construction.
+        with self.path.open("r", encoding="utf-8") as fh:
+            header = json.loads(fh.readline() or "null")
+        if not isinstance(header, dict) or header.get("format") != "repro.trajectory":
+            raise ValueError(f"{self.path}: not a repro trajectory JSONL file")
+
+    # -- streaming machinery ---------------------------------------------------
+
+    def _iter_chunks(self) -> Iterator[TrajectoryDataset]:
+        """Yield the file as bounded TrajectoryDataset chunks."""
+        batch: list[UncertainTrajectory] = []
+        with self.path.open("r", encoding="utf-8") as fh:
+            fh.readline()  # header
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                batch.append(
+                    UncertainTrajectory(
+                        np.asarray(record["means"], dtype=float),
+                        np.asarray(record["sigmas"], dtype=float),
+                        object_id=record.get("object_id", ""),
+                    )
+                )
+                if len(batch) == self.chunk_size:
+                    yield TrajectoryDataset(batch)
+                    batch = []
+        if batch:
+            yield TrajectoryDataset(batch)
+
+    def _chunk_engines(self) -> Iterator[NMEngine]:
+        for chunk in self._iter_chunks():
+            self.n_chunks_scanned += 1
+            yield NMEngine(chunk, self.grid, self.config)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """Dataset NM of each pattern, computed in one pass over the file.
+
+        One chunk index is resident at a time; all patterns are scored
+        against it before it is dropped, so the file is read exactly once
+        per call regardless of the batch size.
+        """
+        if not patterns:
+            return np.empty(0)
+        totals = np.zeros(len(patterns))
+        scanned = False
+        for engine in self._chunk_engines():
+            scanned = True
+            for i, pattern in enumerate(patterns):
+                totals[i] += engine.nm(pattern)
+        if not scanned:
+            raise ValueError(f"{self.path}: dataset contains no trajectories")
+        return totals
+
+    def match_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """Dataset match of each pattern, one pass over the file."""
+        if not patterns:
+            return np.empty(0)
+        totals = np.zeros(len(patterns))
+        scanned = False
+        for engine in self._chunk_engines():
+            scanned = True
+            for i, pattern in enumerate(patterns):
+                totals[i] += engine.match(pattern)
+        if not scanned:
+            raise ValueError(f"{self.path}: dataset contains no trajectories")
+        return totals
+
+    def nm(self, pattern: TrajectoryPattern) -> float:
+        """Dataset NM of one pattern (prefer :meth:`nm_many` for batches)."""
+        return float(self.nm_many([pattern])[0])
+
+    def match(self, pattern: TrajectoryPattern) -> float:
+        """Dataset match of one pattern."""
+        return float(self.match_many([pattern])[0])
+
+    def singular_nm_table(self) -> dict[int, float]:
+        """NM of every active singular pattern, accumulated across chunks.
+
+        Cells inactive in a chunk contribute that chunk's floor terms; the
+        accumulation accounts for them so the result matches the in-memory
+        engine exactly.
+        """
+        floor = self.config.min_log_prob
+        totals: dict[int, float] = {}
+        n_total = 0
+        per_cell_counted: dict[int, int] = {}
+        for engine in self._chunk_engines():
+            chunk_n = len(engine.dataset)
+            n_total += chunk_n
+            for cell, value in engine.singular_nm_table().items():
+                totals[cell] = totals.get(cell, 0.0) + value
+                per_cell_counted[cell] = per_cell_counted.get(cell, 0) + chunk_n
+        if n_total == 0:
+            raise ValueError(f"{self.path}: dataset contains no trajectories")
+        # Chunks where a cell was inactive contributed floor per trajectory.
+        return {
+            cell: total + floor * (n_total - per_cell_counted[cell])
+            for cell, total in totals.items()
+        }
+
+    def verify_top_k(
+        self, patterns: Sequence[TrajectoryPattern], k: int
+    ) -> list[tuple[TrajectoryPattern, float]]:
+        """Re-score a mined pattern set out-of-core and return its top-k."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        values = self.nm_many(patterns)
+        order = sorted(
+            range(len(patterns)),
+            key=lambda i: (-values[i], len(patterns[i]), patterns[i].cells),
+        )
+        return [(patterns[i], float(values[i])) for i in order[:k]]

@@ -1,0 +1,173 @@
+"""Top-k bookkeeping for the miner: the pattern set ``Q`` and threshold ``omega``.
+
+The TrajPattern algorithm maintains a growing set ``Q`` of patterns, a
+dynamic NM threshold ``omega`` (the k-th largest NM seen so far), and the
+induced split of ``Q`` into *high* (NM >= omega) and *low* patterns
+(section 4, observation 2).  :class:`PatternBook` centralises that
+bookkeeping with deterministic tie-breaking so mining results are stable
+across runs and match the brute-force oracle in tests.
+
+Lazy evaluation: a pattern may be stored with an *exact* NM or with an
+*upper bound* (from the min-max property's weighted-mean inequality).
+Bounded patterns were provably below ``omega`` when inserted, and ``omega``
+never decreases, so they are permanently low: they participate in candidate
+generation (their bound is a valid ingredient of further concatenation
+bounds) and in the 1-extension pruning, but never in ``omega`` or the final
+top-k.  This is what keeps the paper's ``O(kG)`` low-pattern population from
+costing ``O(kG)`` full dataset scans per iteration.
+
+The minimum-length variant of section 5 changes only how ``omega`` is
+computed: it is the k-th largest NM *among patterns of length >= d*, while
+the high/low split of the whole book still uses plain NM comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+Cells = tuple[int, ...]
+
+
+def sort_key(cells: Cells, nm: float) -> tuple:
+    """Deterministic "better first" ordering: NM desc, shorter first, cells asc."""
+    return (-nm, len(cells), cells)
+
+
+class PatternBook:
+    """The pattern store behind the miner's ``Q`` / ``H`` / ``L`` sets.
+
+    Patterns are raw cell tuples here; the miner wraps them into
+    :class:`~repro.core.pattern.TrajectoryPattern` only at the API surface.
+    """
+
+    def __init__(self, k: int, min_length: int = 1) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if min_length < 1:
+            raise ValueError("min_length must be at least 1")
+        self.k = k
+        self.min_length = min_length
+        self._exact: dict[Cells, float] = {}  # active, exactly evaluated
+        self._bounded: dict[Cells, float] = {}  # active, upper-bounded (provably low)
+        self._evaluated: dict[Cells, float] = {}  # every exact score ever computed
+        self._omega = -math.inf
+
+    # -- insertion / lookup --------------------------------------------------
+
+    def __contains__(self, cells: Cells) -> bool:
+        return cells in self._exact or cells in self._bounded
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._bounded)
+
+    @property
+    def n_exact(self) -> int:
+        return len(self._exact)
+
+    @property
+    def n_bounded(self) -> int:
+        return len(self._bounded)
+
+    def value(self, cells: Cells) -> float:
+        """Exact NM or upper bound of an active pattern."""
+        v = self._exact.get(cells)
+        if v is not None:
+            return v
+        return self._bounded[cells]
+
+    def is_evaluated(self, cells: Cells) -> bool:
+        """Whether the pattern has ever been scored exactly (active or pruned)."""
+        return cells in self._evaluated
+
+    def insert_exact(self, cells: Cells, nm: float) -> None:
+        """Add (or promote to) an exactly evaluated pattern."""
+        self._bounded.pop(cells, None)
+        self._exact[cells] = nm
+        self._evaluated[cells] = nm
+
+    def insert_bounded(self, cells: Cells, bound: float) -> None:
+        """Add a provably-low pattern known only through its upper bound."""
+        if cells in self._exact:
+            return
+        self._bounded[cells] = bound
+
+    def reactivate(self, cells: Cells) -> None:
+        """Bring a previously pruned exact pattern back into ``Q`` (cache hit)."""
+        self._exact[cells] = self._evaluated[cells]
+
+    def remove(self, cells: Cells) -> None:
+        """Drop a pattern from ``Q`` (an exact score stays cached)."""
+        if cells in self._exact:
+            del self._exact[cells]
+        else:
+            del self._bounded[cells]
+
+    # -- threshold and split ----------------------------------------------------
+
+    @property
+    def omega(self) -> float:
+        """Current NM threshold (non-decreasing over the run)."""
+        return self._omega
+
+    def update_omega(self) -> float:
+        """Recompute ``omega`` as the k-th largest exact NM among qualifying patterns.
+
+        With fewer than ``k`` qualifying patterns the threshold stays at
+        ``-inf`` (everything counts as high), matching section 5's treatment
+        of the minimum-length variant before enough long patterns exist.
+        """
+        qualifying = sorted(
+            (nm for cells, nm in self._exact.items() if len(cells) >= self.min_length),
+            reverse=True,
+        )
+        if len(qualifying) >= self.k:
+            self._omega = max(self._omega, qualifying[self.k - 1])
+        return self._omega
+
+    def high_patterns(self) -> dict[Cells, float]:
+        """Patterns with exact NM >= omega, i.e. the seed set ``H``."""
+        if math.isinf(self._omega):
+            return dict(self._exact)
+        return {c: v for c, v in self._exact.items() if v >= self._omega}
+
+    def low_patterns(self) -> dict[Cells, float]:
+        """The complement of :meth:`high_patterns` within ``Q`` (bounds included)."""
+        if math.isinf(self._omega):
+            return dict(self._bounded)
+        low = {c: v for c, v in self._exact.items() if v < self._omega}
+        low.update(self._bounded)
+        return low
+
+    # -- candidate-generation support -----------------------------------------------
+
+    def partners_by_length(self) -> dict[int, tuple[list[float], list[Cells]]]:
+        """Active patterns grouped by length, each group sorted by value desc.
+
+        The miner binary-searches these groups for extension partners whose
+        concatenation bound can still reach ``omega``.
+        """
+        groups: dict[int, list[tuple[float, Cells]]] = {}
+        for source in (self._exact, self._bounded):
+            for cells, v in source.items():
+                groups.setdefault(len(cells), []).append((v, cells))
+        out: dict[int, tuple[list[float], list[Cells]]] = {}
+        for length, items in groups.items():
+            items.sort(key=lambda it: (-it[0], it[1]))
+            out[length] = ([v for v, _ in items], [c for _, c in items])
+        return out
+
+    # -- results -----------------------------------------------------------------
+
+    def top_k(self) -> list[tuple[Cells, float]]:
+        """The final answer: k best qualifying patterns, deterministically ordered."""
+        qualifying = [
+            (c, v) for c, v in self._exact.items() if len(c) >= self.min_length
+        ]
+        qualifying.sort(key=lambda item: sort_key(item[0], item[1]))
+        return qualifying[: self.k]
+
+    def iter_sorted(self) -> Iterator[tuple[Cells, float]]:
+        """All active patterns (exact then bounded), best first within each class."""
+        yield from sorted(self._exact.items(), key=lambda item: sort_key(item[0], item[1]))
+        yield from sorted(self._bounded.items(), key=lambda item: sort_key(item[0], item[1]))

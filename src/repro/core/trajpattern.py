@@ -1,0 +1,374 @@
+"""The TrajPattern algorithm (paper section 4).
+
+Mines the ``k`` trajectory patterns with the largest normalised match from a
+set of imprecise trajectories.  The Apriori property does not hold for NM,
+so the miner is built on the weaker **min-max** property (Property 1):
+
+    ``NM(P1 + P2) <= (|P1| NM(P1) + |P2| NM(P2)) / (|P1| + |P2|)
+                  <= max(NM(P1), NM(P2))``
+
+Outline (section 4, observations 1-3):
+
+1. Seed ``Q`` with all singular patterns over the active grid alphabet and
+   set the threshold ``omega`` to the k-th largest NM.
+2. Repeatedly extend every *high* pattern (NM >= omega) with every pattern
+   in ``Q`` on both sides, score the new candidates, update ``omega`` and
+   the high/low split, and prune low patterns that do not satisfy the
+   1-extension property (section 4.1).
+3. Stop when the high set no longer changes; report the top-k and cluster
+   them into pattern groups (section 4.2).
+
+Lazy bound-based scoring (``use_bound_pruning``, on by default): a candidate
+whose min-max weighted-mean upper bound falls below ``omega`` is *provably*
+low, so its exact NM is never needed -- it is kept in ``Q`` with its bound
+when it satisfies the 1-extension property (Lemma 1 requires those to stay
+available as extension partners) and discarded otherwise.  Every pattern
+that can influence ``omega`` or the answer is evaluated exactly, so the
+mined top-k is unchanged; the test suite checks both modes against a
+brute-force oracle.  Partner scanning uses the same bound: for a high
+pattern ``P`` only partners whose value can lift the concatenation bound to
+``omega`` are considered, found by binary search over per-length sorted
+partner lists.  Discarded combinations are regenerated automatically if an
+end sub-pattern later turns high (every 1-extension of a high pattern is
+re-emitted each iteration the pattern stays high).
+
+Both pruning mechanisms are independently switchable for the ablation
+benchmarks: ``use_extension_pruning`` (section 4.1) and
+``use_bound_pruning`` (above; disabling it reproduces the paper's literal
+evaluate-everything loop).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.core.engine import NMEngine
+from repro.core.groups import PatternGroup, discover_pattern_groups
+from repro.core.pattern import TrajectoryPattern
+from repro.core.pruning import prune_low_patterns, satisfies_one_extension
+from repro.core.topk import Cells, PatternBook, sort_key
+
+
+@dataclass
+class IterationTrace:
+    """Snapshot of the miner's state after one main-loop iteration."""
+
+    iteration: int
+    omega: float
+    n_high: int
+    n_exact: int
+    n_bounded: int
+    candidates_evaluated: int
+    patterns_pruned: int
+
+
+@dataclass
+class MinerStats:
+    """Instrumentation collected during a mining run (used by the benches)."""
+
+    iterations: int = 0
+    candidates_generated: int = 0
+    candidates_evaluated: int = 0
+    candidates_bounded: int = 0
+    candidates_bound_pruned: int = 0
+    candidates_cached: int = 0
+    patterns_pruned: int = 0
+    final_q_size: int = 0
+    wall_time_s: float = 0.0
+    trace: list[IterationTrace] = field(default_factory=list)
+
+
+@dataclass
+class MiningResult:
+    """Outcome of a mining run: ranked patterns, optional groups, stats."""
+
+    patterns: list[TrajectoryPattern]
+    nm_values: list[float]
+    omega: float
+    stats: MinerStats
+    groups: list[PatternGroup] | None = None
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def as_pairs(self) -> list[tuple[TrajectoryPattern, float]]:
+        """(pattern, NM) pairs, best first."""
+        return list(zip(self.patterns, self.nm_values))
+
+    def mean_length(self) -> float:
+        """Average pattern length (the statistic reported in section 6.1)."""
+        if not self.patterns:
+            return 0.0
+        return sum(len(p) for p in self.patterns) / len(self.patterns)
+
+
+class TrajPatternMiner:
+    """Top-k NM pattern miner (the paper's TrajPattern algorithm).
+
+    Parameters
+    ----------
+    engine:
+        The NM evaluation engine over the target dataset.
+    k:
+        Number of patterns to mine.
+    min_length:
+        Section 5 variant: report only patterns of at least this length
+        (``omega`` is then the k-th best NM among such patterns).
+    max_length:
+        Optional hard cap on candidate length; ``None`` reproduces the
+        paper exactly (length bounded only by convergence).
+    use_extension_pruning:
+        The 1-extension pruning of section 4.1 (ablation A1).
+    use_bound_pruning:
+        Lazy bound-based candidate scoring (ablation A2; see module docs).
+    max_iterations:
+        Safety valve; the algorithm converges well before this in practice.
+    """
+
+    def __init__(
+        self,
+        engine: NMEngine,
+        k: int,
+        min_length: int = 1,
+        max_length: int | None = None,
+        use_extension_pruning: bool = True,
+        use_bound_pruning: bool = True,
+        max_iterations: int = 64,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if min_length < 1:
+            raise ValueError("min_length must be at least 1")
+        if max_length is not None and max_length < min_length:
+            raise ValueError("max_length must be >= min_length")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.engine = engine
+        self.k = k
+        self.min_length = min_length
+        self.max_length = max_length
+        self.use_extension_pruning = use_extension_pruning
+        self.use_bound_pruning = use_bound_pruning
+        self.max_iterations = max_iterations
+
+    # -- public API ------------------------------------------------------------
+
+    def mine(
+        self, discover_groups: bool = False, gamma: float | None = None
+    ) -> MiningResult:
+        """Run the algorithm and return the ranked top-k patterns.
+
+        Parameters
+        ----------
+        discover_groups:
+            Also cluster the mined patterns into pattern groups
+            (section 4.2).
+        gamma:
+            Maximum similar-pattern distance for grouping; defaults to
+            ``3 * max sigma`` per the section 5 discussion.
+        """
+        stats = MinerStats()
+        t0 = time.perf_counter()
+        book = PatternBook(self.k, self.min_length)
+
+        # Seeding: all singular patterns over the active alphabet.  Inactive
+        # cells all tie at the floor NM and can never displace an active
+        # cell from the top-k, so they are not materialised (DESIGN.md 4.3).
+        singular_table = sorted(self.engine.singular_nm_table().items())
+        for cell, nm in singular_table:
+            book.insert_exact((cell,), nm)
+            stats.candidates_evaluated += 1
+        if len(book) == 0:
+            raise ValueError(
+                "no active grid cells: the grid does not overlap the dataset"
+            )
+        self._singulars: list[tuple[Cells, float]] = [
+            ((cell,), nm) for cell, nm in singular_table
+        ]
+        # High patterns whose singular extensions were already emitted; the
+        # singular alphabet is static, so this never needs redoing.
+        self._singular_extended: set[Cells] = set()
+
+        if self.min_length > 1:
+            self._warm_start(book, stats)
+        book.update_omega()
+        high = book.high_patterns()
+
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            evaluated_before = stats.candidates_evaluated
+            pruned_before = stats.patterns_pruned
+            new_high = self._iterate(book, high, stats)
+            stats.trace.append(
+                IterationTrace(
+                    iteration=stats.iterations,
+                    omega=book.omega,
+                    n_high=len(new_high),
+                    n_exact=book.n_exact,
+                    n_bounded=book.n_bounded,
+                    candidates_evaluated=stats.candidates_evaluated - evaluated_before,
+                    patterns_pruned=stats.patterns_pruned - pruned_before,
+                )
+            )
+            if set(new_high) == set(high):
+                high = new_high
+                break
+            high = new_high
+
+        stats.final_q_size = len(book)
+        stats.wall_time_s = time.perf_counter() - t0
+
+        top = book.top_k()
+        patterns = [TrajectoryPattern(cells) for cells, _ in top]
+        nm_values = [nm for _, nm in top]
+        groups = None
+        if discover_groups:
+            if gamma is None:
+                gamma = 3.0 * self.engine.dataset.max_sigma()
+            groups = discover_pattern_groups(patterns, self.engine.grid, gamma)
+        return MiningResult(
+            patterns=patterns,
+            nm_values=nm_values,
+            omega=book.omega,
+            stats=stats,
+            groups=groups,
+        )
+
+    # -- warm start for the min-length variant ----------------------------------------
+
+    #: Cap on warm-start candidates (most frequent discretised n-grams).
+    WARM_START_CAP = 2000
+
+    def _warm_start(self, book: PatternBook, stats: MinerStats) -> None:
+        """Bootstrap ``omega`` for the section 5 minimum-length variant.
+
+        Until ``k`` patterns of length >= ``min_length`` exist, ``omega`` is
+        ``-inf`` and every candidate must be evaluated -- a full cross
+        product of the alphabet per iteration.  Seeding ``Q`` with the most
+        frequent *observed* cell n-grams (each trajectory's most-likely cell
+        sequence) establishes a realistic threshold immediately.  This is
+        purely a lower-bound warm start: every seed is evaluated exactly, so
+        the final answer is unchanged; only the amount of provably-useless
+        evaluation shrinks.
+        """
+        grid = self.engine.grid
+        length = self.min_length
+        counts: dict[Cells, int] = {}
+        for traj in self.engine.dataset:
+            cells = tuple(int(c) for c in grid.locate_many(traj.means))
+            for i in range(len(cells) - length + 1):
+                gram = cells[i : i + length]
+                counts[gram] = counts.get(gram, 0) + 1
+        frequent = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        for gram, _ in frequent[: self.WARM_START_CAP]:
+            if not book.is_evaluated(gram):
+                book.insert_exact(gram, self.engine.nm(TrajectoryPattern(gram)))
+                stats.candidates_evaluated += 1
+
+    # -- one iteration of the main loop ---------------------------------------------
+
+    def _iterate(
+        self, book: PatternBook, high: dict[Cells, float], stats: MinerStats
+    ) -> dict[Cells, float]:
+        to_evaluate, to_bound = self._generate_candidates(book, high, stats)
+        for cells in to_evaluate:
+            nm = self.engine.nm(TrajectoryPattern(cells))
+            book.insert_exact(cells, nm)
+            stats.candidates_evaluated += 1
+        for cells, bound in to_bound:
+            book.insert_bounded(cells, bound)
+            stats.candidates_bounded += 1
+
+        book.update_omega()
+        new_high = book.high_patterns()
+
+        if self.use_extension_pruning:
+            low = book.low_patterns()
+            _, pruned = prune_low_patterns(low.keys(), new_high)
+            for cells in pruned:
+                book.remove(cells)
+            stats.patterns_pruned += len(pruned)
+        return new_high
+
+    # -- candidate generation -------------------------------------------------------
+
+    def _generate_candidates(
+        self, book: PatternBook, high: dict[Cells, float], stats: MinerStats
+    ) -> tuple[list[Cells], list[tuple[Cells, float]]]:
+        """Both-sided extensions of high patterns by patterns in ``Q``.
+
+        Returns (candidates to evaluate exactly, provably-low candidates to
+        insert with their upper bound).
+        """
+        omega = book.omega
+        exhaustive = not self.use_bound_pruning or math.isinf(omega)
+        seen: set[Cells] = set()
+        to_evaluate: list[Cells] = []
+        to_bound: list[tuple[Cells, float]] = []
+
+        def handle(cells: Cells, bound: float) -> None:
+            if cells in seen:
+                return
+            seen.add(cells)
+            stats.candidates_generated += 1
+            if self.max_length is not None and len(cells) > self.max_length:
+                return
+            if cells in book:
+                return
+            if book.is_evaluated(cells):
+                # Previously pruned exact pattern; restore the cached score
+                # so the 1-extension re-check sees it again.
+                book.reactivate(cells)
+                stats.candidates_cached += 1
+                return
+            if exhaustive or bound >= omega:
+                to_evaluate.append(cells)
+            elif satisfies_one_extension(cells, high):
+                to_bound.append((cells, bound))
+            else:
+                stats.candidates_bound_pruned += 1
+
+        high_sorted = sorted(high.items(), key=lambda item: sort_key(*item))
+        partners = book.partners_by_length()
+        # Ascending copies of the (descending) value lists, for bisect.
+        neg_values = {
+            j: [-v for v in values] for j, (values, _) in partners.items()
+        }
+
+        for p_cells, p_nm in high_sorted:
+            i = len(p_cells)
+            # (a) Extensions by every singular pattern (both sides).  These
+            # are exactly the potential 1-extension patterns of Lemma 1, so
+            # they are always materialised (evaluated or bounded).  The
+            # singular alphabet never changes, so each high pattern needs
+            # this only once.
+            if p_cells not in self._singular_extended:
+                self._singular_extended.add(p_cells)
+                for s_cells, s_nm in self._singulars:
+                    bound = (i * p_nm + s_nm) / (i + 1)
+                    handle(p_cells + s_cells, bound)
+                    handle(s_cells + p_cells, bound)
+
+            # (b) Extensions by longer partners.  Only partners whose value
+            # keeps the concatenation bound at or above omega can produce a
+            # high pattern; anything lower is provably low and, having both
+            # parts of length >= 2 reachable some other way, redundant.
+            for j, (values, cells_list) in partners.items():
+                if j == 1:
+                    continue
+                if exhaustive:
+                    cutoff = len(values)
+                else:
+                    tau = ((i + j) * omega - i * p_nm) / j
+                    # values is sorted descending: find how many are >= tau.
+                    cutoff = bisect_right(neg_values[j], -tau)
+                for idx in range(cutoff):
+                    q_cells = cells_list[idx]
+                    bound = (i * p_nm + j * values[idx]) / (i + j)
+                    handle(p_cells + q_cells, bound)
+                    handle(q_cells + p_cells, bound)
+
+        return to_evaluate, to_bound

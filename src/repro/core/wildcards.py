@@ -1,0 +1,192 @@
+"""Gap patterns: variable-length "don't care" runs (paper section 5).
+
+Section 5 extends trajectory patterns with wild-card positions: a ``*``
+matches any location, at most ``d`` consecutive ``*``'s are allowed, and "a
+gap can be viewed as a variant number of consecutive '*'s".  Fixed
+wild-cards are handled natively by the measures and the engine
+(:data:`~repro.core.pattern.WILDCARD` positions contribute probability 1
+and do not count toward the normalising length).  This module adds the
+*variable* gaps, evaluated -- as the paper suggests -- with dynamic
+programming.
+
+A :class:`GapPattern` is a sequence of solid segments separated by gaps
+with inclusive length bounds::
+
+    GapPattern.parse("3 5 [0-2] 9 9", ...)   # two segments, gap of 0..2
+
+The NM of a gap pattern against a trajectory is the maximum over all
+admissible alignments (gap lengths) of the geometric-mean log probability
+of the *specified* positions -- consistent with the fixed-wild-card
+convention.  The DP runs over (segment boundary, snapshot) states in
+``O(n_segments * L * max_gap)`` per trajectory.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.engine import NMEngine
+from repro.core.pattern import TrajectoryPattern
+
+_GAP_TOKEN = re.compile(r"^\[(\d+)-(\d+)\]$")
+
+
+@dataclass(frozen=True)
+class Gap:
+    """A variable run of don't-care snapshots between two solid segments."""
+
+    min_length: int
+    max_length: int
+
+    def __post_init__(self) -> None:
+        if self.min_length < 0:
+            raise ValueError("gap lengths must be non-negative")
+        if self.max_length < self.min_length:
+            raise ValueError("gap max_length must be >= min_length")
+
+
+@dataclass(frozen=True)
+class GapPattern:
+    """Solid segments separated by bounded variable gaps.
+
+    ``segments`` has one more element than ``gaps``; segment ``i`` is
+    followed by gap ``i``.
+    """
+
+    segments: tuple[TrajectoryPattern, ...]
+    gaps: tuple[Gap, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a gap pattern needs at least one segment")
+        if len(self.gaps) != len(self.segments) - 1:
+            raise ValueError(
+                f"{len(self.segments)} segments need {len(self.segments) - 1} "
+                f"gaps, got {len(self.gaps)}"
+            )
+        if any(s.has_wildcards for s in self.segments):
+            raise ValueError(
+                "segments must be solid; express don't-cares as gaps"
+            )
+
+    @property
+    def n_specified(self) -> int:
+        """Number of solid positions (the NM normaliser)."""
+        return sum(len(s) for s in self.segments)
+
+    def min_span(self) -> int:
+        """Shortest window the pattern can occupy."""
+        return self.n_specified + sum(g.min_length for g in self.gaps)
+
+    def max_span(self) -> int:
+        """Longest window the pattern can occupy."""
+        return self.n_specified + sum(g.max_length for g in self.gaps)
+
+    @classmethod
+    def parse(cls, text: str) -> "GapPattern":
+        """Parse ``"3 5 [0-2] 9 9"``-style pattern strings.
+
+        Tokens are cell ids; ``[a-b]`` introduces a gap of ``a`` to ``b``
+        snapshots.  Adjacent gap tokens are rejected (merge them instead).
+        """
+        segments: list[list[int]] = [[]]
+        gaps: list[Gap] = []
+        for token in text.split():
+            gap_match = _GAP_TOKEN.match(token)
+            if gap_match:
+                if not segments[-1]:
+                    raise ValueError(
+                        f"gap {token!r} must follow a solid position"
+                    )
+                gaps.append(Gap(int(gap_match.group(1)), int(gap_match.group(2))))
+                segments.append([])
+            else:
+                segments[-1].append(int(token))
+        if not segments[-1]:
+            raise ValueError("a gap pattern cannot end with a gap")
+        return cls(
+            tuple(TrajectoryPattern(tuple(s)) for s in segments), tuple(gaps)
+        )
+
+
+def nm_gap_pattern(engine: NMEngine, pattern: GapPattern) -> float:
+    """Dataset NM of a gap pattern: sum over trajectories of the best
+    admissible alignment (section 5's DP evaluation)."""
+    return float(
+        sum(
+            nm_gap_pattern_trajectory(engine, pattern, i)
+            for i in range(len(engine.dataset))
+        )
+    )
+
+
+def nm_gap_pattern_trajectory(
+    engine: NMEngine, pattern: GapPattern, traj_index: int
+) -> float:
+    """Best-alignment NM of a gap pattern within one trajectory.
+
+    DP over segments: ``best[j][t]`` is the maximum summed log-probability
+    of placing segments ``0..j`` such that segment ``j`` ends at snapshot
+    ``t`` (inclusive).  Transitions advance by the next segment's length
+    plus an admissible gap.  Trajectories shorter than the minimum span
+    score the engine's floor (consistent with fixed patterns).
+    """
+    length = len(engine.dataset[traj_index])
+    floor = engine.floor_log_prob
+    if length < pattern.min_span():
+        return floor
+
+    seg_scores = [
+        _segment_window_scores(engine, seg, traj_index) for seg in pattern.segments
+    ]
+
+    # best ending at snapshot t for the current segment prefix.
+    first = pattern.segments[0]
+    best = np.full(length, -np.inf)
+    n0 = len(first)
+    best[n0 - 1 :] = seg_scores[0]
+
+    for j in range(1, len(pattern.segments)):
+        seg = pattern.segments[j]
+        gap = pattern.gaps[j - 1]
+        n = len(seg)
+        nxt = np.full(length, -np.inf)
+        # Segment j occupying [s, s + n - 1] requires the previous segment
+        # to end at s - 1 - g for g in [min, max].
+        for t in range(n - 1, length):
+            s = t - n + 1
+            lo = s - 1 - gap.max_length
+            hi = s - 1 - gap.min_length
+            if hi < 0:
+                continue
+            lo = max(lo, 0)
+            prev_best = best[lo : hi + 1].max() if hi >= lo else -np.inf
+            if prev_best == -np.inf:
+                continue
+            nxt[t] = prev_best + seg_scores[j][s]
+        best = nxt
+
+    top = float(best.max())
+    if top == -np.inf:
+        return floor
+    return top / pattern.n_specified
+
+
+def _segment_window_scores(
+    engine: NMEngine, segment: TrajectoryPattern, traj_index: int
+) -> np.ndarray:
+    """Summed log-prob of ``segment`` at every window start of a trajectory.
+
+    Index ``s`` holds the score of the window ``[s, s + len - 1]``; windows
+    past the end are excluded by construction (array length L - n + 1).
+    """
+    length = len(engine.dataset[traj_index])
+    n = len(segment)
+    start_row = int(engine._starts[traj_index])
+    scores = np.zeros(length - n + 1)
+    for j, cell in enumerate(segment.cells):
+        col = engine._column(cell)
+        scores += col[start_row + j : start_row + j + len(scores)]
+    return scores

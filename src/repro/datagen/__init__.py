@@ -1,0 +1,44 @@
+"""Synthetic data generators replacing the paper's datasets (section 6).
+
+* :class:`~repro.datagen.bus.BusFleetGenerator` -- the bus-route fleet of
+  section 6.1 (5 routes, 50 buses, 10 weekdays, 100 snapshots): buses
+  follow fixed closed routes with stops and speed noise, producing the
+  recurring velocity motifs the prediction experiment exploits.
+* :class:`~repro.datagen.zebranet.ZebraNetGenerator` -- the ZebraNet-style
+  herd data of section 6.2: group-structured movement with heavy-tailed
+  step lengths, persistent headings, per-animal jitter and group-leaving
+  events, following the paper's own synthesis procedure.
+* :class:`~repro.datagen.network.RoadNetworkGenerator` -- objects routed
+  over a road graph, the "generator similar to [9]" alternative.
+* :class:`~repro.datagen.posture.PostureGenerator` -- regime-switching
+  pose trajectories, standing in for the paper's second (human posture)
+  dataset.
+* :func:`~repro.datagen.random_walk.correlated_random_walks` -- plain
+  correlated random walks for tests and micro-benchmarks.
+* :class:`~repro.datagen.movement_stats.MovementStats` -- step-length /
+  turning-angle statistics extraction (the "extract the movement of zebras
+  from the real traces" step).
+"""
+
+from repro.datagen.bus import BusFleetConfig, BusFleetGenerator, BusRoute
+from repro.datagen.movement_stats import MovementStats
+from repro.datagen.network import RoadNetworkConfig, RoadNetworkGenerator
+from repro.datagen.posture import PostureConfig, PostureGenerator
+from repro.datagen.random_walk import correlated_random_walks
+from repro.datagen.zebranet import ZebraNetConfig, ZebraNetGenerator
+from repro.datagen.observe import observe_paths
+
+__all__ = [
+    "BusRoute",
+    "BusFleetConfig",
+    "BusFleetGenerator",
+    "ZebraNetConfig",
+    "ZebraNetGenerator",
+    "RoadNetworkConfig",
+    "RoadNetworkGenerator",
+    "PostureConfig",
+    "PostureGenerator",
+    "correlated_random_walks",
+    "MovementStats",
+    "observe_paths",
+]

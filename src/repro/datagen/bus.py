@@ -1,0 +1,187 @@
+"""Bus-fleet generator: the synthetic stand-in for section 6.1's bus data.
+
+The paper's first real dataset is 50 buses on 5 routes, traced for 10
+weekdays and aligned on 100 snapshots.  The property the prediction
+experiment (Fig. 3) depends on is that buses *repeat route-specific
+velocity motifs*: they slow into stops, dwell, accelerate out and turn at
+fixed corners, day after day.  Dead-reckoning models extrapolate through
+those manoeuvres and mis-predict; mined velocity patterns anticipate them.
+
+:class:`BusFleetGenerator` reproduces exactly that structure:
+
+* each route is a closed, non-self-intersecting polyline loop (random
+  waypoints sorted by angle around their centroid) with a subset of
+  waypoints marked as stops;
+* a bus traverses its route by arc length at a noisy cruise speed,
+  decelerating towards stops, dwelling, and accelerating away;
+* each (bus, day) pair yields one ground-truth path; buses start at
+  day- and bus-specific offsets so the snapshots are not trivially
+  synchronised across traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.objects import GroundTruthPath
+
+
+@dataclass(frozen=True)
+class BusRoute:
+    """A closed route: loop vertices plus arc-length positions of stops."""
+
+    waypoints: np.ndarray  # (w, 2), implicitly closed (last connects to first)
+    stop_arcs: np.ndarray  # arc-length positions of stops, in [0, length)
+    route_id: str
+
+    def __post_init__(self) -> None:
+        waypoints = np.array(self.waypoints, dtype=float, copy=True)
+        if waypoints.ndim != 2 or waypoints.shape[1] != 2 or len(waypoints) < 3:
+            raise ValueError("a route needs at least 3 waypoints of shape (w, 2)")
+        waypoints.setflags(write=False)
+        object.__setattr__(self, "waypoints", waypoints)
+        stop_arcs = np.sort(np.array(self.stop_arcs, dtype=float, copy=True))
+        stop_arcs.setflags(write=False)
+        object.__setattr__(self, "stop_arcs", stop_arcs)
+
+    @property
+    def length(self) -> float:
+        """Total loop length."""
+        return float(self._cumulative()[-1])
+
+    def _cumulative(self) -> np.ndarray:
+        closed = np.vstack([self.waypoints, self.waypoints[:1]])
+        seg = np.diff(closed, axis=0)
+        return np.concatenate([[0.0], np.cumsum(np.hypot(seg[:, 0], seg[:, 1]))])
+
+    def position_at(self, arc: float) -> np.ndarray:
+        """Point on the loop at arc-length ``arc`` (wrapped)."""
+        cum = self._cumulative()
+        total = cum[-1]
+        arc = float(arc) % total
+        idx = int(np.searchsorted(cum, arc, side="right") - 1)
+        idx = min(idx, len(self.waypoints) - 1)
+        seg_start = self.waypoints[idx]
+        seg_end = self.waypoints[(idx + 1) % len(self.waypoints)]
+        seg_len = cum[idx + 1] - cum[idx]
+        w = 0.0 if seg_len == 0 else (arc - cum[idx]) / seg_len
+        return seg_start + w * (seg_end - seg_start)
+
+    def distance_to_next_stop(self, arc: float) -> float:
+        """Arc distance from ``arc`` forward to the nearest stop."""
+        if len(self.stop_arcs) == 0:
+            return float("inf")
+        total = self.length
+        arc = float(arc) % total
+        ahead = self.stop_arcs[self.stop_arcs >= arc]
+        if len(ahead):
+            return float(ahead[0] - arc)
+        return float(self.stop_arcs[0] + total - arc)
+
+
+@dataclass(frozen=True)
+class BusFleetConfig:
+    """Shape and dynamics of the synthetic fleet (paper-scale defaults)."""
+
+    n_routes: int = 5
+    buses_per_route: int = 10
+    n_days: int = 10
+    n_ticks: int = 101  # 101 locations -> 100 velocity snapshots
+    n_waypoints: int = 8
+    n_stops: int = 6
+    cruise_speed: float = 0.02  # route units per tick
+    speed_jitter: float = 0.08  # relative sigma of per-tick speed noise
+    approach_distance: float = 0.05  # deceleration zone ahead of a stop
+    min_speed_factor: float = 0.35  # deceleration floor (fraction of cruise)
+    dwell_ticks: int = 2
+    start_spread: float = 0.15  # per-bus start offset, fraction of loop length
+
+    def __post_init__(self) -> None:
+        if min(self.n_routes, self.buses_per_route, self.n_days) < 1:
+            raise ValueError("fleet dimensions must be positive")
+        if self.n_ticks < 2:
+            raise ValueError("need at least 2 ticks")
+        if self.n_waypoints < 3:
+            raise ValueError("routes need at least 3 waypoints")
+        if not 0 <= self.n_stops <= self.n_waypoints:
+            raise ValueError("n_stops must be within [0, n_waypoints]")
+        if self.cruise_speed <= 0:
+            raise ValueError("cruise_speed must be positive")
+
+
+class BusFleetGenerator:
+    """Generates routes once, then day-by-day ground-truth paths."""
+
+    def __init__(self, config: BusFleetConfig = BusFleetConfig()) -> None:
+        self.config = config
+
+    def make_routes(self, rng: np.random.Generator) -> list[BusRoute]:
+        """Random star-shaped closed routes in the unit square."""
+        routes = []
+        for r in range(self.config.n_routes):
+            center = rng.uniform(0.3, 0.7, size=2)
+            angles = np.sort(rng.uniform(0, 2 * np.pi, self.config.n_waypoints))
+            radii = rng.uniform(0.12, 0.28, self.config.n_waypoints)
+            waypoints = center + np.column_stack(
+                [radii * np.cos(angles), radii * np.sin(angles)]
+            )
+            # Stops sit at route corners (real bus stops cluster at
+            # intersections); this couples the dwell with the turn, so the
+            # post-stop direction is predictable from the pre-stop context
+            # -- the signal the Fig. 3 experiment exploits.
+            route = BusRoute(waypoints, np.empty(0), route_id=f"route-{r}")
+            corner_arcs = route._cumulative()[: self.config.n_waypoints]
+            stop_arcs = np.sort(
+                rng.choice(corner_arcs, size=self.config.n_stops, replace=False)
+            )
+            routes.append(BusRoute(waypoints, stop_arcs, route_id=f"route-{r}"))
+        return routes
+
+    def generate_paths(self, rng: np.random.Generator) -> list[GroundTruthPath]:
+        """All (route, bus, day) ground-truth paths -- 500 with defaults."""
+        cfg = self.config
+        routes = self.make_routes(rng)
+        paths: list[GroundTruthPath] = []
+        for route in routes:
+            total = route.length
+            for b in range(cfg.buses_per_route):
+                base_offset = rng.uniform(0, cfg.start_spread) * total
+                for d in range(cfg.n_days):
+                    day_offset = base_offset + rng.normal(0, 0.01) * total
+                    paths.append(
+                        self._drive(route, day_offset, rng, f"{route.route_id}-bus{b}-day{d}")
+                    )
+        return paths
+
+    def _drive(
+        self, route: BusRoute, start_arc: float, rng: np.random.Generator, object_id: str
+    ) -> GroundTruthPath:
+        """Simulate one bus-day: arc-length integration with stop dynamics."""
+        cfg = self.config
+        positions = np.empty((cfg.n_ticks, 2))
+        arc = start_arc % route.length
+        dwell_left = 0
+        # A stop is "consumed" once the bus dwells there; it re-arms after
+        # the bus moves past the approach zone.
+        for t in range(cfg.n_ticks):
+            positions[t] = route.position_at(arc)
+            if dwell_left > 0:
+                dwell_left -= 1
+                continue
+            speed = cfg.cruise_speed * max(
+                0.1, 1.0 + rng.normal(0, cfg.speed_jitter)
+            )
+            to_stop = route.distance_to_next_stop(arc)
+            if to_stop < cfg.approach_distance:
+                # Linear deceleration into the stop, floored so the bus
+                # actually arrives instead of crawling asymptotically.
+                speed *= max(cfg.min_speed_factor, to_stop / cfg.approach_distance)
+            if to_stop <= speed:
+                # Arrive exactly at the stop and start dwelling.
+                arc = (arc + to_stop + 1e-9) % route.length
+                dwell_left = cfg.dwell_ticks
+            else:
+                arc = (arc + speed) % route.length
+        return GroundTruthPath(positions, object_id=object_id, label=route.route_id)

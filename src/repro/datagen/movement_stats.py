@@ -1,0 +1,118 @@
+"""Movement statistics: extraction from traces and the ZebraNet-like defaults.
+
+The paper builds its synthetic herd data by first *extracting* per-tick
+moving distances and directions from the real ZebraNet traces and then
+re-sampling them.  :class:`MovementStats` plays both roles:
+
+* :meth:`MovementStats.from_paths` extracts the empirical step-length
+  distribution and heading-persistence from any set of ground-truth paths
+  (so a user with real traces can reproduce the paper's pipeline exactly);
+* :meth:`MovementStats.zebra_like` provides synthesised defaults matching
+  the published character of zebra movement -- a grazing/trekking mixture
+  (mostly short steps, occasional long directed moves) with persistent
+  headings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.objects import GroundTruthPath
+
+
+@dataclass(frozen=True)
+class MovementStats:
+    """Samplable per-tick movement statistics.
+
+    Parameters
+    ----------
+    step_lengths:
+        Empirical pool of per-tick distances, resampled uniformly.
+    turn_sigma:
+        Standard deviation (radians) of the per-tick heading change; small
+        values give persistent, directed movement.
+    """
+
+    step_lengths: np.ndarray
+    turn_sigma: float
+
+    def __post_init__(self) -> None:
+        steps = np.array(self.step_lengths, dtype=float, copy=True)
+        if steps.ndim != 1 or len(steps) == 0:
+            raise ValueError("step_lengths must be a non-empty 1-D array")
+        if np.any(steps < 0):
+            raise ValueError("step lengths must be non-negative")
+        steps.setflags(write=False)
+        object.__setattr__(self, "step_lengths", steps)
+        if self.turn_sigma < 0:
+            raise ValueError("turn_sigma must be non-negative")
+
+    def sample_distance(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Resample ``n`` per-tick distances from the empirical pool."""
+        return rng.choice(self.step_lengths, size=n, replace=True)
+
+    def next_heading(
+        self, heading: np.ndarray | float, rng: np.random.Generator
+    ) -> np.ndarray | float:
+        """Persistent-heading update: previous heading plus Gaussian turn."""
+        heading = np.asarray(heading, dtype=float)
+        turned = heading + rng.normal(scale=self.turn_sigma, size=heading.shape)
+        return np.mod(turned, 2.0 * np.pi)
+
+    @property
+    def mean_step(self) -> float:
+        return float(self.step_lengths.mean())
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_paths(
+        cls, paths: Sequence[GroundTruthPath], max_pool: int = 10_000
+    ) -> "MovementStats":
+        """Extract statistics from real traces (the paper's first step).
+
+        The step pool is the concatenation of all per-tick displacement
+        magnitudes (downsampled to ``max_pool``); the turn sigma is the
+        circular standard deviation of consecutive heading changes.
+        """
+        if not paths:
+            raise ValueError("need at least one path")
+        steps: list[np.ndarray] = []
+        turns: list[np.ndarray] = []
+        for path in paths:
+            v = path.velocities()
+            mag = np.hypot(v[:, 0], v[:, 1])
+            steps.append(mag)
+            moving = mag > 0
+            if moving.sum() >= 2:
+                headings = np.arctan2(v[moving, 1], v[moving, 0])
+                d = np.diff(headings)
+                # Wrap heading changes to (-pi, pi].
+                d = np.mod(d + np.pi, 2 * np.pi) - np.pi
+                turns.append(d)
+        pool = np.concatenate(steps)
+        if len(pool) > max_pool:
+            stride = len(pool) // max_pool + 1
+            pool = pool[::stride]
+        turn_sigma = float(np.std(np.concatenate(turns))) if turns else 0.0
+        return cls(pool, turn_sigma)
+
+    @classmethod
+    def zebra_like(cls, seed: int = 20040601, pool_size: int = 2000) -> "MovementStats":
+        """Synthesised ZebraNet-like defaults (documented substitution).
+
+        Grazing/trekking mixture: ~85% short grazing steps (lognormal,
+        median ~0.003 space units/tick) and ~15% long trek steps (median
+        ~0.02), with moderately persistent headings.  The seed fixes the
+        step pool so runs are reproducible.
+        """
+        rng = np.random.default_rng(seed)
+        n_trek = int(pool_size * 0.15)
+        graze = rng.lognormal(mean=np.log(0.003), sigma=0.6, size=pool_size - n_trek)
+        trek = rng.lognormal(mean=np.log(0.02), sigma=0.4, size=n_trek)
+        pool = np.concatenate([graze, trek])
+        rng.shuffle(pool)
+        return cls(pool, turn_sigma=0.35)

@@ -1,0 +1,62 @@
+"""Direct observation of ground-truth paths as uncertain trajectories.
+
+The faithful route from ground truth to mining input is the dead-reckoning
+server (:mod:`repro.mobility`), but the scalability experiments of Fig. 4
+only need data of the right *shape* at controlled sizes; for them it is
+both sufficient and much faster to attach the observation uncertainty
+directly: the snapshot mean is the true position perturbed by the tracking
+error and the sigma is the nominal ``U / c``.  This mirrors what the
+server's estimates look like statistically without simulating the protocol
+tick by tick.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.objects import GroundTruthPath
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+def observe_paths(
+    paths: Sequence[GroundTruthPath],
+    sigma: float,
+    rng: np.random.Generator | None = None,
+    perturb: bool = True,
+) -> TrajectoryDataset:
+    """Turn ground-truth paths into an uncertain trajectory dataset.
+
+    Parameters
+    ----------
+    paths:
+        The ground-truth paths.
+    sigma:
+        Snapshot standard deviation assigned to every estimate (``U / c``).
+    rng:
+        Randomness for the tracking-error perturbation; required when
+        ``perturb`` is true.
+    perturb:
+        When true (default), snapshot means are the true positions plus
+        ``N(0, sigma^2)`` tracking error -- the statistical signature of a
+        dead-reckoning server.  When false, means are the exact positions
+        (useful for noiseless oracle tests).
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if perturb and rng is None:
+        raise ValueError("rng is required when perturb is true")
+
+    trajectories = []
+    for path in paths:
+        means = path.positions
+        if perturb:
+            means = means + rng.normal(scale=sigma, size=means.shape)
+        trajectories.append(
+            UncertainTrajectory(means, sigma, object_id=path.object_id)
+        )
+    return TrajectoryDataset(
+        trajectories, metadata={"kind": "location", "sigma": sigma}
+    )

@@ -1,0 +1,241 @@
+"""Fig. 4: scalability and sensitivity sweeps (section 6.2).
+
+Five sweeps over ZebraNet-style synthetic data:
+
+* (a) runtime vs the number of patterns ``k``;
+* (b) runtime vs the number of trajectories ``S``;
+* (c) runtime vs the average trajectory length ``L``;
+* (d) runtime vs the number of grids ``G``;
+* (e) number of discovered pattern groups vs the indifference ``delta``.
+
+For (a)-(d) both the TrajPattern algorithm and the PB baseline are timed;
+the paper's claims are about growth *shapes*: TrajPattern grows slowly
+(linear in S, L and G; quadratic-ish in k) while PB grows super-linearly to
+exponentially.  For (e) the group count decreases as ``delta`` grows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.pb import PBMiner
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.experiments.datasets import grid_with_cells, zebranet_dataset
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Baseline workload; each sweep varies one dimension around it."""
+
+    k: int = 10
+    n_trajectories: int = 50
+    n_ticks: int = 60
+    sigma: float = 0.01
+    target_cells: int = 4096
+    min_prob: float = 1e-4
+    pb_max_length: int = 3
+    trajpattern_max_length: int | None = None
+    seed: int = 7
+
+    def make_engine(
+        self,
+        n_trajectories: int | None = None,
+        n_ticks: int | None = None,
+        target_cells: int | None = None,
+        delta: float | None = None,
+    ) -> NMEngine:
+        """Engine for one sweep point (overridden dimension(s) only)."""
+        dataset = zebranet_dataset(
+            n_trajectories=n_trajectories or self.n_trajectories,
+            n_ticks=n_ticks or self.n_ticks,
+            sigma=self.sigma,
+            seed=self.seed,
+        )
+        grid = grid_with_cells(dataset, target_cells or self.target_cells)
+        cell = min(grid.gx, grid.gy)
+        config = EngineConfig(
+            delta=delta if delta is not None else cell,
+            min_prob=self.min_prob,
+        )
+        return NMEngine(dataset, grid, config)
+
+
+@dataclass
+class SweepPoint:
+    """One x-position of a Fig. 4 panel."""
+
+    x: float
+    trajpattern_s: float
+    pb_s: float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A full panel: the sweep axis name and its measured series."""
+
+    name: str
+    x_label: str
+    points: list[SweepPoint] = field(default_factory=list)
+    paper_claim: str = ""
+
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def trajpattern_series(self) -> list[float]:
+        return [p.trajpattern_s for p in self.points]
+
+    def pb_series(self) -> list[float]:
+        return [p.pb_s for p in self.points if p.pb_s is not None]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.name} ({self.paper_claim})",
+            f"{self.x_label:>12}{'TrajPattern (s)':>18}{'PB (s)':>12}",
+        ]
+        for p in self.points:
+            pb = f"{p.pb_s:>12.3f}" if p.pb_s is not None else f"{'-':>12}"
+            extra = f"   {p.extra}" if p.extra else ""
+            lines.append(f"{p.x:>12g}{p.trajpattern_s:>18.3f}{pb}{extra}")
+        return "\n".join(lines)
+
+
+def _time_trajpattern(engine: NMEngine, k: int, max_length: int | None) -> float:
+    t0 = time.perf_counter()
+    TrajPatternMiner(engine, k=k, max_length=max_length).mine()
+    return time.perf_counter() - t0
+
+
+def _time_pb(engine: NMEngine, k: int, max_length: int) -> float:
+    t0 = time.perf_counter()
+    PBMiner(engine, k=k, max_length=max_length).mine()
+    return time.perf_counter() - t0
+
+
+def run_fig4a_k(
+    config: Fig4Config = Fig4Config(),
+    ks: tuple[int, ...] = (5, 10, 20, 40),
+    with_pb: bool = True,
+) -> SweepResult:
+    """Panel (a): runtime vs the number of patterns wanted ``k``."""
+    result = SweepResult(
+        name="Fig. 4(a): runtime vs k",
+        x_label="k",
+        paper_claim="both superlinear; TrajPattern grows much slower than PB",
+    )
+    engine = config.make_engine()
+    for k in ks:
+        tp = _time_trajpattern(engine, k, config.trajpattern_max_length)
+        pb = _time_pb(engine, k, config.pb_max_length) if with_pb else None
+        result.points.append(SweepPoint(x=k, trajpattern_s=tp, pb_s=pb))
+    return result
+
+
+def run_fig4b_trajectories(
+    config: Fig4Config = Fig4Config(),
+    sizes: tuple[int, ...] = (25, 50, 100, 200),
+    with_pb: bool = True,
+) -> SweepResult:
+    """Panel (b): runtime vs the number of trajectories ``S``."""
+    result = SweepResult(
+        name="Fig. 4(b): runtime vs S",
+        x_label="S",
+        paper_claim="TrajPattern linear in S; PB super-linear",
+    )
+    for s in sizes:
+        engine = config.make_engine(n_trajectories=s)
+        tp = _time_trajpattern(engine, config.k, config.trajpattern_max_length)
+        pb = _time_pb(engine, config.k, config.pb_max_length) if with_pb else None
+        result.points.append(SweepPoint(x=s, trajpattern_s=tp, pb_s=pb))
+    return result
+
+
+def run_fig4c_length(
+    config: Fig4Config = Fig4Config(),
+    lengths: tuple[int, ...] = (30, 60, 120, 240),
+    with_pb: bool = True,
+) -> SweepResult:
+    """Panel (c): runtime vs the average trajectory length ``L``."""
+    result = SweepResult(
+        name="Fig. 4(c): runtime vs L",
+        x_label="L",
+        paper_claim="both linear in L (data-scan bound)",
+    )
+    for length in lengths:
+        engine = config.make_engine(n_ticks=length)
+        tp = _time_trajpattern(engine, config.k, config.trajpattern_max_length)
+        pb = _time_pb(engine, config.k, config.pb_max_length) if with_pb else None
+        result.points.append(SweepPoint(x=length, trajpattern_s=tp, pb_s=pb))
+    return result
+
+
+def run_fig4d_grids(
+    config: Fig4Config = Fig4Config(),
+    grid_counts: tuple[int, ...] = (1024, 4096, 16384, 65536),
+    with_pb: bool = True,
+) -> SweepResult:
+    """Panel (d): runtime vs the number of grids ``G``."""
+    result = SweepResult(
+        name="Fig. 4(d): runtime vs G",
+        x_label="G",
+        paper_claim="TrajPattern linear in G; PB exponential",
+    )
+    for g in grid_counts:
+        engine = config.make_engine(target_cells=g)
+        tp = _time_trajpattern(engine, config.k, config.trajpattern_max_length)
+        pb = _time_pb(engine, config.k, config.pb_max_length) if with_pb else None
+        result.points.append(
+            SweepPoint(
+                x=g,
+                trajpattern_s=tp,
+                pb_s=pb,
+                extra={"active_cells": len(engine.active_cells)},
+            )
+        )
+    return result
+
+
+def run_fig4e_delta(
+    config: Fig4Config = Fig4Config(),
+    delta_factors: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    gamma_sigmas: float = 3.0,
+    target_cells: int | None = None,
+) -> SweepResult:
+    """Panel (e): number of pattern groups vs the indifference ``delta``.
+
+    ``delta`` is swept as a multiple of the grid cell size; larger deltas
+    make neighbouring cells indistinguishable, so more of the top-k are
+    similar and fewer groups remain.
+
+    Grouping only has room to act when the similarity radius ``gamma``
+    (3 sigma per section 5) spans several grid cells -- the paper's regime,
+    where cells are far smaller than the tracking error.  The sweep
+    therefore defaults to a finer grid than the runtime panels
+    (``target_cells`` >= 16384).
+    """
+    result = SweepResult(
+        name="Fig. 4(e): pattern groups vs delta",
+        x_label="delta/cell",
+        paper_claim="group count decreases as delta grows",
+    )
+    if target_cells is None:
+        target_cells = max(config.target_cells, 16384)
+    base_engine = config.make_engine(target_cells=target_cells)
+    cell = min(base_engine.grid.gx, base_engine.grid.gy)
+    for factor in delta_factors:
+        engine = config.make_engine(delta=factor * cell, target_cells=target_cells)
+        t0 = time.perf_counter()
+        mined = TrajPatternMiner(
+            engine, k=config.k, max_length=config.trajpattern_max_length
+        ).mine(discover_groups=True, gamma=gamma_sigmas * config.sigma)
+        elapsed = time.perf_counter() - t0
+        result.points.append(
+            SweepPoint(
+                x=factor,
+                trajpattern_s=elapsed,
+                extra={"n_groups": len(mined.groups or [])},
+            )
+        )
+    return result

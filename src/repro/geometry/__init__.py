@@ -1,0 +1,21 @@
+"""Geometry substrate: points, bounding boxes and uniform grid discretisation.
+
+The TrajPattern model (paper section 3.3) discretises the continuous space
+into small uniform grid cells; the cell centres serve as the positions that
+may appear in a trajectory pattern.  This package provides the primitives
+that the rest of the library builds on:
+
+* :class:`~repro.geometry.point.Point` -- an immutable 2-D point with vector
+  arithmetic.
+* :class:`~repro.geometry.bbox.BoundingBox` -- an axis-aligned rectangle used
+  to describe the extent of a data set or a grid.
+* :class:`~repro.geometry.grid.Grid` -- the uniform discretisation with
+  integer cell identifiers, centre lookup, neighbourhood queries and
+  range queries (used by the sparse probability index).
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.geometry.point import Point, distance
+
+__all__ = ["Point", "distance", "BoundingBox", "Grid"]

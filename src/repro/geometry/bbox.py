@@ -1,0 +1,87 @@
+"""Axis-aligned bounding boxes.
+
+Bounding boxes describe the spatial extent of a data set and are the usual
+way a :class:`~repro.geometry.grid.Grid` is constructed (``Grid.cover``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point ``(x, y)`` lies inside the box (borders included)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "BoundingBox":
+        """Bounding box of an ``(n, 2)`` array of points.
+
+        Raises ``ValueError`` on an empty array (an empty box has no
+        meaningful extent).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.size == 0:
+            raise ValueError("cannot compute the bounding box of zero points")
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"expected an (n, 2) array, got shape {points.shape}")
+        mins = points.min(axis=0)
+        maxs = points.max(axis=0)
+        return cls(float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    @classmethod
+    def unit(cls) -> "BoundingBox":
+        """The unit square ``[0, 1] x [0, 1]`` used throughout the examples."""
+        return cls(0.0, 0.0, 1.0, 1.0)

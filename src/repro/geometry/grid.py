@@ -1,0 +1,201 @@
+"""Uniform grid discretisation of the 2-D space (paper section 3.3).
+
+The paper discretises the continuous space into small rectangular regions of
+size ``g_x x g_y``; only the centres of these regions may serve as positions
+in a trajectory pattern.  A :class:`Grid` assigns every cell a stable integer
+identifier ``cell = row * nx + col`` so that patterns are plain tuples of
+ints and numpy indexing stays cheap.
+
+Coordinates outside the grid extent are clamped to the border cells: the
+trajectories that produce them are still usable, they simply map to the
+outermost region (the alternative -- raising -- would make every generator
+responsible for never overshooting the bounding box by a ULP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A uniform ``nx x ny`` grid over a bounding box.
+
+    Parameters
+    ----------
+    bbox:
+        Spatial extent covered by the grid.
+    nx, ny:
+        Number of cells along x and y.
+
+    >>> grid = Grid(BoundingBox.unit(), nx=10, ny=10)
+    >>> grid.locate(0.05, 0.05)
+    0
+    >>> grid.cell_center(0)
+    Point(x=0.05, y=0.05)
+    """
+
+    bbox: BoundingBox
+    nx: int
+    ny: int
+    _centers: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.nx <= 0 or self.ny <= 0:
+            raise ValueError(f"grid must have positive dimensions, got {self.nx}x{self.ny}")
+        if self.bbox.width <= 0 or self.bbox.height <= 0:
+            raise ValueError("grid bounding box must have positive area")
+        xs = self.bbox.min_x + (np.arange(self.nx) + 0.5) * self.gx
+        ys = self.bbox.min_y + (np.arange(self.ny) + 0.5) * self.gy
+        cx, cy = np.meshgrid(xs, ys)  # row-major: row = y index
+        centers = np.column_stack([cx.ravel(), cy.ravel()])
+        centers.setflags(write=False)
+        object.__setattr__(self, "_centers", centers)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def cover(cls, bbox: BoundingBox, cell_size: float) -> "Grid":
+        """Grid of square cells of side ``cell_size`` covering ``bbox``.
+
+        The extent is padded on the max side so an integer number of cells
+        fits; the paper's ``g_x = g_y = delta`` convention maps to
+        ``Grid.cover(bbox, delta)``.
+        """
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        nx = max(1, int(np.ceil(bbox.width / cell_size)))
+        ny = max(1, int(np.ceil(bbox.height / cell_size)))
+        padded = BoundingBox(
+            bbox.min_x,
+            bbox.min_y,
+            bbox.min_x + nx * cell_size,
+            bbox.min_y + ny * cell_size,
+        )
+        return cls(padded, nx, ny)
+
+    @classmethod
+    def cover_points(cls, points: np.ndarray, cell_size: float, margin: float = 0.0) -> "Grid":
+        """Square-celled grid covering an ``(n, 2)`` point cloud."""
+        return cls.cover(BoundingBox.of_points(points).expand(margin), cell_size)
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def gx(self) -> float:
+        """Cell width."""
+        return self.bbox.width / self.nx
+
+    @property
+    def gy(self) -> float:
+        """Cell height."""
+        return self.bbox.height / self.ny
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells ``G`` (the paper's grid-count parameter)."""
+        return self.nx * self.ny
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    # -- coordinate <-> cell mapping -------------------------------------------
+
+    def locate(self, x: float, y: float) -> int:
+        """Cell id containing ``(x, y)``; out-of-extent points clamp to the border."""
+        col = int((x - self.bbox.min_x) / self.gx)
+        row = int((y - self.bbox.min_y) / self.gy)
+        col = min(max(col, 0), self.nx - 1)
+        row = min(max(row, 0), self.ny - 1)
+        return row * self.nx + col
+
+    def locate_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`locate` for an ``(n, 2)`` array."""
+        points = np.asarray(points, dtype=float)
+        cols = np.clip(
+            ((points[:, 0] - self.bbox.min_x) / self.gx).astype(np.int64), 0, self.nx - 1
+        )
+        rows = np.clip(
+            ((points[:, 1] - self.bbox.min_y) / self.gy).astype(np.int64), 0, self.ny - 1
+        )
+        return rows * self.nx + cols
+
+    def cell_center(self, cell: int) -> Point:
+        """Centre of ``cell`` as a :class:`Point`."""
+        self._check_cell(cell)
+        x, y = self._centers[cell]
+        return Point(float(x), float(y))
+
+    def cell_centers(self, cells: np.ndarray | list[int] | None = None) -> np.ndarray:
+        """Centres of ``cells`` (or of every cell) as an ``(n, 2)`` array."""
+        if cells is None:
+            return self._centers
+        return self._centers[np.asarray(cells, dtype=np.int64)]
+
+    def row_col(self, cell: int) -> tuple[int, int]:
+        """Decompose a cell id into ``(row, col)``."""
+        self._check_cell(cell)
+        return divmod(cell, self.nx)
+
+    # -- spatial queries ---------------------------------------------------------
+
+    def cells_in_box(self, min_x: float, min_y: float, max_x: float, max_y: float) -> np.ndarray:
+        """Ids of all cells whose *centre* lies in the closed query box.
+
+        Used by the sparse probability index to enumerate cells near a
+        snapshot mean; an empty query box yields an empty array.
+        """
+        half_gx, half_gy = self.gx / 2.0, self.gy / 2.0
+        col_lo = int(np.ceil((min_x - self.bbox.min_x - half_gx) / self.gx - 1e-12))
+        col_hi = int(np.floor((max_x - self.bbox.min_x - half_gx) / self.gx + 1e-12))
+        row_lo = int(np.ceil((min_y - self.bbox.min_y - half_gy) / self.gy - 1e-12))
+        row_hi = int(np.floor((max_y - self.bbox.min_y - half_gy) / self.gy + 1e-12))
+        col_lo, col_hi = max(col_lo, 0), min(col_hi, self.nx - 1)
+        row_lo, row_hi = max(row_lo, 0), min(row_hi, self.ny - 1)
+        if col_lo > col_hi or row_lo > row_hi:
+            return np.empty(0, dtype=np.int64)
+        cols = np.arange(col_lo, col_hi + 1, dtype=np.int64)
+        rows = np.arange(row_lo, row_hi + 1, dtype=np.int64)
+        return (rows[:, None] * self.nx + cols[None, :]).ravel()
+
+    def cells_near(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Ids of cells whose centre is within the square of half-width ``radius``."""
+        return self.cells_in_box(x - radius, y - radius, x + radius, y + radius)
+
+    def neighbors(self, cell: int, include_diagonal: bool = True) -> list[int]:
+        """Adjacent cell ids (4- or 8-neighbourhood), excluding ``cell`` itself."""
+        row, col = self.row_col(cell)
+        out: list[int] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                if not include_diagonal and dr != 0 and dc != 0:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.ny and 0 <= c < self.nx:
+                    out.append(r * self.nx + c)
+        return out
+
+    def cell_distance(self, a: int, b: int) -> float:
+        """Euclidean distance between the centres of cells ``a`` and ``b``."""
+        self._check_cell(a)
+        self._check_cell(b)
+        dx = self._centers[a] - self._centers[b]
+        return float(np.hypot(dx[0], dx[1]))
+
+    def _check_cell(self, cell: int) -> None:
+        if not 0 <= cell < self.n_cells:
+            raise IndexError(f"cell {cell} outside grid with {self.n_cells} cells")
+
+    def __repr__(self) -> str:  # compact -- the dataclass default prints the centres
+        return (
+            f"Grid({self.nx}x{self.ny} cells of {self.gx:.4g}x{self.gy:.4g} "
+            f"over [{self.bbox.min_x:.4g},{self.bbox.max_x:.4g}]x"
+            f"[{self.bbox.min_y:.4g},{self.bbox.max_y:.4g}])"
+        )

@@ -1,0 +1,72 @@
+"""Immutable 2-D points with the small amount of vector algebra we need.
+
+Performance-critical code paths in the library operate on bulk ``numpy``
+arrays of shape ``(n, 2)``; :class:`Point` exists for the *edges* of the
+system -- configuration, tests, examples and user-facing APIs -- where an
+explicit, readable value type beats a bare tuple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2-D point (or vector -- the library uses it for velocities too).
+
+    Supports ``+``, ``-``, scalar ``*`` / ``/``, iteration/unpacking and
+    Euclidean geometry helpers.
+
+    >>> Point(1.0, 2.0) + Point(0.5, 0.5)
+    Point(x=1.5, y=2.5)
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with another point/vector."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)`` -- handy for numpy interop."""
+        return (self.x, self.y)
+
+
+def distance(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Euclidean distance between two points given as ``Point`` or tuples."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)

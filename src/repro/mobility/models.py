@@ -1,0 +1,280 @@
+"""Motion-prediction models (section 3.1 / Fig. 3).
+
+All three models the paper plugs trajectory patterns into:
+
+* :class:`LinearModel` -- LM, the piecewise-linear scheme of Wolfson et
+  al. [12]: Eq. 1, ``predict_loc = last_loc + v * t`` with the velocity
+  taken from the last two delivered reports.
+* :class:`KalmanModel` -- LKF, the Kalman-filter tracker of Jain et
+  al. [2]: a constant-velocity Kalman filter over the delivered reports;
+  between reports the state propagates ballistically.
+* :class:`RecursiveMotionModel` -- RMF, the recursive motion function of
+  Tao et al. [11]: ``x_t = sum_{j=1..f} c_j x_{t-j}`` with coefficients
+  re-fitted by (ridge-regularised) least squares on the recent position
+  history.  We fit scalar coefficients shared by both axes on the server's
+  tick-resolution estimate history, which is the retrospect window the
+  server actually has; a divergence guard falls back to linear prediction
+  when the recursion goes unstable (RMF is known to do so on short
+  histories; Tao et al. handle this with matrix conditioning we do not
+  need at simulation scale).
+
+Models are deliberately *deterministic* given the report stream: the
+dead-reckoning protocol relies on the object mirroring the server's model
+exactly (see :mod:`repro.mobility.reporting`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+
+class MotionModel(abc.ABC):
+    """Interface shared by the server and the object-side mirror.
+
+    Time is continuous (float ticks); reports must arrive with strictly
+    increasing timestamps.
+    """
+
+    @abc.abstractmethod
+    def observe(self, t: float, position: np.ndarray) -> None:
+        """Ingest a delivered location report."""
+
+    @abc.abstractmethod
+    def predict(self, t: float) -> np.ndarray:
+        """Predicted position at time ``t`` (>= the last report time)."""
+
+    @abc.abstractmethod
+    def clone(self) -> "MotionModel":
+        """A fresh model of the same configuration (no shared state)."""
+
+
+class LinearModel(MotionModel):
+    """LM [12]: Eq. 1 dead reckoning from the last two reports."""
+
+    def __init__(self) -> None:
+        self._last_t: float | None = None
+        self._last_pos: np.ndarray | None = None
+        self._velocity = np.zeros(2)
+
+    def observe(self, t: float, position: np.ndarray) -> None:
+        position = np.asarray(position, dtype=float)
+        if self._last_t is not None:
+            if t <= self._last_t:
+                raise ValueError("report times must be strictly increasing")
+            self._velocity = (position - self._last_pos) / (t - self._last_t)
+        self._last_t = t
+        self._last_pos = position.copy()
+
+    def predict(self, t: float) -> np.ndarray:
+        if self._last_t is None:
+            raise RuntimeError("predict before any report")
+        return self._last_pos + self._velocity * (t - self._last_t)
+
+    def clone(self) -> "LinearModel":
+        return LinearModel()
+
+
+class KalmanModel(MotionModel):
+    """LKF [2]: constant-velocity Kalman filter over delivered reports.
+
+    State ``[x, y, vx, vy]``; the two axes are independent, so the filter
+    runs as two decoupled 2-state filters sharing the same gain schedule.
+
+    Parameters
+    ----------
+    process_noise:
+        Acceleration-noise intensity ``q`` (white-noise acceleration model).
+    measurement_noise:
+        Report position noise standard deviation ``r`` (GPS readings are
+        near-exact at simulation scale, so the default is small).
+    """
+
+    def __init__(self, process_noise: float = 1e-3, measurement_noise: float = 1e-4) -> None:
+        if process_noise <= 0 or measurement_noise <= 0:
+            raise ValueError("noise parameters must be positive")
+        self.process_noise = process_noise
+        self.measurement_noise = measurement_noise
+        self._t: float | None = None
+        self._state = np.zeros(4)  # x, y, vx, vy
+        self._cov = np.eye(4)
+
+    def _propagate(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        f = np.eye(4)
+        f[0, 2] = f[1, 3] = dt
+        q = self.process_noise
+        # White-noise acceleration discretisation per axis.
+        q11 = q * dt**3 / 3.0
+        q12 = q * dt**2 / 2.0
+        q22 = q * dt
+        qm = np.zeros((4, 4))
+        qm[0, 0] = qm[1, 1] = q11
+        qm[0, 2] = qm[2, 0] = qm[1, 3] = qm[3, 1] = q12
+        qm[2, 2] = qm[3, 3] = q22
+        state = f @ self._state
+        cov = f @ self._cov @ f.T + qm
+        return state, cov
+
+    def observe(self, t: float, position: np.ndarray) -> None:
+        position = np.asarray(position, dtype=float)
+        if self._t is None:
+            self._state = np.array([position[0], position[1], 0.0, 0.0])
+            self._cov = np.diag([self.measurement_noise**2] * 2 + [1.0, 1.0])
+            self._t = t
+            return
+        if t <= self._t:
+            raise ValueError("report times must be strictly increasing")
+        state, cov = self._propagate(t - self._t)
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+        s = h @ cov @ h.T + np.eye(2) * self.measurement_noise**2
+        gain = cov @ h.T @ np.linalg.inv(s)
+        innovation = position - h @ state
+        self._state = state + gain @ innovation
+        self._cov = (np.eye(4) - gain @ h) @ cov
+        self._t = t
+
+    def predict(self, t: float) -> np.ndarray:
+        if self._t is None:
+            raise RuntimeError("predict before any report")
+        dt = t - self._t
+        return self._state[:2] + self._state[2:] * dt
+
+    def clone(self) -> "KalmanModel":
+        return KalmanModel(self.process_noise, self.measurement_noise)
+
+
+class RecursiveMotionModel(MotionModel):
+    """RMF [11]: auto-regressive motion over the recent estimate history.
+
+    Parameters
+    ----------
+    retrospect:
+        The recursion order ``f`` (how many past positions feed the motion
+        function).
+    window:
+        Number of recent history positions used to fit the coefficients
+        (must exceed ``retrospect``).
+    ridge:
+        Tikhonov regulariser for the least-squares fit.
+    max_speed:
+        Divergence guard: when a recursive prediction implies a per-tick
+        displacement above this, the model falls back to linear prediction
+        from its last two history points.
+    """
+
+    def __init__(
+        self,
+        retrospect: int = 3,
+        window: int = 8,
+        ridge: float = 1e-6,
+        max_speed: float = 1.0,
+    ) -> None:
+        if retrospect < 2:
+            raise ValueError("retrospect must be at least 2")
+        if window <= retrospect:
+            raise ValueError("window must exceed retrospect")
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        self.retrospect = retrospect
+        self.window = window
+        self.ridge = ridge
+        self.max_speed = max_speed
+        self._t: float | None = None
+        self._history: list[np.ndarray] = []  # tick-resolution positions
+
+    def observe(self, t: float, position: np.ndarray) -> None:
+        position = np.asarray(position, dtype=float)
+        if self._t is not None and t <= self._t:
+            raise ValueError("report times must be strictly increasing")
+        if self._t is None:
+            self._history = [position.copy()]
+        else:
+            # Fill the tick-resolution history with the model's own
+            # estimates up to (not including) the report tick, then pin the
+            # report.  This is the retrospect window the server actually
+            # has between sparse reports.
+            gap = int(round(t - self._t))
+            for step in range(1, gap):
+                self._history.append(self.predict(self._t + step))
+            self._history.append(position.copy())
+        self._history = self._history[-self.window :]
+        self._t = t
+
+    def _fit(self) -> np.ndarray | None:
+        """Least-squares fit of ``x_t ~ sum c_j x_{t-j}`` on the history."""
+        f = self.retrospect
+        hist = np.asarray(self._history)
+        n = len(hist)
+        if n < f + 1:
+            return None
+        rows = []
+        targets = []
+        for i in range(f, n):
+            # Most recent first: column j holds x_{t-1-j}.
+            rows.append(hist[i - 1 :: -1][:f])
+            targets.append(hist[i])
+        a = np.concatenate([np.asarray(r)[None, :, :] for r in rows])  # (s, f, 2)
+        b = np.asarray(targets)  # (s, 2)
+        # Shared coefficients across axes: stack both axes as samples.
+        design = np.concatenate([a[:, :, 0], a[:, :, 1]])  # (2s, f)
+        response = np.concatenate([b[:, 0], b[:, 1]])  # (2s,)
+        gram = design.T @ design + self.ridge * np.eye(f)
+        try:
+            return np.linalg.solve(gram, design.T @ response)
+        except np.linalg.LinAlgError:
+            return None
+
+    def predict(self, t: float) -> np.ndarray:
+        if self._t is None:
+            raise RuntimeError("predict before any report")
+        steps = int(round(t - self._t))
+        if steps <= 0:
+            return self._history[-1].copy()
+        coeffs = self._fit()
+        if coeffs is None:
+            return self._linear_fallback(steps)
+        window = [p.copy() for p in self._history[-self.retrospect :]]
+        if len(window) < self.retrospect:
+            return self._linear_fallback(steps)
+        pos = window[-1]
+        for _ in range(steps):
+            recent = np.asarray(window[::-1][: self.retrospect])  # newest first
+            nxt = coeffs @ recent
+            if np.hypot(*(nxt - pos)) > self.max_speed:
+                return self._linear_fallback(steps)
+            window.append(nxt)
+            window.pop(0)
+            pos = nxt
+        return pos
+
+    def _linear_fallback(self, steps: int) -> np.ndarray:
+        if len(self._history) >= 2:
+            v = self._history[-1] - self._history[-2]
+        else:
+            v = np.zeros(2)
+        return self._history[-1] + v * steps
+
+    def clone(self) -> "RecursiveMotionModel":
+        return RecursiveMotionModel(
+            self.retrospect, self.window, self.ridge, self.max_speed
+        )
+
+
+_MODEL_FACTORIES: dict[str, Callable[[], MotionModel]] = {
+    "lm": LinearModel,
+    "lkf": KalmanModel,
+    "rmf": RecursiveMotionModel,
+}
+
+
+def make_model(name: str) -> MotionModel:
+    """Build a prediction model by its paper abbreviation: lm, lkf or rmf."""
+    try:
+        return _MODEL_FACTORIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; expected one of {sorted(_MODEL_FACTORIES)}"
+        ) from None

@@ -1,0 +1,69 @@
+"""Ground-truth path containers.
+
+The data generators produce :class:`GroundTruthPath` instances -- the exact
+positions of a simulated mobile object at every tick.  The mobility layer
+turns them into the server-side uncertain trajectories the miner consumes;
+the prediction experiments keep them around to judge mis-predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GroundTruthPath:
+    """Exact positions of one object at unit-time ticks.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array, one row per tick.
+    object_id:
+        Identifier carried through to the tracked trajectory.
+    label:
+        Optional class label (e.g. the bus route) used by the
+        classification application.
+    """
+
+    positions: np.ndarray
+    object_id: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        positions = np.array(self.positions, dtype=float, copy=True)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(
+                f"positions must be an (n, 2) array, got shape {positions.shape}"
+            )
+        if len(positions) < 2:
+            raise ValueError("a path needs at least two ticks")
+        if not np.all(np.isfinite(positions)):
+            raise ValueError("positions must be finite")
+        positions.setflags(write=False)
+        object.__setattr__(self, "positions", positions)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def velocities(self) -> np.ndarray:
+        """Exact per-tick displacement vectors, shape ``(n - 1, 2)``."""
+        return np.diff(self.positions, axis=0)
+
+    def total_distance(self) -> float:
+        """Total path length."""
+        v = self.velocities()
+        return float(np.hypot(v[:, 0], v[:, 1]).sum())
+
+
+def paths_bounding_box(paths: Sequence[GroundTruthPath]) -> tuple[float, float, float, float]:
+    """(min_x, min_y, max_x, max_y) over a collection of paths."""
+    if not paths:
+        raise ValueError("no paths")
+    all_pos = np.concatenate([p.positions for p in paths])
+    mins = all_pos.min(axis=0)
+    maxs = all_pos.max(axis=0)
+    return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])

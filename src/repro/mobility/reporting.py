@@ -1,0 +1,179 @@
+"""The dead-reckoning reporting protocol (section 3.1).
+
+Object and server share a motion model.  At every tick the object compares
+its true position with the model's prediction; when the deviation exceeds
+the tolerable uncertainty distance ``U`` it uplinks a report.  Each uplink
+attempt is a **mis-prediction** -- the quantity Fig. 3 reduces.  Uplinks
+may be lost with probability ``p_loss``; the paper compensates by choosing
+the confidence constant ``c`` accordingly (e.g. ``c = 2`` for a 5% loss
+rate).  We model an acknowledged uplink: the object knows whether its
+report was delivered, so the object-side mirror of the model stays
+consistent with the server's (a lost report leaves the deviation above
+``U`` and the object retries on the next tick).
+
+The server's estimate at every tick is the model prediction (corrected to
+the reported position on delivery ticks), with standard deviation
+``sigma = U / c`` -- exactly the ``(l_i, sigma_i)`` snapshots of
+section 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.models import MotionModel
+from repro.mobility.objects import GroundTruthPath
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.uncertainty.gaussian import sigma_from_uncertainty
+
+
+@dataclass(frozen=True)
+class ReportingConfig:
+    """Protocol parameters of section 3.1."""
+
+    uncertainty: float  # the tolerable uncertainty distance U
+    confidence_c: float = 2.0  # sigma = U / c
+    p_loss: float = 0.0  # uplink loss probability
+
+    def __post_init__(self) -> None:
+        if self.uncertainty <= 0:
+            raise ValueError("uncertainty distance U must be positive")
+        if self.confidence_c <= 0:
+            raise ValueError("confidence constant c must be positive")
+        if not 0.0 <= self.p_loss < 1.0:
+            raise ValueError("p_loss must be in [0, 1)")
+
+    @property
+    def sigma(self) -> float:
+        """Snapshot standard deviation ``U / c``."""
+        return sigma_from_uncertainty(self.uncertainty, self.confidence_c)
+
+
+@dataclass
+class TrackingLog:
+    """Outcome of dead-reckoning one object over its ground-truth path."""
+
+    estimates: np.ndarray  # server-side expected position per tick
+    reported: np.ndarray  # bool per tick: uplink attempted
+    delivered: np.ndarray  # bool per tick: uplink delivered
+    config: ReportingConfig
+    object_id: str = ""
+    label: str = ""
+
+    @property
+    def n_mispredictions(self) -> int:
+        """Number of uplink attempts (Fig. 3's metric)."""
+        return int(self.reported.sum())
+
+    @property
+    def n_lost(self) -> int:
+        """Number of uplinks lost in transit."""
+        return int((self.reported & ~self.delivered).sum())
+
+    def to_trajectory(self) -> UncertainTrajectory:
+        """The server-side uncertain location trajectory (section 3.2)."""
+        return UncertainTrajectory(
+            self.estimates,
+            self.config.sigma,
+            object_id=self.object_id,
+        )
+
+    def to_interpolated_trajectory(self) -> UncertainTrajectory:
+        """Offline view: delivered reports linearly interpolated onto ticks.
+
+        This is the paper's mining preprocessing (section 6.1): "we only
+        retain these readings that can not be predicted accurately ...
+        align all trajectories on a set of snapshots".  For historical data
+        the server can interpolate *between* reports, which tracks the true
+        motion far better than the live dead-reckoned estimates (the future
+        report is known).  Ticks after the last delivery fall back to the
+        live estimates.
+        """
+        delivered_ticks = np.nonzero(self.delivered)[0]
+        if len(delivered_ticks) < 2:
+            return self.to_trajectory()
+        means = self.estimates.copy()
+        for left, right in zip(delivered_ticks[:-1], delivered_ticks[1:]):
+            span = right - left
+            if span > 1:
+                w = np.arange(1, span)[:, None] / span
+                means[left + 1 : right] = (
+                    (1.0 - w) * self.estimates[left] + w * self.estimates[right]
+                )
+        return UncertainTrajectory(
+            means, self.config.sigma, object_id=self.object_id
+        )
+
+
+def dead_reckon(
+    path: GroundTruthPath,
+    model: MotionModel,
+    config: ReportingConfig,
+    rng: np.random.Generator | None = None,
+    override_prediction=None,
+) -> TrackingLog:
+    """Run the reporting protocol for one object.
+
+    Parameters
+    ----------
+    path:
+        Ground-truth positions at unit ticks.
+    model:
+        A *fresh* motion model (shared logical state of object and server).
+    config:
+        Protocol parameters.
+    rng:
+        Randomness source for uplink loss; required when ``p_loss > 0``.
+    override_prediction:
+        Optional hook
+        ``f(t, estimates_so_far, model, delivered_so_far) -> position | None``
+        letting an application substitute its own prediction for the
+        model's (the pattern-augmented predictor of Fig. 3 plugs in here).
+        ``delivered_so_far`` is the boolean per-tick delivery history up to
+        (excluding) ``t``.  Returning ``None`` keeps the model prediction.
+
+    The first tick is always a report (the server knows nothing); it is not
+    counted as a mis-prediction.
+    """
+    if config.p_loss > 0 and rng is None:
+        raise ValueError("rng is required when p_loss > 0")
+
+    n = len(path)
+    estimates = np.empty((n, 2))
+    reported = np.zeros(n, dtype=bool)
+    delivered = np.zeros(n, dtype=bool)
+
+    # Initial handshake: the first position is always delivered.
+    model.observe(0.0, path.positions[0])
+    estimates[0] = path.positions[0]
+    delivered[0] = True
+
+    for t in range(1, n):
+        predicted = None
+        if override_prediction is not None:
+            predicted = override_prediction(t, estimates[:t], model, delivered[:t])
+        if predicted is None:
+            predicted = model.predict(float(t))
+        predicted = np.asarray(predicted, dtype=float)
+        true_pos = path.positions[t]
+        deviation = float(np.hypot(*(true_pos - predicted)))
+        if deviation > config.uncertainty:
+            reported[t] = True
+            lost = rng.random() < config.p_loss if config.p_loss > 0 else False
+            if not lost:
+                delivered[t] = True
+                model.observe(float(t), true_pos)
+                estimates[t] = true_pos
+                continue
+        estimates[t] = predicted
+
+    return TrackingLog(
+        estimates=estimates,
+        reported=reported,
+        delivered=delivered,
+        config=config,
+        object_id=path.object_id,
+        label=path.label,
+    )

@@ -1,0 +1,45 @@
+"""Trajectory data model (paper section 3.2).
+
+The input to the miner is a set of *uncertain trajectories*: per object, a
+sequence of snapshots ``(l_i, sigma_i)`` where ``l_i`` is the expected
+location and ``sigma_i`` the standard deviation of the true location's
+normal distribution at synchronised time ``i``.
+
+* :class:`~repro.trajectory.trajectory.UncertainTrajectory` -- one object's
+  sequence of Gaussian snapshots.
+* :class:`~repro.trajectory.dataset.TrajectoryDataset` -- the mining input,
+  a collection of trajectories with convenience constructors.
+* :func:`~repro.trajectory.velocity.to_velocity_trajectory` -- the
+  location-to-velocity transform of section 3.2.
+* :mod:`~repro.trajectory.synchronize` -- interpolation of asynchronous
+  location reports onto a synchronous snapshot series.
+* :mod:`~repro.trajectory.io` -- JSONL / CSV persistence.
+"""
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.resample import decimate, refine, resample_dataset
+from repro.trajectory.io import (
+    load_dataset_csv,
+    load_dataset_jsonl,
+    save_dataset_csv,
+    save_dataset_jsonl,
+)
+from repro.trajectory.synchronize import LocationReport, synchronize_reports
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.trajectory.velocity import to_velocity_dataset, to_velocity_trajectory
+
+__all__ = [
+    "UncertainTrajectory",
+    "TrajectoryDataset",
+    "to_velocity_trajectory",
+    "to_velocity_dataset",
+    "LocationReport",
+    "synchronize_reports",
+    "load_dataset_jsonl",
+    "decimate",
+    "refine",
+    "resample_dataset",
+    "save_dataset_jsonl",
+    "load_dataset_csv",
+    "save_dataset_csv",
+]

@@ -1,0 +1,120 @@
+"""The :class:`TrajectoryDataset` container -- the miner's input ``D``."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+class TrajectoryDataset:
+    """An ordered collection of uncertain trajectories plus free-form metadata.
+
+    The dataset is the unit every miner, engine and experiment consumes.  It
+    is intentionally a thin, immutable-ish container: derived structures
+    (probability indexes, grids) are built by the components that need them.
+    """
+
+    __slots__ = ("trajectories", "metadata")
+
+    def __init__(
+        self,
+        trajectories: Sequence[UncertainTrajectory] | Iterable[UncertainTrajectory],
+        metadata: dict | None = None,
+    ) -> None:
+        self.trajectories: tuple[UncertainTrajectory, ...] = tuple(trajectories)
+        self.metadata: dict = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[UncertainTrajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, index: int) -> UncertainTrajectory:
+        return self.trajectories[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryDataset({len(self)} trajectories, "
+            f"total {self.total_snapshots()} snapshots)"
+        )
+
+    # -- aggregate statistics --------------------------------------------------
+
+    def total_snapshots(self) -> int:
+        """Sum of trajectory lengths (the complexity parameter ``N * L``)."""
+        return sum(len(t) for t in self.trajectories)
+
+    def mean_length(self) -> float:
+        """Average trajectory length ``L`` (Fig. 4(c)'s sweep parameter)."""
+        if not self.trajectories:
+            return 0.0
+        return self.total_snapshots() / len(self.trajectories)
+
+    def all_means(self) -> np.ndarray:
+        """All snapshot means stacked into one ``(total, 2)`` array."""
+        if not self.trajectories:
+            return np.empty((0, 2))
+        return np.concatenate([t.means for t in self.trajectories], axis=0)
+
+    def bounding_box(self, n_sigmas: float = 0.0) -> BoundingBox:
+        """Bounding box of every snapshot mean, optionally sigma-padded."""
+        if not self.trajectories:
+            raise ValueError("empty dataset has no bounding box")
+        box = BoundingBox.of_points(self.all_means())
+        if n_sigmas > 0:
+            max_sigma = max(float(t.sigmas.max()) for t in self.trajectories)
+            box = box.expand(n_sigmas * max_sigma)
+        return box
+
+    def max_sigma(self) -> float:
+        """Largest snapshot sigma in the dataset."""
+        if not self.trajectories:
+            raise ValueError("empty dataset has no sigmas")
+        return max(float(t.sigmas.max()) for t in self.trajectories)
+
+    def make_grid(self, cell_size: float, margin_sigmas: float = 4.0) -> Grid:
+        """Grid covering the dataset with square cells of side ``cell_size``.
+
+        The extent is padded by ``margin_sigmas`` standard deviations so
+        that cells near the border still capture the probability mass of
+        border snapshots.
+        """
+        return Grid.cover(self.bounding_box(n_sigmas=margin_sigmas), cell_size)
+
+    # -- functional helpers -------------------------------------------------------
+
+    def filter(self, predicate: Callable[[UncertainTrajectory], bool]) -> "TrajectoryDataset":
+        """Dataset with only the trajectories satisfying ``predicate``."""
+        return TrajectoryDataset(
+            [t for t in self.trajectories if predicate(t)], metadata=self.metadata
+        )
+
+    def split(self, n_first: int) -> tuple["TrajectoryDataset", "TrajectoryDataset"]:
+        """Split into the first ``n_first`` trajectories and the rest.
+
+        Used for the Fig. 3 protocol: mine on 450 trajectories, evaluate
+        prediction on the held-out 50.
+        """
+        if not 0 <= n_first <= len(self):
+            raise ValueError(f"cannot take first {n_first} of {len(self)} trajectories")
+        return (
+            TrajectoryDataset(self.trajectories[:n_first], metadata=self.metadata),
+            TrajectoryDataset(self.trajectories[n_first:], metadata=self.metadata),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "TrajectoryDataset":
+        """Dataset restricted to the given trajectory indices (order preserved)."""
+        return TrajectoryDataset(
+            [self.trajectories[i] for i in indices], metadata=self.metadata
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "TrajectoryDataset":
+        """Dataset with trajectory order permuted by ``rng``."""
+        order = rng.permutation(len(self.trajectories))
+        return self.subset(list(order))

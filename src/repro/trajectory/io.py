@@ -1,0 +1,137 @@
+"""Persistence for trajectory datasets.
+
+Two formats are supported:
+
+* **JSONL** -- one JSON object per trajectory; lossless (keeps metadata,
+  per-snapshot sigmas, timing).  The canonical on-disk form.
+* **CSV** -- one row per snapshot with columns
+  ``object_id,snapshot,x,y,sigma``; convenient for interchange with
+  spreadsheet/GIS tooling, loses dataset metadata and timing granularity
+  beyond the implied snapshot index.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset_jsonl(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in JSON-lines format.
+
+    The first line is a header record carrying the format version and the
+    dataset metadata; each subsequent line is one trajectory.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "format": "repro.trajectory",
+            "version": _FORMAT_VERSION,
+            "metadata": dataset.metadata,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for traj in dataset:
+            record = {
+                "object_id": traj.object_id,
+                "start_time": traj.start_time,
+                "dt": traj.dt,
+                "means": traj.means.tolist(),
+                "sigmas": traj.sigmas.tolist(),
+            }
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset previously written by :func:`save_dataset_jsonl`."""
+    path = Path(path)
+    trajectories: list[UncertainTrajectory] = []
+    metadata: dict = {}
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{path}: empty file")
+        header = json.loads(first)
+        if header.get("format") != "repro.trajectory":
+            raise ValueError(f"{path}: not a repro trajectory file")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {header.get('version')!r}"
+            )
+        metadata = header.get("metadata", {})
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                trajectories.append(
+                    UncertainTrajectory(
+                        np.asarray(record["means"], dtype=float),
+                        np.asarray(record["sigmas"], dtype=float),
+                        object_id=record.get("object_id", ""),
+                        start_time=record.get("start_time", 0.0),
+                        dt=record.get("dt", 1.0),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad trajectory record: {exc}") from exc
+    return TrajectoryDataset(trajectories, metadata=metadata)
+
+
+def save_dataset_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write ``dataset`` as flat CSV (one row per snapshot)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["object_id", "snapshot", "x", "y", "sigma"])
+        for i, traj in enumerate(dataset):
+            object_id = traj.object_id or f"object-{i}"
+            for snap, ((x, y), sigma) in enumerate(zip(traj.means, traj.sigmas)):
+                writer.writerow([object_id, snap, repr(float(x)), repr(float(y)), repr(float(sigma))])
+
+
+def load_dataset_csv(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset written by :func:`save_dataset_csv`.
+
+    Rows are grouped by ``object_id`` (order of first appearance) and sorted
+    by snapshot index within each object.
+    """
+    path = Path(path)
+    rows_by_object: dict[str, list[tuple[int, float, float, float]]] = {}
+    order: list[str] = []
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"object_id", "snapshot", "x", "y", "sigma"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(f"{path}: expected columns {sorted(required)}")
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                object_id = row["object_id"]
+                entry = (
+                    int(row["snapshot"]),
+                    float(row["x"]),
+                    float(row["y"]),
+                    float(row["sigma"]),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad snapshot row: {exc}") from exc
+            if object_id not in rows_by_object:
+                rows_by_object[object_id] = []
+                order.append(object_id)
+            rows_by_object[object_id].append(entry)
+
+    trajectories = []
+    for object_id in order:
+        rows = sorted(rows_by_object[object_id])
+        means = np.array([[x, y] for _, x, y, _ in rows])
+        sigmas = np.array([s for _, _, _, s in rows])
+        trajectories.append(UncertainTrajectory(means, sigmas, object_id=object_id))
+    return TrajectoryDataset(trajectories)

@@ -1,0 +1,140 @@
+"""The :class:`UncertainTrajectory` value type.
+
+A trajectory is the paper's ``T = (l_1, sigma_1), (l_2, sigma_2), ...``: per
+synchronised snapshot, the mean and standard deviation of the normal
+distribution of the object's true location (section 3.2).  Means are stored
+as an ``(n, 2)`` float array and sigmas as an ``(n,)`` float array; both are
+frozen after construction so trajectories are safe to share across engines
+and datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.uncertainty.gaussian import GaussianLocation
+
+
+class UncertainTrajectory:
+    """A sequence of Gaussian location snapshots for one mobile object.
+
+    Parameters
+    ----------
+    means:
+        ``(n, 2)`` array of expected locations, one row per snapshot.
+    sigmas:
+        ``(n,)`` array of per-snapshot standard deviations (all positive),
+        or a scalar applied to every snapshot.
+    object_id:
+        Free-form identifier of the mobile object (used by I/O and the
+        classification application).
+    start_time, dt:
+        Time of the first snapshot and snapshot spacing; purely descriptive
+        metadata for the miner, but used by the synchronisation layer.
+    """
+
+    __slots__ = ("means", "sigmas", "object_id", "start_time", "dt")
+
+    def __init__(
+        self,
+        means: np.ndarray | Sequence[Sequence[float]],
+        sigmas: np.ndarray | Sequence[float] | float,
+        object_id: str = "",
+        start_time: float = 0.0,
+        dt: float = 1.0,
+    ) -> None:
+        means_arr = np.array(means, dtype=float, copy=True)
+        if means_arr.ndim != 2 or means_arr.shape[1] != 2:
+            raise ValueError(f"means must be an (n, 2) array, got shape {means_arr.shape}")
+        if not np.all(np.isfinite(means_arr)):
+            raise ValueError("means must be finite")
+        if np.isscalar(sigmas):
+            sigmas_arr = np.full(len(means_arr), float(sigmas))
+        else:
+            sigmas_arr = np.array(sigmas, dtype=float, copy=True)
+        if sigmas_arr.shape != (len(means_arr),):
+            raise ValueError(
+                f"sigmas must have shape ({len(means_arr)},), got {sigmas_arr.shape}"
+            )
+        if np.any(sigmas_arr <= 0) or not np.all(np.isfinite(sigmas_arr)):
+            raise ValueError("sigmas must be positive and finite")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        means_arr.setflags(write=False)
+        sigmas_arr.setflags(write=False)
+        self.means = means_arr
+        self.sigmas = sigmas_arr
+        self.object_id = object_id
+        self.start_time = float(start_time)
+        self.dt = float(dt)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.means)
+
+    def __iter__(self) -> Iterator[GaussianLocation]:
+        for (x, y), s in zip(self.means, self.sigmas):
+            yield GaussianLocation(float(x), float(y), float(s))
+
+    def __getitem__(self, index: int) -> GaussianLocation:
+        x, y = self.means[index]
+        return GaussianLocation(float(x), float(y), float(self.sigmas[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UncertainTrajectory):
+            return NotImplemented
+        return (
+            self.object_id == other.object_id
+            and len(self) == len(other)
+            and np.array_equal(self.means, other.means)
+            and np.array_equal(self.sigmas, other.sigmas)
+        )
+
+    def __repr__(self) -> str:
+        ident = f" id={self.object_id!r}" if self.object_id else ""
+        return f"UncertainTrajectory(len={len(self)}{ident})"
+
+    # -- views -----------------------------------------------------------------
+
+    def window(self, start: int, length: int) -> "UncertainTrajectory":
+        """The contiguous segment of ``length`` snapshots starting at ``start``.
+
+        This is the paper's ``T'`` -- the unit over which Eq. 2 is evaluated.
+        """
+        if length <= 0:
+            raise ValueError("window length must be positive")
+        if start < 0 or start + length > len(self):
+            raise IndexError(
+                f"window [{start}, {start + length}) outside trajectory of length {len(self)}"
+            )
+        return UncertainTrajectory(
+            self.means[start : start + length],
+            self.sigmas[start : start + length],
+            object_id=self.object_id,
+            start_time=self.start_time + start * self.dt,
+            dt=self.dt,
+        )
+
+    def times(self) -> np.ndarray:
+        """Snapshot timestamps ``start_time + i * dt``."""
+        return self.start_time + np.arange(len(self)) * self.dt
+
+    def bounding_box(self, n_sigmas: float = 0.0) -> BoundingBox:
+        """Bounding box of the snapshot means, optionally padded by ``n_sigmas * max sigma``."""
+        box = BoundingBox.of_points(self.means)
+        if n_sigmas > 0:
+            box = box.expand(n_sigmas * float(self.sigmas.max()))
+        return box
+
+    def sample_true_path(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one plausible true path: one sample per snapshot, shape ``(n, 2)``.
+
+        Snapshot errors are drawn independently, matching the paper's
+        footnote 1 (prediction errors are assumed independent).
+        """
+        noise = rng.normal(size=self.means.shape) * self.sigmas[:, None]
+        return self.means + noise

@@ -1,0 +1,52 @@
+"""Uncertainty substrate: the probabilistic location model of section 3.1.
+
+At every snapshot the true location of a mobile object is a bivariate normal
+distribution centred on the server's predicted location with per-axis
+standard deviation ``sigma = U / c`` (section 3.1).  Every measure in the
+paper reduces to ``Prob(l, sigma, p, delta)`` -- the probability that the
+true location is within the indifference distance ``delta`` of a position
+``p`` -- and products of such probabilities (Eq. 2).
+
+This package provides:
+
+* :func:`~repro.uncertainty.gaussian.prob_within_box` -- the default
+  axis-separable "box" semantics of ``Prob``.
+* :func:`~repro.uncertainty.gaussian.prob_within_disk` -- the exact
+  Euclidean-disk semantics via the noncentral chi-square distribution.
+* :class:`~repro.uncertainty.gaussian.ProbModel` -- the enum selecting
+  between them.
+* log-space helpers in :mod:`~repro.uncertainty.logspace` used to keep long
+  products numerically sane.
+"""
+
+from repro.uncertainty.gaussian import (
+    GaussianLocation,
+    ProbModel,
+    log_prob_within,
+    prob_within,
+    prob_within_box,
+    prob_within_disk,
+    sigma_from_uncertainty,
+)
+from repro.uncertainty.logspace import (
+    LOG_ZERO,
+    clamp_log_prob,
+    log_mean_exp,
+    log_sum_exp,
+    safe_log,
+)
+
+__all__ = [
+    "GaussianLocation",
+    "ProbModel",
+    "prob_within",
+    "prob_within_box",
+    "prob_within_disk",
+    "log_prob_within",
+    "sigma_from_uncertainty",
+    "LOG_ZERO",
+    "safe_log",
+    "clamp_log_prob",
+    "log_sum_exp",
+    "log_mean_exp",
+]

@@ -1,0 +1,70 @@
+"""Log-space numerics.
+
+Eq. 2 multiplies one probability per pattern position; for realistic
+patterns over imprecise data those probabilities are small and products
+underflow quickly, so the whole library works with ``log`` probabilities
+(Eq. 3 is itself defined on the logarithm).  Probabilities of exactly zero
+are represented by a large negative *floor* instead of ``-inf`` so that the
+NM of a pattern stays finite, orderable and usable as a mining threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Stand-in for ``log(0)``: below any log-probability the engine produces.
+LOG_ZERO: float = -1e30
+
+
+def safe_log(p: np.ndarray | float, floor: float = LOG_ZERO) -> np.ndarray | float:
+    """``log(p)`` with zeros mapped to ``floor`` instead of ``-inf``.
+
+    Negative inputs are rejected -- they indicate a bug upstream, not a
+    numerical edge case.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    if np.any(p_arr < 0):
+        raise ValueError("probabilities must be non-negative")
+    with np.errstate(divide="ignore"):
+        out = np.where(p_arr > 0, np.log(np.maximum(p_arr, np.finfo(float).tiny)), floor)
+    if np.isscalar(p):
+        return float(out)
+    return out
+
+
+def clamp_log_prob(
+    log_p: np.ndarray | float, min_log_prob: float
+) -> np.ndarray | float:
+    """Clamp log-probabilities from below at ``min_log_prob``.
+
+    This implements the probability floor discussed in DESIGN.md: every
+    per-position probability is treated as at least ``exp(min_log_prob)`` so
+    that a single impossible position does not collapse a whole pattern's NM
+    to ``-inf``.
+    """
+    out = np.maximum(np.asarray(log_p, dtype=float), min_log_prob)
+    if np.isscalar(log_p):
+        return float(out)
+    return out
+
+
+def log_sum_exp(log_values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Numerically stable ``log(sum(exp(v)))``."""
+    log_values = np.asarray(log_values, dtype=float)
+    if log_values.size == 0:
+        raise ValueError("log_sum_exp of an empty array is undefined")
+    m = np.max(log_values, axis=axis, keepdims=True)
+    # A block of all-LOG_ZERO values stays LOG_ZERO instead of producing nan.
+    shifted = np.where(np.isfinite(m), log_values - m, LOG_ZERO)
+    summed = np.log(np.sum(np.exp(shifted), axis=axis))
+    if axis is None:
+        return float(m.reshape(-1)[0]) + float(summed)
+    result = np.squeeze(m, axis=axis) + summed
+    return result
+
+
+def log_mean_exp(log_values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Numerically stable ``log(mean(exp(v)))``."""
+    log_values = np.asarray(log_values, dtype=float)
+    n = log_values.size if axis is None else log_values.shape[axis]
+    return log_sum_exp(log_values, axis=axis) - np.log(n)

@@ -1,0 +1,99 @@
+"""Terminal visualisation of trajectories, patterns and grids.
+
+Plotting libraries are deliberately out of the dependency set; these
+ASCII renderers cover what the examples and debugging sessions need:
+
+* :func:`render_grid` -- a character canvas of the grid with trajectories
+  and/or patterns drawn onto it;
+* :func:`render_pattern` -- one pattern as an arrow-joined list of cell
+  centres;
+* :func:`render_misprediction_bars` -- the Fig. 3 bar chart as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.grid import Grid
+from repro.trajectory.trajectory import UncertainTrajectory
+
+#: Glyphs used by :func:`render_grid`, in increasing precedence.
+EMPTY, TRAJECTORY_GLYPH, PATTERN_GLYPH, OVERLAP_GLYPH = ".", "o", "#", "@"
+
+
+def render_grid(
+    grid: Grid,
+    trajectories: Sequence[UncertainTrajectory] = (),
+    patterns: Sequence[TrajectoryPattern] = (),
+    width: int = 60,
+) -> str:
+    """Character canvas of the grid extent with data drawn onto it.
+
+    Trajectory snapshot means render as ``o``, pattern cells as ``#``, and
+    cells containing both as ``@``.  The canvas is resampled to at most
+    ``width`` columns (rows follow the aspect ratio).
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    cols = min(width, grid.nx)
+    rows = max(1, int(round(cols * grid.bbox.height / max(grid.bbox.width, 1e-12) / 2)))
+    canvas = np.full((rows, cols), EMPTY, dtype="<U1")
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        c = int((x - grid.bbox.min_x) / grid.bbox.width * cols)
+        r = int((y - grid.bbox.min_y) / grid.bbox.height * rows)
+        c = min(max(c, 0), cols - 1)
+        r = min(max(r, 0), rows - 1)
+        current = canvas[rows - 1 - r, c]  # y grows upward
+        if current != EMPTY and current != glyph:
+            glyph = OVERLAP_GLYPH
+        canvas[rows - 1 - r, c] = glyph
+
+    for trajectory in trajectories:
+        for x, y in trajectory.means:
+            plot(float(x), float(y), TRAJECTORY_GLYPH)
+    for pattern in patterns:
+        for cell in pattern.cells:
+            if cell == WILDCARD:
+                continue
+            center = grid.cell_center(cell)
+            plot(center.x, center.y, PATTERN_GLYPH)
+
+    border = "+" + "-" * cols + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    return f"{border}\n{body}\n{border}"
+
+
+def render_pattern(pattern: TrajectoryPattern, grid: Grid, precision: int = 3) -> str:
+    """One pattern as ``(x,y) -> (x,y) -> *`` text."""
+    parts = []
+    for cell in pattern.cells:
+        if cell == WILDCARD:
+            parts.append("*")
+        else:
+            center = grid.cell_center(cell)
+            parts.append(f"({center.x:.{precision}f},{center.y:.{precision}f})")
+    return " -> ".join(parts)
+
+
+def render_misprediction_bars(
+    rows: Iterable[tuple[str, float]], width: int = 40
+) -> str:
+    """Horizontal text bars for (label, reduction-ratio) rows (Fig. 3 style).
+
+    Negative reductions render as ``<`` bars so regressions stay visible.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    scale = max(abs(value) for _, value in rows) or 1.0
+    lines = []
+    label_width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        n = int(round(abs(value) / scale * width))
+        bar = (">" if value >= 0 else "<") * n
+        lines.append(f"{label:<{label_width}} {value:+7.1%} {bar}")
+    return "\n".join(lines)

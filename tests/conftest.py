@@ -1,0 +1,88 @@
+"""Shared fixtures: small deterministic datasets, grids and engines."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def unit_grid():
+    """10x10 grid over the unit square."""
+    return Grid(BoundingBox.unit(), nx=10, ny=10)
+
+
+@pytest.fixture
+def small_dataset(rng):
+    """12 drifting trajectories of 20 snapshots in the unit square."""
+    trajectories = []
+    for i in range(12):
+        start = rng.uniform(0.1, 0.4, 2)
+        steps = rng.normal(0.02, 0.004, (20, 2))
+        means = start + np.cumsum(steps, axis=0)
+        trajectories.append(
+            UncertainTrajectory(means, 0.015, object_id=f"obj-{i}")
+        )
+    return TrajectoryDataset(trajectories)
+
+
+@pytest.fixture
+def small_engine(small_dataset):
+    grid = small_dataset.make_grid(0.03)
+    return NMEngine(
+        small_dataset, grid, EngineConfig(delta=0.03, min_prob=1e-6)
+    )
+
+
+@pytest.fixture
+def tiny_corridor_dataset(rng):
+    """Trajectories confined to a tiny corridor => a handful of active cells.
+
+    Small enough for brute-force oracles over all patterns up to length 4.
+    """
+    trajectories = []
+    for i in range(8):
+        xs = 0.05 + 0.1 * np.arange(8) + rng.normal(0, 0.01, 8)
+        ys = np.full(8, 0.5) + rng.normal(0, 0.01, 8)
+        trajectories.append(
+            UncertainTrajectory(np.column_stack([xs, ys]), 0.05, object_id=f"c-{i}")
+        )
+    return TrajectoryDataset(trajectories)
+
+
+@pytest.fixture
+def tiny_engine(tiny_corridor_dataset):
+    grid = Grid(BoundingBox(0.0, 0.3, 1.0, 0.7), nx=5, ny=2)
+    return NMEngine(
+        tiny_corridor_dataset, grid, EngineConfig(delta=0.1, min_prob=1e-4)
+    )
+
+
+def brute_force_top_k(engine, k, max_length, min_length=1):
+    """Exhaustive top-k NM patterns over the active alphabet.
+
+    Only usable with tiny alphabets; enumerates every pattern up to
+    ``max_length`` and ranks with the miner's deterministic tie-break.
+    """
+    cells = engine.active_cells
+    scored = []
+    for length in range(min_length, max_length + 1):
+        for combo in itertools.product(cells, repeat=length):
+            pattern = TrajectoryPattern(combo)
+            scored.append((combo, engine.nm(pattern)))
+    scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
+    return scored[:k]

@@ -1,0 +1,87 @@
+"""Tests for the pattern-based trajectory classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps.classification import PatternClassifier
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+def corridor(y, n=8, jitter=0.01, seed=0, sigma=0.04):
+    """A left-to-right trajectory along the horizontal line at height y."""
+    rng = np.random.default_rng(seed)
+    xs = 0.1 + 0.1 * np.arange(n) + rng.normal(0, jitter, n)
+    ys = np.full(n, y) + rng.normal(0, jitter, n)
+    return UncertainTrajectory(np.column_stack([xs, ys]), sigma)
+
+
+@pytest.fixture
+def labelled_data():
+    lows = [corridor(0.25, seed=i) for i in range(6)]
+    highs = [corridor(0.75, seed=100 + i) for i in range(6)]
+    dataset = TrajectoryDataset(lows + highs)
+    labels = ["low"] * 6 + ["high"] * 6
+    return dataset, labels
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PatternClassifier(cell_size=0.0)
+        with pytest.raises(ValueError):
+            PatternClassifier(cell_size=0.1, k=0)
+
+    def test_fit_label_mismatch(self, labelled_data):
+        dataset, labels = labelled_data
+        with pytest.raises(ValueError, match="labels"):
+            PatternClassifier(cell_size=0.1).fit(dataset, labels[:-1])
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            PatternClassifier(cell_size=0.1).fit(TrajectoryDataset([]), [])
+
+    def test_predict_before_fit(self, labelled_data):
+        dataset, _ = labelled_data
+        with pytest.raises(RuntimeError):
+            PatternClassifier(cell_size=0.1).predict(dataset[0])
+
+
+class TestClassification:
+    def test_classes_in_training_order(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        assert clf.classes == ["low", "high"]
+
+    def test_separable_classes_perfectly_classified(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        test_low = corridor(0.25, seed=999)
+        test_high = corridor(0.75, seed=998)
+        assert clf.predict(test_low) == "low"
+        assert clf.predict(test_high) == "high"
+
+    def test_scores_ordered_correctly(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        scores = clf.score(corridor(0.25, seed=7))
+        assert scores["low"] > scores["high"]
+
+    def test_training_accuracy(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        assert clf.accuracy(dataset, labels) == 1.0
+
+    def test_accuracy_validation(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        with pytest.raises(ValueError):
+            clf.accuracy(dataset, labels[:-1])
+        with pytest.raises(ValueError):
+            clf.accuracy(TrajectoryDataset([]), [])
+
+    def test_robust_to_observation_noise(self, labelled_data):
+        dataset, labels = labelled_data
+        clf = PatternClassifier(cell_size=0.08, k=5).fit(dataset, labels)
+        noisy = corridor(0.25, seed=5, jitter=0.04, sigma=0.08)
+        assert clf.predict(noisy) == "low"

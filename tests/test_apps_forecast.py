@@ -1,0 +1,131 @@
+"""Tests for the location forecaster and pre-allocation (intro use-cases)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.forecast import (
+    CellForecast,
+    LocationForecaster,
+    coverage_allocation,
+    forecast_hit_rate,
+)
+from repro.core.pattern import TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.trajectory import UncertainTrajectory
+
+GRID = Grid(BoundingBox.unit(), nx=10, ny=10)
+DELTA = 0.1
+
+
+def center(cell):
+    return GRID.cell_center(cell).as_tuple()
+
+
+@pytest.fixture
+def corridor_patterns():
+    """Two patterns sharing the prefix (0, 1): continue to 2 or to 11."""
+    return [
+        TrajectoryPattern((0, 1, 2)),
+        TrajectoryPattern((0, 1, 11)),
+        TrajectoryPattern((55, 56, 57)),  # unrelated corridor
+    ]
+
+
+@pytest.fixture
+def forecaster(corridor_patterns):
+    return LocationForecaster(corridor_patterns, GRID, DELTA)
+
+
+class TestValidation:
+    def test_bad_parameters(self, corridor_patterns):
+        with pytest.raises(ValueError):
+            LocationForecaster(corridor_patterns, GRID, DELTA, confirm_threshold=0.0)
+        with pytest.raises(ValueError):
+            LocationForecaster(corridor_patterns, GRID, DELTA, min_prefix=0)
+        with pytest.raises(ValueError):
+            LocationForecaster(
+                corridor_patterns, GRID, DELTA, confirm_sigma_factor=0.0
+            )
+
+    def test_short_patterns_dropped(self):
+        forecaster = LocationForecaster(
+            [TrajectoryPattern((0, 1))], GRID, DELTA, min_prefix=2
+        )
+        assert len(forecaster) == 0
+
+
+class TestForecast:
+    def test_matching_history_votes_both_continuations(self, forecaster):
+        history = np.array([center(0), center(1)])
+        forecast = forecaster.forecast(history, sigma=0.03)
+        cells = {f.cell for f in forecast}
+        assert cells == {2, 11}
+        assert sum(f.probability for f in forecast) == pytest.approx(1.0)
+        # Equal evidence: both continuations share the mass.
+        assert forecast[0].probability == pytest.approx(0.5, abs=0.05)
+
+    def test_unrelated_history_is_silent(self, forecaster):
+        history = np.array([center(90), center(91)])
+        assert forecaster.forecast(history, sigma=0.03) == []
+
+    def test_history_too_short(self, forecaster):
+        assert forecaster.forecast(np.array([center(0)]), sigma=0.03) == []
+
+    def test_sorted_by_probability(self):
+        """Three patterns continue to cell 2, one to cell 11: 2 wins."""
+        patterns = [
+            TrajectoryPattern((0, 1, 2)),
+            TrajectoryPattern((0, 1, 2, 3)),
+            TrajectoryPattern((9, 0, 1, 2)),
+            TrajectoryPattern((0, 1, 11)),
+        ]
+        forecaster = LocationForecaster(patterns, GRID, DELTA)
+        history = np.array([center(0), center(1)])
+        forecast = forecaster.forecast(history, sigma=0.03)
+        assert forecast[0].cell == 2
+        assert forecast[0].probability > forecast[-1].probability
+
+
+class TestCoverageAllocation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_allocation([], coverage=0.0)
+
+    def test_empty_forecast_empty_allocation(self):
+        assert coverage_allocation([], coverage=0.9) == []
+
+    def test_takes_smallest_prefix(self):
+        forecast = [
+            CellForecast(1, 0.6),
+            CellForecast(2, 0.3),
+            CellForecast(3, 0.1),
+        ]
+        assert coverage_allocation(forecast, coverage=0.5) == [1]
+        assert coverage_allocation(forecast, coverage=0.7) == [1, 2]
+        assert coverage_allocation(forecast, coverage=1.0) == [1, 2, 3]
+
+
+class TestHitRate:
+    def test_perfect_on_pattern_following_data(self, rng):
+        """Objects literally walking a pattern's cells get forecast
+        correctly at every fired snapshot."""
+        pattern = TrajectoryPattern((0, 1, 2, 3, 4))
+        forecaster = LocationForecaster([pattern], GRID, DELTA)
+        means = GRID.cell_centers(list(pattern.cells)).copy()
+        means = means + rng.normal(0, 0.002, means.shape)
+        trajectory = UncertainTrajectory(means, 0.02)
+        hit_rate, fire_rate = forecast_hit_rate(forecaster, [trajectory])
+        assert fire_rate > 0
+        assert hit_rate == 1.0
+
+    def test_silent_forecaster_zero_fire_rate(self, rng):
+        forecaster = LocationForecaster(
+            [TrajectoryPattern((97, 98, 99))], GRID, DELTA
+        )
+        trajectory = UncertainTrajectory(
+            rng.uniform(0.0, 0.3, (10, 2)), 0.02
+        )
+        hit_rate, fire_rate = forecast_hit_rate(forecaster, [trajectory])
+        assert fire_rate == 0.0
+        assert hit_rate == 0.0

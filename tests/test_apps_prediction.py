@@ -1,0 +1,184 @@
+"""Tests for the pattern-augmented prediction application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.prediction import (
+    PatternLibrary,
+    compare_prediction,
+    pattern_override,
+)
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.mobility.models import LinearModel
+from repro.mobility.objects import GroundTruthPath
+from repro.mobility.reporting import ReportingConfig
+
+# Velocity grid over [-0.05, 0.05]^2, cell 0.01.
+VGRID = Grid(BoundingBox(-0.05, -0.05, 0.05, 0.05), nx=10, ny=10)
+DELTA = 0.01
+
+
+def vcell(vx, vy):
+    return VGRID.locate(vx, vy)
+
+
+@pytest.fixture
+def stop_pattern():
+    """Cruise right at 0.025, then halt: the classic stop motif."""
+    cruise = vcell(0.025, 0.005)
+    halt = vcell(0.005, 0.005)
+    return TrajectoryPattern((cruise, cruise, cruise, halt))
+
+
+class TestPatternLibrary:
+    def test_validation(self, stop_pattern):
+        with pytest.raises(ValueError):
+            PatternLibrary([stop_pattern], VGRID, DELTA, confirm_threshold=0.0)
+        with pytest.raises(ValueError):
+            PatternLibrary([stop_pattern], VGRID, DELTA, min_prefix=0)
+        with pytest.raises(ValueError):
+            PatternLibrary([stop_pattern], VGRID, DELTA, confirm_sigma_factor=0.0)
+
+    def test_unusable_patterns_dropped(self):
+        short = TrajectoryPattern((vcell(0.0, 0.0), vcell(0.0, 0.0)))
+        wild = TrajectoryPattern((vcell(0, 0), WILDCARD, vcell(0, 0), vcell(0, 0)))
+        library = PatternLibrary([short, wild], VGRID, DELTA, min_prefix=2)
+        assert len(library) == 0
+        assert library.max_prefix == 0
+
+    def test_matching_prefix_predicts_continuation(self, stop_pattern):
+        library = PatternLibrary(
+            [stop_pattern], VGRID, DELTA, require_nonconstant_prefix=False
+        )
+        cruise_center = VGRID.cell_center(stop_pattern.cells[0])
+        history = np.tile(cruise_center.as_tuple(), (3, 1))
+        prediction = library.predict_next_velocity(history, sigma=0.004)
+        halt_center = VGRID.cell_center(stop_pattern.cells[3])
+        assert prediction == pytest.approx([halt_center.x, halt_center.y])
+        assert library.n_confirmations == 1
+
+    def test_non_matching_history_returns_none(self, stop_pattern):
+        library = PatternLibrary([stop_pattern], VGRID, DELTA)
+        history = np.tile([-0.04, -0.04], (3, 1))  # opposite direction
+        assert library.predict_next_velocity(history, sigma=0.004) is None
+
+    def test_history_shorter_than_min_prefix(self, stop_pattern):
+        library = PatternLibrary([stop_pattern], VGRID, DELTA, min_prefix=3)
+        history = np.tile([0.025, 0.005], (2, 1))
+        assert library.predict_next_velocity(history, sigma=0.004) is None
+
+    def test_constant_prefix_gated(self, stop_pattern):
+        """With the default gate, a constant cruise prefix never fires."""
+        library = PatternLibrary([stop_pattern], VGRID, DELTA)
+        cruise_center = VGRID.cell_center(stop_pattern.cells[0])
+        history = np.tile(cruise_center.as_tuple(), (3, 1))
+        assert library.predict_next_velocity(history, sigma=0.004) is None
+
+    def test_longest_context_wins(self):
+        """Two patterns share a 2-step prefix; the one explaining 3 steps
+        of history dictates the continuation."""
+        a, b, c, d = (
+            vcell(0.025, 0.005),
+            vcell(0.005, 0.025),
+            vcell(-0.025, 0.005),
+            vcell(0.005, -0.025),
+        )
+        short = TrajectoryPattern((a, a, d))  # 2-prefix (a, a) -> d
+        long = TrajectoryPattern((b, a, a, c))  # 3-prefix (b, a, a) -> c
+        library = PatternLibrary([short, long], VGRID, DELTA)
+        history = np.array(
+            [VGRID.cell_center(b).as_tuple()]
+            + [VGRID.cell_center(a).as_tuple()] * 2
+        )
+        prediction = library.predict_next_velocity(history, sigma=0.004)
+        expected = VGRID.cell_center(c)
+        assert prediction == pytest.approx([expected.x, expected.y])
+
+
+class TestPatternOverride:
+    def test_agreeing_pattern_defers_to_model(self, stop_pattern):
+        """With a min_deviation gate, a pattern that predicts what the
+        model already predicts returns None (model precision wins)."""
+        cruise = TrajectoryPattern(tuple([stop_pattern.cells[0]] * 4))
+        library = PatternLibrary([cruise], VGRID, DELTA)
+        override = pattern_override(library, 0.004, min_deviation=0.01)
+        cruise_v = np.array(VGRID.cell_center(cruise.cells[0]).as_tuple())
+        estimates = np.cumsum(np.tile(cruise_v, (5, 1)), axis=0)
+        model = LinearModel()
+        model.observe(3.0, estimates[-2])
+        model.observe(4.0, estimates[-1])
+        delivered = np.array([True, False, False, False, True])
+        assert override(5, estimates, model, delivered) is None
+
+    def test_disagreeing_pattern_overrides(self, stop_pattern):
+        library = PatternLibrary(
+            [stop_pattern], VGRID, DELTA, require_nonconstant_prefix=False
+        )
+        override = pattern_override(library, 0.004, min_deviation=0.01)
+        cruise_v = np.array(VGRID.cell_center(stop_pattern.cells[0]).as_tuple())
+        estimates = np.cumsum(np.tile(cruise_v, (5, 1)), axis=0)
+        model = LinearModel()
+        model.observe(3.0, estimates[-2])
+        model.observe(4.0, estimates[-1])
+        delivered = np.array([True, False, False, False, True])
+        prediction = override(5, estimates, model, delivered)
+        assert prediction is not None
+        halt_center = VGRID.cell_center(stop_pattern.cells[3])
+        assert prediction == pytest.approx(
+            estimates[-1] + [halt_center.x, halt_center.y]
+        )
+
+    def test_empty_library_never_overrides(self):
+        library = PatternLibrary([], VGRID, DELTA)
+        override = pattern_override(library, 0.004)
+        assert override(3, np.zeros((3, 2)), LinearModel(), np.array([True, True, True])) is None
+
+
+class TestComparePrediction:
+    def _stop_and_go_path(self, n_cycles=6):
+        """Cruise 4 ticks, halt 2 ticks, repeat -- highly patterned."""
+        velocities = ([np.array([0.025, 0.005])] * 4 + [np.array([0.005, 0.005])] * 2) * n_cycles
+        positions = np.cumsum([np.zeros(2)] + velocities, axis=0)
+        return GroundTruthPath(positions)
+
+    def test_helpful_patterns_reduce_mispredictions(self, stop_pattern):
+        resume = TrajectoryPattern(
+            (
+                stop_pattern.cells[3],
+                stop_pattern.cells[3],
+                stop_pattern.cells[0],
+                stop_pattern.cells[0],
+            )
+        )
+        library = PatternLibrary(
+            [stop_pattern, resume], VGRID, DELTA, require_nonconstant_prefix=False
+        )
+        config = ReportingConfig(uncertainty=0.012, confidence_c=2.0)
+        comparison = compare_prediction(
+            [self._stop_and_go_path()], LinearModel, config, library,
+            recency=None,
+        )
+        assert comparison.base_mispredictions > 0
+        assert comparison.augmented_mispredictions < comparison.base_mispredictions
+        assert 0 < comparison.reduction <= 1
+
+    def test_empty_library_changes_nothing(self):
+        library = PatternLibrary([], VGRID, DELTA)
+        config = ReportingConfig(uncertainty=0.012)
+        comparison = compare_prediction(
+            [self._stop_and_go_path()], LinearModel, config, library
+        )
+        assert comparison.reduction == 0.0
+        assert comparison.base_mispredictions == comparison.augmented_mispredictions
+
+    def test_zero_base_mispredictions(self):
+        straight = GroundTruthPath(
+            np.cumsum(np.tile([0.02, 0.0], (10, 1)), axis=0)
+        )
+        library = PatternLibrary([], VGRID, DELTA)
+        config = ReportingConfig(uncertainty=0.5)
+        comparison = compare_prediction([straight], LinearModel, config, library)
+        assert comparison.base_mispredictions == 0
+        assert comparison.reduction == 0.0

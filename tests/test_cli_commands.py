@@ -1,0 +1,109 @@
+"""End-to-end tests for the library CLI commands (mine / score / suggest)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.cli as cli
+from repro.datagen.observe import observe_paths
+from repro.datagen.random_walk import correlated_random_walks
+from repro.trajectory.io import save_dataset_jsonl
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    rng = np.random.default_rng(5)
+    paths = correlated_random_walks(8, 15, rng, step=0.03, turn_sigma=0.1)
+    dataset = observe_paths(paths, sigma=0.01, rng=rng)
+    path = tmp_path / "walks.jsonl"
+    save_dataset_jsonl(dataset, path)
+    return path
+
+
+class TestSuggestCommand:
+    def test_prints_section5_rules(self, dataset_file, capsys):
+        assert cli.main(["suggest", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "gamma" in out and "3 sigma" in out
+
+
+class TestMineCommand:
+    def test_mines_and_writes_pattern_file(self, dataset_file, tmp_path, capsys):
+        out_file = tmp_path / "patterns.json"
+        code = cli.main(
+            [
+                "mine",
+                str(dataset_file),
+                "--output",
+                str(out_file),
+                "-k",
+                "5",
+                "--max-length",
+                "3",
+                "--cell-size",
+                "0.03",
+                "--min-prob",
+                "1e-4",
+                "--show",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mined 5 patterns" in out
+        document = json.loads(out_file.read_text())
+        assert document["format"] == "repro.mining-result"
+        assert len(document["patterns"]) == 5
+
+
+class TestScoreCommand:
+    def test_rescores_pattern_file(self, dataset_file, tmp_path, capsys):
+        out_file = tmp_path / "patterns.json"
+        cli.main(
+            [
+                "mine",
+                str(dataset_file),
+                "--output",
+                str(out_file),
+                "-k",
+                "4",
+                "--max-length",
+                "3",
+                "--cell-size",
+                "0.03",
+                "--delta",
+                "0.03",
+                "--min-prob",
+                "1e-4",
+            ]
+        )
+        capsys.readouterr()
+        code = cli.main(
+            [
+                "score",
+                str(out_file),
+                str(dataset_file),
+                "--delta",
+                "0.03",
+                "--min-prob",
+                "1e-4",
+                "--show",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "re-scored 4 patterns" in out
+        assert "NM" in out
+
+    def test_score_requires_delta(self, dataset_file, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["score", "p.json", str(dataset_file)])
+
+
+class TestRunAliases:
+    def test_run_form_equivalent(self, monkeypatch, capsys):
+        monkeypatch.setitem(cli._EXPERIMENTS, "table1", lambda scale: f"T1@{scale}")
+        assert cli.main(["run", "table1", "--scale", "small"]) == 0
+        assert "T1@small" in capsys.readouterr().out

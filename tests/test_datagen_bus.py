@@ -1,0 +1,107 @@
+"""Tests for the bus-fleet generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.bus import BusFleetConfig, BusFleetGenerator, BusRoute
+
+
+@pytest.fixture
+def config():
+    return BusFleetConfig(
+        n_routes=2, buses_per_route=3, n_days=2, n_ticks=40, n_stops=2
+    )
+
+
+class TestBusRoute:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusRoute(np.zeros((2, 2)), np.empty(0), "r")
+
+    def test_length_of_unit_square_loop(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        route = BusRoute(square, np.empty(0), "r")
+        assert route.length == pytest.approx(4.0)
+
+    def test_position_at_wraps(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        route = BusRoute(square, np.empty(0), "r")
+        assert np.allclose(route.position_at(0.5), [0.5, 0.0])
+        assert np.allclose(route.position_at(4.5), [0.5, 0.0])
+        assert np.allclose(route.position_at(1.5), [1.0, 0.5])
+
+    def test_distance_to_next_stop(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        route = BusRoute(square, np.array([1.0, 3.0]), "r")
+        assert route.distance_to_next_stop(0.5) == pytest.approx(0.5)
+        assert route.distance_to_next_stop(3.5) == pytest.approx(1.5)  # wraps
+
+    def test_no_stops(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        route = BusRoute(square, np.empty(0), "r")
+        assert route.distance_to_next_stop(0.0) == float("inf")
+
+
+class TestGenerator:
+    def test_path_count_and_shape(self, config, rng):
+        paths = BusFleetGenerator(config).generate_paths(rng)
+        assert len(paths) == 2 * 3 * 2
+        assert all(len(p) == 40 for p in paths)
+
+    def test_labels_are_routes(self, config, rng):
+        paths = BusFleetGenerator(config).generate_paths(rng)
+        assert {p.label for p in paths} == {"route-0", "route-1"}
+
+    def test_deterministic_given_seed(self, config):
+        a = BusFleetGenerator(config).generate_paths(np.random.default_rng(5))
+        b = BusFleetGenerator(config).generate_paths(np.random.default_rng(5))
+        assert all(np.allclose(x.positions, y.positions) for x, y in zip(a, b))
+
+    def test_buses_stay_on_route(self, config, rng):
+        gen = BusFleetGenerator(config)
+        routes = gen.make_routes(np.random.default_rng(9))
+        # Drive one bus and check every position is on its route polyline.
+        path = gen._drive(routes[0], 0.0, np.random.default_rng(1), "x")
+        arcs = np.linspace(0, routes[0].length, 3000, endpoint=False)
+        polyline = np.array([routes[0].position_at(a) for a in arcs])
+        for position in path.positions:
+            distance = np.hypot(*(polyline - position).T).min()
+            assert distance < 0.01
+
+    def test_dwell_produces_repeated_positions(self, config, rng):
+        paths = BusFleetGenerator(config).generate_paths(rng)
+        # With stops and dwell, some consecutive positions must coincide.
+        found_dwell = any(
+            np.any(np.all(np.diff(p.positions, axis=0) == 0.0, axis=1))
+            for p in paths
+        )
+        assert found_dwell
+
+    def test_same_route_buses_share_velocity_motifs(self, config, rng):
+        """Buses on one route revisit the same velocity values -- the
+        property the Fig. 3 experiment depends on."""
+        paths = BusFleetGenerator(config).generate_paths(rng)
+        route0 = [p for p in paths if p.label == "route-0"]
+        a, b = route0[0].velocities(), route0[1].velocities()
+        # Compare velocity direction histograms (coarse 8-sector bins).
+        def sector_histogram(v):
+            moving = np.hypot(v[:, 0], v[:, 1]) > 1e-9
+            angles = np.arctan2(v[moving, 1], v[moving, 0])
+            return np.histogram(angles, bins=8, range=(-np.pi, np.pi))[0] / max(
+                moving.sum(), 1
+            )
+
+        overlap = np.minimum(sector_histogram(a), sector_histogram(b)).sum()
+        assert overlap > 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BusFleetConfig(n_routes=0)
+        with pytest.raises(ValueError):
+            BusFleetConfig(n_ticks=1)
+        with pytest.raises(ValueError):
+            BusFleetConfig(n_waypoints=2)
+        with pytest.raises(ValueError):
+            BusFleetConfig(n_stops=99)
+        with pytest.raises(ValueError):
+            BusFleetConfig(cruise_speed=0.0)

@@ -1,0 +1,135 @@
+"""Tests for the road-network generator, random walks and observation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.network import RoadNetworkConfig, RoadNetworkGenerator, _walk_polyline
+from repro.datagen.observe import observe_paths
+from repro.datagen.random_walk import correlated_random_walks
+from repro.mobility.objects import GroundTruthPath, paths_bounding_box
+
+
+class TestRoadNetwork:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(grid_side=1)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(jitter=0.5)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(speed_low=0.0)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(speed_low=0.2, speed_high=0.1)
+
+    def test_network_structure(self, rng):
+        config = RoadNetworkConfig(grid_side=4)
+        graph = RoadNetworkGenerator(config).make_network(rng)
+        assert graph.number_of_nodes() == 16
+        assert all("pos" in graph.nodes[n] for n in graph.nodes)
+        assert all("weight" in graph.edges[e] for e in graph.edges)
+
+    def test_paths_shape(self, rng):
+        config = RoadNetworkConfig(n_objects=4, n_ticks=30)
+        paths = RoadNetworkGenerator(config).generate_paths(rng)
+        assert len(paths) == 4
+        assert all(p.positions.shape == (30, 2) for p in paths)
+
+    def test_constant_speed(self, rng):
+        config = RoadNetworkConfig(n_objects=2, n_ticks=40)
+        paths = RoadNetworkGenerator(config).generate_paths(rng)
+        for path in paths:
+            v = path.velocities()
+            speeds = np.hypot(v[:, 0], v[:, 1])
+            # Straight segments move at the per-object speed; corner ticks
+            # cut across, so speeds never exceed it (plus rounding).
+            assert speeds.max() <= config.speed_high + 1e-9
+            assert np.median(speeds) >= config.speed_low - 1e-9
+
+    def test_walk_polyline_exact(self):
+        waypoints = np.array([[0, 0], [1, 0], [1, 1]], dtype=float)
+        positions = _walk_polyline(waypoints, speed=0.5, n_ticks=4)
+        assert np.allclose(positions, [[0, 0], [0.5, 0], [1, 0], [1, 0.5]])
+
+    def test_walk_polyline_too_short(self):
+        waypoints = np.array([[0, 0], [1, 0]], dtype=float)
+        with pytest.raises(ValueError):
+            _walk_polyline(waypoints, speed=1.0, n_ticks=5)
+
+
+class TestRandomWalks:
+    def test_shape_and_step_length(self, rng):
+        walks = correlated_random_walks(5, 20, rng, step=0.03)
+        assert len(walks) == 5
+        for walk in walks:
+            v = walk.velocities()
+            assert np.allclose(np.hypot(v[:, 0], v[:, 1]), 0.03)
+
+    def test_zero_turn_is_straight(self, rng):
+        walk = correlated_random_walks(1, 10, rng, turn_sigma=0.0)[0]
+        v = walk.velocities()
+        assert np.allclose(v, v[0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            correlated_random_walks(0, 10, rng)
+        with pytest.raises(ValueError):
+            correlated_random_walks(1, 1, rng)
+        with pytest.raises(ValueError):
+            correlated_random_walks(1, 10, rng, step=-1.0)
+
+
+class TestObservePaths:
+    def test_validation(self, rng):
+        paths = correlated_random_walks(2, 10, rng)
+        with pytest.raises(ValueError):
+            observe_paths(paths, sigma=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            observe_paths(paths, sigma=0.1)  # perturb without rng
+
+    def test_noiseless_mode(self, rng):
+        paths = correlated_random_walks(2, 10, rng)
+        ds = observe_paths(paths, sigma=0.05, perturb=False)
+        assert np.allclose(ds[0].means, paths[0].positions)
+        assert set(ds[0].sigmas) == {0.05}
+
+    def test_perturbation_scale(self, rng):
+        paths = correlated_random_walks(1, 2000, rng, step=0.0)
+        ds = observe_paths(paths, sigma=0.05, rng=np.random.default_rng(1))
+        errors = ds[0].means - paths[0].positions
+        assert errors.std() == pytest.approx(0.05, abs=0.005)
+
+    def test_metadata_and_ids(self, rng):
+        paths = correlated_random_walks(2, 10, rng)
+        ds = observe_paths(paths, sigma=0.05, rng=rng)
+        assert ds.metadata["sigma"] == 0.05
+        assert ds[0].object_id == "walker-0"
+
+
+class TestGroundTruthPath:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroundTruthPath(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            GroundTruthPath(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            GroundTruthPath(np.array([[0, 0], [np.inf, 0]]))
+
+    def test_velocities_and_distance(self):
+        path = GroundTruthPath(np.array([[0, 0], [3, 4], [3, 4]], dtype=float))
+        assert np.allclose(path.velocities(), [[3, 4], [0, 0]])
+        assert path.total_distance() == pytest.approx(5.0)
+
+    def test_positions_frozen(self):
+        path = GroundTruthPath(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            path.positions[0, 0] = 1.0
+
+    def test_bounding_box_helper(self):
+        paths = [
+            GroundTruthPath(np.array([[0, 0], [1, 1]], dtype=float)),
+            GroundTruthPath(np.array([[-1, 2], [0, 0]], dtype=float)),
+        ]
+        assert paths_bounding_box(paths) == (-1.0, 0.0, 1.0, 2.0)
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(ValueError):
+            paths_bounding_box([])

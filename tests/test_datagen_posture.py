@@ -1,0 +1,92 @@
+"""Tests for the human-posture sequence generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.posture import PostureConfig, PostureGenerator
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PostureConfig(n_postures=1)
+        with pytest.raises(ValueError):
+            PostureConfig(n_subjects=0)
+        with pytest.raises(ValueError):
+            PostureConfig(dwell_mean=0.0)
+        with pytest.raises(ValueError):
+            PostureConfig(transition_ticks=0)
+        with pytest.raises(ValueError):
+            PostureConfig(jitter=-0.1)
+
+
+class TestGenerator:
+    @pytest.fixture
+    def generator(self):
+        return PostureGenerator(
+            PostureConfig(n_postures=4, n_subjects=6, n_ticks=60)
+        )
+
+    def test_anchor_layout(self, generator, rng):
+        anchors = generator.make_anchors(rng)
+        assert anchors.shape == (4, 2)
+        diff = anchors[:, None, :] - anchors[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        np.fill_diagonal(dist, np.inf)
+        assert dist.min() > 0.1  # rejection sampling spreads them out
+
+    def test_transition_matrix_stochastic(self, generator, rng):
+        kernel = generator.make_transition_matrix(rng)
+        assert kernel.shape == (4, 4)
+        assert np.allclose(kernel.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(kernel), 0.0)  # self_avoid default
+
+    def test_paths_shape(self, generator, rng):
+        paths = generator.generate_paths(rng)
+        assert len(paths) == 6
+        assert all(p.positions.shape == (60, 2) for p in paths)
+
+    def test_deterministic(self, generator):
+        a = generator.generate_paths(np.random.default_rng(9))
+        b = generator.generate_paths(np.random.default_rng(9))
+        assert all(np.allclose(x.positions, y.positions) for x, y in zip(a, b))
+
+    def test_dwell_structure(self, generator, rng):
+        """Subjects spend most ticks nearly stationary (holding postures)."""
+        paths = generator.generate_paths(rng)
+        for path in paths:
+            v = path.velocities()
+            speed = np.hypot(v[:, 0], v[:, 1])
+            holding = (speed < 0.05).mean()
+            # Poisson dwells make the ratio noisy; holding still dominates
+            # transitions clearly on average.
+            assert holding > 0.4
+
+    def test_positions_near_anchors_while_holding(self, rng):
+        config = PostureConfig(n_postures=3, n_subjects=3, n_ticks=50, jitter=0.005)
+        generator = PostureGenerator(config)
+        anchor_rng = np.random.default_rng(4)
+        anchors = generator.make_anchors(anchor_rng)
+        # Regenerate with the same rng stream to keep anchors identical.
+        paths = generator.generate_paths(np.random.default_rng(4))
+        for path in paths:
+            d = np.hypot(
+                *(path.positions[:, None, :] - anchors[None, :, :]).transpose(2, 0, 1)
+            ).min(axis=1)
+            # Most ticks sit near some anchor (transitions are brief).
+            assert (d < 0.05).mean() > 0.6
+
+    def test_minable_patterns_exist(self, rng):
+        """End-to-end: posture sequences recur, so the miner finds patterns
+        with snapshots at more than one posture (a transition motif)."""
+        from repro.core.engine import EngineConfig, NMEngine
+        from repro.core.trajpattern import TrajPatternMiner
+        from repro.datagen.observe import observe_paths
+
+        config = PostureConfig(n_postures=4, n_subjects=10, n_ticks=80)
+        paths = PostureGenerator(config).generate_paths(np.random.default_rng(2))
+        dataset = observe_paths(paths, sigma=0.02, rng=np.random.default_rng(3))
+        grid = dataset.make_grid(0.05)
+        engine = NMEngine(dataset, grid, EngineConfig(delta=0.05, min_prob=1e-4))
+        result = TrajPatternMiner(engine, k=15, min_length=3, max_length=5).mine()
+        assert any(len(set(p.cells)) > 1 for p in result.patterns)

@@ -1,0 +1,119 @@
+"""Tests for the ZebraNet-style herd generator and movement statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.movement_stats import MovementStats
+from repro.datagen.zebranet import ZebraNetConfig, ZebraNetGenerator
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZebraNetConfig(n_groups=0)
+        with pytest.raises(ValueError):
+            ZebraNetConfig(n_ticks=1)
+        with pytest.raises(ValueError):
+            ZebraNetConfig(extent=0.0)
+        with pytest.raises(ValueError):
+            ZebraNetConfig(p_leave=1.5)
+
+    def test_n_trajectories(self):
+        assert ZebraNetConfig(n_groups=3, zebras_per_group=4).n_trajectories == 12
+
+
+class TestGenerator:
+    @pytest.fixture
+    def paths(self, rng):
+        config = ZebraNetConfig(n_groups=4, zebras_per_group=5, n_ticks=80)
+        return ZebraNetGenerator(config).generate_paths(rng)
+
+    def test_shape(self, paths):
+        assert len(paths) == 20
+        assert all(p.positions.shape == (80, 2) for p in paths)
+
+    def test_deterministic(self):
+        config = ZebraNetConfig(n_groups=2, zebras_per_group=3, n_ticks=30)
+        a = ZebraNetGenerator(config).generate_paths(np.random.default_rng(3))
+        b = ZebraNetGenerator(config).generate_paths(np.random.default_rng(3))
+        assert all(np.allclose(x.positions, y.positions) for x, y in zip(a, b))
+
+    def test_group_members_move_together(self, paths):
+        """Two zebras of one group stay far closer than zebras of
+        different groups drift apart (group-shared steps)."""
+        same = np.hypot(*(paths[0].positions - paths[1].positions).T)
+        other = np.hypot(*(paths[0].positions - paths[6].positions).T)
+        assert same.mean() < other.mean()
+
+    def test_group_spread_stays_bounded_without_leaving(self, rng):
+        config = ZebraNetConfig(
+            n_groups=1, zebras_per_group=4, n_ticks=100, p_leave=0.0
+        )
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        final_spread = np.std([p.positions[-1] for p in paths], axis=0).max()
+        # Jitter is a random walk of scale 0.002 per tick => std ~ 0.02.
+        assert final_spread < 0.1
+
+    def test_leave_events_occur(self, rng):
+        config = ZebraNetConfig(
+            n_groups=2, zebras_per_group=10, n_ticks=200, p_leave=0.05
+        )
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        assert any(p.label == "solo" for p in paths)
+
+    def test_no_leaving_when_disabled(self, rng):
+        config = ZebraNetConfig(n_groups=2, zebras_per_group=3, p_leave=0.0)
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        assert all(p.label.startswith("group-") for p in paths)
+
+
+class TestMovementStats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovementStats(np.array([]), 0.1)
+        with pytest.raises(ValueError):
+            MovementStats(np.array([-0.1]), 0.1)
+        with pytest.raises(ValueError):
+            MovementStats(np.array([0.1]), -0.1)
+
+    def test_zebra_like_reproducible(self):
+        a = MovementStats.zebra_like()
+        b = MovementStats.zebra_like()
+        assert np.array_equal(a.step_lengths, b.step_lengths)
+        assert a.turn_sigma == b.turn_sigma
+
+    def test_zebra_like_is_heavy_tailed(self):
+        stats = MovementStats.zebra_like()
+        steps = stats.step_lengths
+        assert np.median(steps) < steps.mean()  # right-skewed mixture
+
+    def test_sample_distance_from_pool(self, rng):
+        stats = MovementStats(np.array([0.1, 0.2]), 0.1)
+        samples = stats.sample_distance(100, rng)
+        assert set(np.round(samples, 6)) <= {0.1, 0.2}
+
+    def test_next_heading_wraps(self, rng):
+        stats = MovementStats(np.array([0.1]), turn_sigma=0.5)
+        headings = stats.next_heading(np.full(1000, 6.2), rng)
+        assert np.all((0 <= headings) & (headings < 2 * np.pi))
+
+    def test_from_paths_roundtrip(self, rng):
+        """Statistics extracted from generated herds resemble the source
+        distribution (the paper's extraction step is self-consistent)."""
+        source = MovementStats.zebra_like()
+        config = ZebraNetConfig(
+            n_groups=6, zebras_per_group=4, n_ticks=150, individual_jitter=0.0
+        )
+        paths = ZebraNetGenerator(config, stats=source).generate_paths(rng)
+        extracted = MovementStats.from_paths(paths)
+        assert extracted.mean_step == pytest.approx(source.mean_step, rel=0.25)
+
+    def test_from_paths_requires_paths(self):
+        with pytest.raises(ValueError):
+            MovementStats.from_paths([])
+
+    def test_from_paths_downsamples_pool(self, rng):
+        config = ZebraNetConfig(n_groups=2, zebras_per_group=2, n_ticks=200)
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        stats = MovementStats.from_paths(paths, max_pool=50)
+        assert len(stats.step_lengths) <= 50

@@ -1,0 +1,89 @@
+"""Unit tests for repro.trajectory.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+def make(n_snapshots, sigma=0.1, offset=0.0, object_id=""):
+    means = np.column_stack(
+        [np.arange(n_snapshots) * 0.1 + offset, np.zeros(n_snapshots)]
+    )
+    return UncertainTrajectory(means, sigma, object_id=object_id)
+
+
+@pytest.fixture
+def dataset():
+    return TrajectoryDataset(
+        [make(5, 0.1, 0.0, "a"), make(7, 0.2, 1.0, "b"), make(3, 0.05, 2.0, "c")],
+        metadata={"kind": "location"},
+    )
+
+
+class TestBasics:
+    def test_len_iter_getitem(self, dataset):
+        assert len(dataset) == 3
+        assert dataset[1].object_id == "b"
+        assert [t.object_id for t in dataset] == ["a", "b", "c"]
+
+    def test_total_snapshots_and_mean_length(self, dataset):
+        assert dataset.total_snapshots() == 15
+        assert dataset.mean_length() == pytest.approx(5.0)
+
+    def test_empty_dataset_stats(self):
+        empty = TrajectoryDataset([])
+        assert empty.mean_length() == 0.0
+        assert empty.total_snapshots() == 0
+        with pytest.raises(ValueError):
+            empty.bounding_box()
+        with pytest.raises(ValueError):
+            empty.max_sigma()
+
+    def test_all_means_stacked(self, dataset):
+        assert dataset.all_means().shape == (15, 2)
+
+    def test_max_sigma(self, dataset):
+        assert dataset.max_sigma() == pytest.approx(0.2)
+
+
+class TestGeometry:
+    def test_bounding_box(self, dataset):
+        box = dataset.bounding_box()
+        assert box.min_x == pytest.approx(0.0)
+        assert box.max_x == pytest.approx(2.2)
+
+    def test_bounding_box_sigma_padding(self, dataset):
+        padded = dataset.bounding_box(n_sigmas=2.0)
+        assert padded.min_x == pytest.approx(-0.4)
+
+    def test_make_grid_covers_sigma_margin(self, dataset):
+        grid = dataset.make_grid(0.1)
+        box = dataset.bounding_box(n_sigmas=4.0)
+        assert grid.bbox.min_x <= box.min_x
+        assert grid.bbox.max_x >= box.max_x
+
+
+class TestFunctional:
+    def test_filter(self, dataset):
+        longer = dataset.filter(lambda t: len(t) >= 5)
+        assert [t.object_id for t in longer] == ["a", "b"]
+        assert longer.metadata == dataset.metadata
+
+    def test_split(self, dataset):
+        head, tail = dataset.split(2)
+        assert [t.object_id for t in head] == ["a", "b"]
+        assert [t.object_id for t in tail] == ["c"]
+
+    def test_split_bounds(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(4)
+
+    def test_subset(self, dataset):
+        sub = dataset.subset([2, 0])
+        assert [t.object_id for t in sub] == ["c", "a"]
+
+    def test_shuffled_is_permutation(self, dataset):
+        shuffled = dataset.shuffled(np.random.default_rng(0))
+        assert sorted(t.object_id for t in shuffled) == ["a", "b", "c"]

@@ -1,0 +1,126 @@
+"""Edge-case behaviour across components.
+
+These pin down behaviours at the boundaries of the configuration space --
+degenerate pattern/trajectory sizes, deliberately truncated indexes,
+single-level miners -- where regressions typically hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.match_miner import MatchMiner
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.core.trajpattern import TrajPatternMiner
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+GRID = Grid(BoundingBox.unit(), nx=4, ny=4)
+
+
+def engine_for(trajectories, **config_kwargs):
+    defaults = dict(delta=0.25, min_prob=1e-4)
+    defaults.update(config_kwargs)
+    return NMEngine(
+        TrajectoryDataset(trajectories), GRID, EngineConfig(**defaults)
+    )
+
+
+class TestDegenerateSizes:
+    def test_single_snapshot_trajectories(self):
+        engine = engine_for(
+            [UncertainTrajectory([[0.4, 0.4]], 0.1) for _ in range(3)]
+        )
+        cell = engine.active_cells[0]
+        # Length-1 pattern has windows; length-2 has none anywhere.
+        assert engine.nm(TrajectoryPattern((cell,))) > 3 * engine.floor_log_prob
+        assert engine.nm(TrajectoryPattern((cell, cell))) == pytest.approx(
+            3 * engine.floor_log_prob
+        )
+
+    def test_pattern_longer_than_every_trajectory(self):
+        engine = engine_for(
+            [UncertainTrajectory(np.full((2, 2), 0.5), 0.1)]
+        )
+        long = TrajectoryPattern(tuple(engine.active_cells[:1]) * 5)
+        assert engine.nm(long) == engine.floor_log_prob
+        assert engine.match(long) == pytest.approx(
+            np.exp(engine.floor_log_prob * 5)
+        )
+
+    def test_mixed_length_dataset_window_plumbing(self):
+        """Trajectories shorter than the pattern interleave with longer
+        ones; boundary masking must not leak windows across them."""
+        rng = np.random.default_rng(0)
+        trajectories = [
+            UncertainTrajectory(rng.uniform(0.3, 0.7, (n, 2)), 0.1)
+            for n in (5, 2, 6, 1, 4)
+        ]
+        engine = engine_for(trajectories)
+        from repro.core.measures import nm_pattern_dataset
+
+        cells = engine.active_cells
+        pattern = TrajectoryPattern((cells[0], cells[1], cells[0]))
+        expected = nm_pattern_dataset(
+            pattern,
+            engine.dataset,
+            GRID,
+            0.25,
+            min_log_prob=engine.floor_log_prob,
+        )
+        assert engine.nm(pattern) == pytest.approx(expected, abs=1e-9)
+
+
+class TestTruncatedIndex:
+    def test_explicit_small_radius_stays_consistent(self):
+        """An explicitly truncated enumeration radius degrades gracefully:
+        stored entries still beat the floor and evaluation still runs."""
+        rng = np.random.default_rng(1)
+        trajectories = [
+            UncertainTrajectory(rng.uniform(0.2, 0.8, (6, 2)), 0.15)
+            for _ in range(4)
+        ]
+        truncated = engine_for(trajectories, radius_sigmas=1.0)
+        full = engine_for(trajectories)
+        assert truncated.n_index_entries < full.n_index_entries
+        cell = truncated.active_cells[0]
+        # Truncation can only *lower* stored probabilities toward the
+        # floor, never raise them.
+        assert truncated.nm(TrajectoryPattern((cell,))) <= full.nm(
+            TrajectoryPattern((cell,))
+        ) + 1e-9
+
+
+class TestSingleLevelMiners:
+    def test_match_miner_max_length_one(self, tiny_engine):
+        result = MatchMiner(tiny_engine, k=3, max_length=1).mine()
+        assert all(p.is_singular for p in result.patterns)
+        table = tiny_engine.singular_match_table()
+        expected = sorted(table.values(), reverse=True)[:3]
+        assert result.match_values == pytest.approx(expected)
+
+    def test_trajpattern_max_length_one(self, tiny_engine):
+        result = TrajPatternMiner(tiny_engine, k=3, max_length=1).mine()
+        table = tiny_engine.singular_nm_table()
+        expected = sorted(table.values(), reverse=True)[:3]
+        assert result.nm_values == pytest.approx(expected)
+
+    def test_k_one(self, tiny_engine):
+        result = TrajPatternMiner(tiny_engine, k=1, max_length=3).mine()
+        assert len(result) == 1
+
+
+class TestIdenticalTrajectories:
+    def test_duplicates_scale_nm_linearly(self):
+        base = UncertainTrajectory(
+            GRID.cell_centers([0, 1, 2]).copy(), 0.1
+        )
+        one = engine_for([base])
+        three = engine_for([base, base, base])
+        pattern = TrajectoryPattern((0, 1))
+        assert three.nm(pattern) == pytest.approx(3 * one.nm(pattern), abs=1e-9)
+        assert three.match(pattern) == pytest.approx(
+            3 * one.match(pattern), rel=1e-9
+        )

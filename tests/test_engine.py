@@ -1,0 +1,289 @@
+"""Unit and equivalence tests for the vectorised NM engine.
+
+The central claim: :class:`NMEngine` computes exactly the same NM / match
+values as the scalar reference implementation in
+:mod:`repro.core.measures`, for every pattern, at floating-point accuracy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, NMEngine, build_engine
+from repro.core.measures import (
+    match_pattern_dataset,
+    nm_pattern_dataset,
+    nm_pattern_trajectory,
+)
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.uncertainty.gaussian import ProbModel
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(delta=0.1, min_prob=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(delta=0.1, min_prob=2.0)
+        with pytest.raises(ValueError):
+            EngineConfig(delta=0.1, radius_sigmas=-1.0)
+
+    def test_auto_radius_covers_min_prob(self):
+        config = EngineConfig(delta=0.1, min_prob=1e-6)
+        from scipy.stats import norm
+
+        assert norm.cdf(-config.effective_radius_sigmas()) == pytest.approx(
+            1e-6, rel=1e-6
+        )
+
+    def test_explicit_radius_respected(self):
+        config = EngineConfig(delta=0.1, radius_sigmas=3.0)
+        assert config.effective_radius_sigmas() == 3.0
+
+    def test_min_log_prob(self):
+        config = EngineConfig(delta=0.1, min_prob=1e-4)
+        assert config.min_log_prob == pytest.approx(np.log(1e-4))
+
+
+class TestEngineBasics:
+    def test_empty_dataset_rejected(self, unit_grid):
+        with pytest.raises(ValueError):
+            NMEngine(TrajectoryDataset([]), unit_grid, EngineConfig(delta=0.1))
+
+    def test_active_cells_sorted_and_touched(self, small_engine, small_dataset):
+        cells = small_engine.active_cells
+        assert cells == sorted(cells)
+        # Every cell that contains a snapshot mean must be active.
+        for traj in small_dataset:
+            for located in small_engine.grid.locate_many(traj.means):
+                assert int(located) in set(cells)
+
+    def test_build_engine_defaults(self, small_dataset):
+        engine = build_engine(small_dataset, cell_size=0.05)
+        assert engine.config.delta == 0.05
+
+    def test_log_prob_at_point_query(self, small_engine, small_dataset):
+        from repro.core.measures import position_log_probs
+
+        traj = small_dataset[0]
+        cell = int(small_engine.grid.locate(*traj.means[3]))
+        got = small_engine.log_prob_at(0, 3, cell)
+        expected = position_log_probs(
+            TrajectoryPattern((cell,)),
+            traj.window(3, 1),
+            small_engine.grid,
+            small_engine.config.delta,
+            min_log_prob=small_engine.floor_log_prob,
+        )[0]
+        assert got == pytest.approx(float(expected))
+
+    def test_log_prob_at_bounds(self, small_engine):
+        with pytest.raises(IndexError):
+            small_engine.log_prob_at(99, 0, 0)
+        with pytest.raises(IndexError):
+            small_engine.log_prob_at(0, 99, 0)
+
+    def test_log_prob_at_inactive_cell_is_floor(self, small_engine):
+        inactive = set(range(small_engine.grid.n_cells)) - set(
+            small_engine.active_cells
+        )
+        cell = next(iter(inactive))
+        assert small_engine.log_prob_at(0, 0, cell) == small_engine.floor_log_prob
+
+
+class TestScalarEquivalence:
+    """Engine == scalar oracle, exactly."""
+
+    def _check(self, engine, dataset, pattern):
+        floor = engine.floor_log_prob
+        nm_engine = engine.nm(pattern)
+        nm_scalar = nm_pattern_dataset(
+            pattern,
+            dataset,
+            engine.grid,
+            engine.config.delta,
+            model=engine.config.prob_model,
+            min_log_prob=floor,
+        )
+        assert nm_engine == pytest.approx(nm_scalar, abs=1e-9)
+        m_engine = engine.match(pattern)
+        m_scalar = match_pattern_dataset(
+            pattern,
+            dataset,
+            engine.grid,
+            engine.config.delta,
+            model=engine.config.prob_model,
+            min_log_prob=floor,
+        )
+        assert m_engine == pytest.approx(m_scalar, rel=1e-9, abs=1e-300)
+
+    def test_singular_patterns(self, small_engine, small_dataset):
+        for cell in small_engine.active_cells[::37]:
+            self._check(small_engine, small_dataset, TrajectoryPattern((cell,)))
+
+    def test_random_patterns(self, small_engine, small_dataset, rng):
+        cells = small_engine.active_cells
+        for length in (2, 3, 5):
+            for _ in range(5):
+                pattern = TrajectoryPattern(
+                    tuple(int(c) for c in rng.choice(cells, size=length))
+                )
+                self._check(small_engine, small_dataset, pattern)
+
+    def test_pattern_with_inactive_cells(self, small_engine, small_dataset):
+        inactive = sorted(
+            set(range(small_engine.grid.n_cells)) - set(small_engine.active_cells)
+        )
+        pattern = TrajectoryPattern((small_engine.active_cells[0], inactive[0]))
+        self._check(small_engine, small_dataset, pattern)
+
+    def test_pattern_longer_than_some_trajectories(self, rng):
+        trajs = [
+            UncertainTrajectory(rng.normal(0.5, 0.05, (n, 2)), 0.05)
+            for n in (2, 3, 8)
+        ]
+        dataset = TrajectoryDataset(trajs)
+        engine = build_engine(dataset, cell_size=0.05, min_prob=1e-5)
+        cells = engine.active_cells
+        pattern = TrajectoryPattern(tuple(cells[:4]))
+        self._check(engine, dataset, pattern)
+
+    def test_wildcard_patterns(self, small_engine, small_dataset):
+        cells = small_engine.active_cells
+        pattern = TrajectoryPattern((cells[0], WILDCARD, cells[1]))
+        floor = small_engine.floor_log_prob
+        nm_engine = small_engine.nm(pattern)
+        nm_scalar = nm_pattern_dataset(
+            pattern, small_dataset, small_engine.grid,
+            small_engine.config.delta, min_log_prob=floor,
+        )
+        assert nm_engine == pytest.approx(nm_scalar, abs=1e-9)
+
+    def test_disk_model_equivalence(self, small_dataset):
+        grid = small_dataset.make_grid(0.04)
+        engine = NMEngine(
+            small_dataset,
+            grid,
+            EngineConfig(delta=0.04, min_prob=1e-5, prob_model=ProbModel.DISK),
+        )
+        cells = engine.active_cells
+        self._check(engine, small_dataset, TrajectoryPattern((cells[3], cells[5])))
+
+    def test_per_trajectory_values(self, small_engine, small_dataset):
+        cells = small_engine.active_cells
+        pattern = TrajectoryPattern((cells[2], cells[3]))
+        per_traj = small_engine.nm_per_trajectory(pattern)
+        for i, traj in enumerate(small_dataset):
+            expected = nm_pattern_trajectory(
+                pattern,
+                traj,
+                small_engine.grid,
+                small_engine.config.delta,
+                min_log_prob=small_engine.floor_log_prob,
+            )
+            assert per_traj[i] == pytest.approx(expected, abs=1e-9)
+
+
+class TestSingularTables:
+    def test_nm_table_matches_direct(self, small_engine):
+        table = small_engine.singular_nm_table()
+        for cell in list(table)[::53]:
+            assert table[cell] == pytest.approx(
+                small_engine.nm(TrajectoryPattern((cell,))), abs=1e-9
+            )
+
+    def test_match_table_matches_direct(self, small_engine):
+        table = small_engine.singular_match_table()
+        for cell in list(table)[::53]:
+            assert table[cell] == pytest.approx(
+                small_engine.match(TrajectoryPattern((cell,))), rel=1e-9
+            )
+
+    def test_tables_cover_active_cells(self, small_engine):
+        assert set(small_engine.singular_nm_table()) == set(small_engine.active_cells)
+
+
+class TestExtensionTables:
+    def test_right_extensions_match_direct(self, small_engine, rng):
+        cells = small_engine.active_cells
+        for length in (1, 2, 3):
+            base = TrajectoryPattern(
+                tuple(int(c) for c in rng.choice(cells, size=length))
+            )
+            nm_table, match_table = small_engine.extend_right_tables(base)
+            assert set(nm_table) == set(cells)
+            for cell in rng.choice(cells, size=8):
+                ext = TrajectoryPattern(base.cells + (int(cell),))
+                assert nm_table[int(cell)] == pytest.approx(
+                    small_engine.nm(ext), abs=1e-9
+                )
+                assert match_table[int(cell)] == pytest.approx(
+                    small_engine.match(ext), rel=1e-9, abs=1e-300
+                )
+
+    def test_extension_with_short_trajectories(self, rng):
+        trajs = [
+            UncertainTrajectory(rng.normal(0.5, 0.03, (n, 2)), 0.05) for n in (2, 6)
+        ]
+        dataset = TrajectoryDataset(trajs)
+        engine = build_engine(dataset, cell_size=0.05, min_prob=1e-4)
+        base = TrajectoryPattern(tuple(engine.active_cells[:2]))
+        nm_table, _ = engine.extend_right_tables(base)
+        for cell in list(nm_table)[:5]:
+            ext = TrajectoryPattern(base.cells + (cell,))
+            assert nm_table[cell] == pytest.approx(engine.nm(ext), abs=1e-9)
+
+
+class TestBestWindow:
+    def test_best_window_position(self, small_engine, small_dataset):
+        traj = small_dataset[0]
+        grid = small_engine.grid
+        # Pattern traced from snapshots 4..6 of trajectory 0.
+        pattern = TrajectoryPattern.from_points(traj.means[4:7], grid)
+        start, nm = small_engine.best_window(pattern, 0)
+        direct = [
+            nm_pattern_trajectory(
+                pattern,
+                traj.window(s, 3),
+                grid,
+                small_engine.config.delta,
+                min_log_prob=small_engine.floor_log_prob,
+            )
+            for s in range(len(traj) - 2)
+        ]
+        assert nm == pytest.approx(max(direct), abs=1e-9)
+        assert start == int(np.argmax(direct))
+
+    def test_best_window_too_short(self, small_engine):
+        pattern = TrajectoryPattern(tuple(small_engine.active_cells[:25]))
+        assert small_engine.best_window(pattern, 0) is None
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 24), min_size=1, max_size=4), st.integers(0, 10_000))
+    def test_engine_equals_scalar_on_random_instances(self, cell_idx, seed):
+        rng = np.random.default_rng(seed)
+        trajs = [
+            UncertainTrajectory(
+                np.cumsum(rng.normal(0.02, 0.01, (rng.integers(2, 9), 2)), axis=0)
+                + rng.uniform(0, 0.3, 2),
+                rng.uniform(0.02, 0.08),
+            )
+            for _ in range(3)
+        ]
+        dataset = TrajectoryDataset(trajs)
+        grid = Grid(BoundingBox(-0.5, -0.5, 1.0, 1.0), nx=5, ny=5)
+        engine = NMEngine(dataset, grid, EngineConfig(delta=0.1, min_prob=1e-5))
+        pattern = TrajectoryPattern(tuple(c % grid.n_cells for c in cell_idx))
+        expected = nm_pattern_dataset(
+            pattern, dataset, grid, 0.1, min_log_prob=engine.floor_log_prob
+        )
+        assert engine.nm(pattern) == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast examples run to completion as scripts.
+
+The slower scenario examples (bus prediction, e-Flyer) are exercised by
+the corresponding experiment tests at miniature scale; here the two fast
+examples run for real so a broken import or API drift in `examples/`
+fails the suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys_argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = sys_argv
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "top-10 NM patterns" in out
+        assert "pattern groups" in out
+        assert "#" in out  # the ASCII canvas rendered patterns
+
+    def test_wildcard_and_groups(self, capsys):
+        out = run_example("wildcard_and_groups.py", capsys)
+        assert "wildcards (section 5):" in out
+        assert "min-max property" in out
+        assert "Apriori FAILS" in out
+        assert "gamma = 0.20" in out

@@ -1,0 +1,71 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        box = BoundingBox(0.0, 1.0, 2.0, 4.0)
+        assert box.width == pytest.approx(2.0)
+        assert box.height == pytest.approx(3.0)
+        assert box.center == Point(1.0, 2.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_allowed(self):
+        box = BoundingBox(1.0, 1.0, 1.0, 1.0)
+        assert box.width == 0.0
+        assert box.contains(1.0, 1.0)
+
+    def test_unit(self):
+        box = BoundingBox.unit()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 1, 1)
+
+
+class TestQueries:
+    def test_contains_interior_and_border(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(0.5, 0.5)
+        assert box.contains(0.0, 1.0)
+        assert not box.contains(1.0001, 0.5)
+
+    def test_expand(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0).expand(0.5)
+        assert (box.min_x, box.max_y) == (-0.5, 1.5)
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.unit().expand(-0.1)
+
+    def test_union(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(0.5, -1.0, 2.0, 0.5)
+        u = a.union(b)
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0.0, -1.0, 2.0, 1.0)
+
+
+class TestOfPoints:
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+        box = BoundingBox.of_points(pts)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0.0, -1.0, 2.0, 1.0)
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero points"):
+            BoundingBox.of_points(np.empty((0, 2)))
+
+    def test_of_points_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            BoundingBox.of_points(np.zeros((3, 3)))
+
+    def test_of_points_contains_all(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(50, 2))
+        box = BoundingBox.of_points(pts)
+        assert all(box.contains(x, y) for x, y in pts)

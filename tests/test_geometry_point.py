@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, distance
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPointArithmetic:
+    def test_add(self):
+        assert Point(1.0, 2.0) + Point(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_sub(self):
+        assert Point(1.0, 2.0) - Point(0.5, 1.0) == Point(0.5, 1.0)
+
+    def test_scalar_multiply_both_sides(self):
+        assert Point(1.0, -2.0) * 2 == Point(2.0, -4.0)
+        assert 2 * Point(1.0, -2.0) == Point(2.0, -4.0)
+
+    def test_divide(self):
+        assert Point(2.0, 4.0) / 2 == Point(1.0, 2.0)
+
+    def test_negate(self):
+        assert -Point(1.0, -2.0) == Point(-1.0, 2.0)
+
+    def test_unpacking(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_as_tuple(self):
+        assert Point(3.0, 4.0).as_tuple() == (3.0, 4.0)
+
+
+class TestPointGeometry:
+    def test_norm(self):
+        assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+
+    def test_dot(self):
+        assert Point(1.0, 2.0).dot(Point(3.0, 4.0)) == pytest.approx(11.0)
+
+    def test_distance_to(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_function_accepts_tuples(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+        assert distance(Point(0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_immutability(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        assert distance((ax, ay), (bx, by)) == pytest.approx(
+            distance((bx, by), (ax, ay))
+        )
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert distance((x, y), (x, y)) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_add_sub_roundtrip(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        back = (a + b) - b
+        assert math.isclose(back.x, a.x, abs_tol=1e-6)
+        assert math.isclose(back.y, a.y, abs_tol=1e-6)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = (ax, ay), (bx, by), (cx, cy)
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6

@@ -1,0 +1,119 @@
+"""End-to-end integration tests spanning the full pipeline.
+
+These run the whole chain at miniature scale: data generation ->
+dead-reckoning tracking -> velocity transform -> engine -> miners ->
+groups / applications, and check cross-component invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.match_miner import MatchMiner
+from repro.baselines.pb import PBMiner
+from repro.baselines.support import SupportMiner
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.datagen.bus import BusFleetConfig, BusFleetGenerator
+from repro.datagen.observe import observe_paths
+from repro.datagen.zebranet import ZebraNetConfig, ZebraNetGenerator
+from repro.mobility.models import LinearModel
+from repro.mobility.reporting import ReportingConfig
+from repro.mobility.server import track_fleet
+from repro.trajectory.io import load_dataset_jsonl, save_dataset_jsonl
+from repro.trajectory.velocity import to_velocity_dataset
+
+
+@pytest.fixture(scope="module")
+def bus_pipeline():
+    """Generate -> track -> velocities -> engine, shared by this module."""
+    config = BusFleetConfig(
+        n_routes=2, buses_per_route=2, n_days=2, n_ticks=40
+    )
+    paths = BusFleetGenerator(config).generate_paths(np.random.default_rng(11))
+    tracked = track_fleet(
+        paths, LinearModel, ReportingConfig(uncertainty=0.01, confidence_c=2.0)
+    )
+    locations = tracked.to_dataset()
+    velocities = to_velocity_dataset(locations)
+    grid = velocities.make_grid(0.006)
+    engine = NMEngine(
+        velocities,
+        grid,
+        EngineConfig(delta=0.006, min_prob=1e-4, max_cells_per_snapshot=64),
+    )
+    return paths, locations, velocities, engine
+
+
+class TestPipeline:
+    def test_tracking_preserves_shape(self, bus_pipeline):
+        paths, locations, velocities, _ = bus_pipeline
+        assert len(locations) == len(paths)
+        assert all(len(v) == len(l) - 1 for v, l in zip(velocities, locations))
+
+    def test_engine_has_signal(self, bus_pipeline):
+        *_, engine = bus_pipeline
+        assert len(engine.active_cells) > 10
+        assert engine.n_index_entries > 0
+
+    def test_mining_end_to_end(self, bus_pipeline):
+        *_, engine = bus_pipeline
+        result = TrajPatternMiner(engine, k=10, max_length=4).mine(
+            discover_groups=True
+        )
+        assert len(result) == 10
+        assert result.groups
+        # All mined patterns draw from the active alphabet.
+        active = set(engine.active_cells)
+        for pattern in result.patterns:
+            assert set(pattern.cells) <= active
+
+    def test_miners_agree_on_best_pattern(self, bus_pipeline):
+        """TrajPattern and PB (same measure) must return identical top-k;
+        the match miner ranks by a different measure but its top pattern's
+        NM can never exceed TrajPattern's best."""
+        *_, engine = bus_pipeline
+        tp = TrajPatternMiner(engine, k=5, max_length=3).mine()
+        pb, _ = PBMiner(engine, k=5, max_length=3).mine()
+        assert [p.cells for p in tp.patterns] == [p.cells for p in pb.patterns]
+        match_top = MatchMiner(engine, k=1, max_length=3).mine().patterns[0]
+        assert engine.nm(match_top) <= tp.nm_values[0] + 1e-9
+
+    def test_roundtrip_through_disk(self, bus_pipeline, tmp_path):
+        """Mining results are identical after a JSONL save/load cycle."""
+        *_, velocities, engine = bus_pipeline
+        file_path = tmp_path / "velocities.jsonl"
+        save_dataset_jsonl(velocities, file_path)
+        reloaded = load_dataset_jsonl(file_path)
+        engine2 = NMEngine(reloaded, engine.grid, engine.config)
+        a = TrajPatternMiner(engine, k=5, max_length=3).mine()
+        b = TrajPatternMiner(engine2, k=5, max_length=3).mine()
+        assert [p.cells for p in a.patterns] == [p.cells for p in b.patterns]
+        assert a.nm_values == pytest.approx(b.nm_values)
+
+
+class TestZebraNetPipeline:
+    def test_observe_and_mine(self):
+        config = ZebraNetConfig(n_groups=3, zebras_per_group=3, n_ticks=40)
+        rng = np.random.default_rng(2)
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        dataset = observe_paths(paths, sigma=0.01, rng=rng)
+        grid = dataset.make_grid(0.02)
+        engine = NMEngine(
+            dataset, grid, EngineConfig(delta=0.02, min_prob=1e-4)
+        )
+        result = TrajPatternMiner(engine, k=5, max_length=4).mine(
+            discover_groups=True
+        )
+        assert len(result) == 5
+        assert result.groups
+
+    def test_support_vs_nm_on_same_grid(self):
+        config = ZebraNetConfig(n_groups=2, zebras_per_group=4, n_ticks=30)
+        rng = np.random.default_rng(3)
+        paths = ZebraNetGenerator(config).generate_paths(rng)
+        dataset = observe_paths(paths, sigma=0.01, rng=rng)
+        grid = dataset.make_grid(0.02)
+        support = SupportMiner(dataset, grid, k=5, min_length=2).mine()
+        engine = NMEngine(dataset, grid, EngineConfig(delta=0.02, min_prob=1e-4))
+        nm = TrajPatternMiner(engine, k=5, min_length=2, max_length=4).mine()
+        assert len(support) > 0 and len(nm) == 5

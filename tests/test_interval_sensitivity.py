@@ -1,0 +1,36 @@
+"""Tests for the snapshot-interval sensitivity experiment (A5)."""
+
+import pytest
+
+from repro.experiments.interval_sensitivity import (
+    IntervalSensitivityConfig,
+    run_interval_sensitivity,
+)
+
+TINY = IntervalSensitivityConfig(
+    factors=(1, 2), k=3, n_trajectories=8, n_ticks=30
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_interval_sensitivity(TINY)
+
+
+class TestIntervalSensitivity:
+    def test_one_row_per_factor(self, result):
+        assert [row.factor for row in result.rows] == [1, 2]
+
+    def test_snapshot_counts_halve(self, result):
+        assert result.rows[1].snapshots == result.rows[0].snapshots // 2
+
+    def test_rows_populated(self, result):
+        for row in result.rows:
+            assert row.wall_time_s > 0
+            assert row.mean_length >= 1.0
+            assert row.mean_nm_per_position < 0  # log probabilities
+
+    def test_render(self, result):
+        text = result.render()
+        assert "snapshot interval" in text
+        assert text.count("\n") == len(result.rows) + 1

@@ -1,0 +1,116 @@
+"""Unit tests for repro.trajectory.io (JSONL / CSV round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.io import (
+    load_dataset_csv,
+    load_dataset_jsonl,
+    save_dataset_csv,
+    save_dataset_jsonl,
+)
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+@pytest.fixture
+def dataset(rng):
+    trajectories = [
+        UncertainTrajectory(
+            rng.normal(size=(5 + i, 2)),
+            rng.uniform(0.05, 0.2, 5 + i),
+            object_id=f"obj-{i}",
+            start_time=float(i),
+            dt=0.5,
+        )
+        for i in range(4)
+    ]
+    return TrajectoryDataset(trajectories, metadata={"kind": "velocity", "seed": 1})
+
+
+class TestJsonl:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset_jsonl(dataset, path)
+        loaded = load_dataset_jsonl(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.metadata == dataset.metadata
+        for a, b in zip(dataset, loaded):
+            assert a == b
+            assert a.start_time == b.start_time
+            assert a.dt == b.dt
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_dataset_jsonl(TrajectoryDataset([]), path)
+        assert len(load_dataset_jsonl(path)) == 0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "nothing.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            load_dataset_jsonl(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro trajectory file"):
+            load_dataset_jsonl(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro.trajectory", "version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_dataset_jsonl(path)
+
+    def test_corrupt_record_rejected_with_line_number(self, tmp_path, dataset):
+        path = tmp_path / "corrupt.jsonl"
+        save_dataset_jsonl(dataset, path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"means": [[0, 0]], "sigmas": [-1.0]}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":3:"):
+            load_dataset_jsonl(path)
+
+
+class TestCsv:
+    def test_roundtrip_values(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        save_dataset_csv(dataset, path)
+        loaded = load_dataset_csv(path)
+        assert len(loaded) == len(dataset)
+        for a, b in zip(dataset, loaded):
+            assert np.allclose(a.means, b.means)
+            assert np.allclose(a.sigmas, b.sigmas)
+            assert a.object_id == b.object_id
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="expected columns"):
+            load_dataset_csv(path)
+
+    def test_bad_row_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "object_id,snapshot,x,y,sigma\no,0,0.0,0.0,0.1\no,oops,1.0,1.0,0.1\n"
+        )
+        with pytest.raises(ValueError, match=":3:"):
+            load_dataset_csv(path)
+
+    def test_rows_sorted_by_snapshot(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text(
+            "object_id,snapshot,x,y,sigma\n"
+            "o,1,1.0,1.0,0.1\n"
+            "o,0,0.0,0.0,0.1\n"
+        )
+        loaded = load_dataset_csv(path)
+        assert np.allclose(loaded[0].means, [[0, 0], [1, 1]])
+
+    def test_anonymous_trajectories_get_ids(self, tmp_path, rng):
+        ds = TrajectoryDataset([UncertainTrajectory(rng.normal(size=(3, 2)), 0.1)])
+        path = tmp_path / "anon.csv"
+        save_dataset_csv(ds, path)
+        loaded = load_dataset_csv(path)
+        assert loaded[0].object_id == "object-0"

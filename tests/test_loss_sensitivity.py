@@ -1,0 +1,43 @@
+"""Tests for the uplink-loss sensitivity experiment (A4)."""
+
+import pytest
+
+from repro.datagen.bus import BusFleetConfig
+from repro.experiments.loss_sensitivity import (
+    LossSensitivityConfig,
+    run_loss_sensitivity,
+)
+
+TINY = LossSensitivityConfig(
+    loss_rates=(0.0, 0.3),
+    fleet=BusFleetConfig(n_routes=2, buses_per_route=2, n_days=1, n_ticks=40),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_loss_sensitivity(TINY)
+
+
+class TestLossSensitivity:
+    def test_one_row_per_rate(self, result):
+        assert [row.p_loss for row in result.rows] == [0.0, 0.3]
+
+    def test_no_loss_means_no_lost_messages(self, result):
+        assert result.rows[0].lost == 0
+
+    def test_loss_forces_retries(self, result):
+        """Lost uplinks leave the deviation above U, so attempts grow."""
+        assert result.rows[1].lost > 0
+        assert result.rows[1].attempts >= result.rows[0].attempts
+
+    def test_loss_degrades_tracking(self, result):
+        assert (
+            result.rows[1].mean_tracking_error
+            >= result.rows[0].mean_tracking_error
+        )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "p_loss" in text and "mean err" in text
+        assert text.count("\n") == len(result.rows) + 1

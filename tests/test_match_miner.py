@@ -1,0 +1,93 @@
+"""Tests for the match-measure baseline miner (Apriori on Eq. 2)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.match_miner import MatchMiner
+from repro.core.pattern import TrajectoryPattern
+
+
+def brute_force_match_top_k(engine, k, max_length, min_length=1):
+    """Exhaustive top-k by match over the active alphabet."""
+    cells = engine.active_cells
+    scored = []
+    for length in range(min_length, max_length + 1):
+        for combo in itertools.product(cells, repeat=length):
+            scored.append((combo, engine.match(TrajectoryPattern(combo))))
+    scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
+    return scored[:k]
+
+
+class TestValidation:
+    def test_bad_parameters(self, tiny_engine):
+        with pytest.raises(ValueError):
+            MatchMiner(tiny_engine, k=0)
+        with pytest.raises(ValueError):
+            MatchMiner(tiny_engine, k=1, min_length=0)
+        with pytest.raises(ValueError):
+            MatchMiner(tiny_engine, k=1, min_length=3, max_length=2)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_top_k_matches_brute_force(self, tiny_engine, k):
+        result = MatchMiner(tiny_engine, k=k, max_length=3).mine()
+        expected = brute_force_match_top_k(tiny_engine, k, max_length=3)
+        assert [p.cells for p in result.patterns] == [c for c, _ in expected]
+        for got, (_, exp) in zip(result.match_values, expected):
+            assert got == pytest.approx(exp, rel=1e-9)
+
+    def test_min_length_matches_brute_force(self, tiny_engine):
+        result = MatchMiner(tiny_engine, k=5, min_length=2, max_length=3).mine()
+        expected = brute_force_match_top_k(
+            tiny_engine, 5, max_length=3, min_length=2
+        )
+        assert [p.cells for p in result.patterns] == [c for c, _ in expected]
+
+
+class TestBehaviour:
+    def test_plain_topk_dominated_by_singulars(self, small_engine):
+        """Match decays with length, so the unconstrained top-k is singular
+        patterns -- the phenomenon that motivates NM (section 3.3)."""
+        result = MatchMiner(small_engine, k=10, max_length=3).mine()
+        assert all(p.is_singular for p in result.patterns)
+
+    def test_min_length_filters_output(self, small_engine):
+        result = MatchMiner(small_engine, k=5, min_length=2, max_length=3).mine()
+        assert all(len(p) >= 2 for p in result.patterns)
+
+    def test_values_sorted_descending(self, small_engine):
+        result = MatchMiner(small_engine, k=10, max_length=3).mine()
+        assert result.match_values == sorted(result.match_values, reverse=True)
+
+    def test_deterministic(self, small_engine):
+        a = MatchMiner(small_engine, k=8, max_length=3).mine()
+        b = MatchMiner(small_engine, k=8, max_length=3).mine()
+        assert [p.cells for p in a.patterns] == [p.cells for p in b.patterns]
+
+    def test_stats_populated(self, small_engine):
+        result = MatchMiner(small_engine, k=5, max_length=3).mine()
+        assert result.stats.levels >= 1
+        assert result.stats.candidates_evaluated > 0
+        assert result.stats.wall_time_s > 0
+        assert len(result.stats.frontier_sizes) == result.stats.levels
+
+    def test_mean_length(self, small_engine):
+        result = MatchMiner(small_engine, k=4, max_length=3).mine()
+        assert result.mean_length() == pytest.approx(
+            sum(len(p) for p in result.patterns) / len(result)
+        )
+
+    def test_nm_outscores_match_on_length(self, small_engine):
+        """T1's qualitative claim at miniature scale: with a minimum
+        length, NM top-k is at least as long on average as match top-k."""
+        from repro.core.trajpattern import TrajPatternMiner
+
+        match_result = MatchMiner(
+            small_engine, k=10, min_length=2, max_length=4
+        ).mine()
+        nm_result = TrajPatternMiner(
+            small_engine, k=10, min_length=2, max_length=4
+        ).mine()
+        assert nm_result.mean_length() >= match_result.mean_length()

@@ -1,0 +1,177 @@
+"""Unit and property tests for the measures of section 3.3.
+
+These exercise the scalar reference implementation directly: Eq. 2 (match),
+Eq. 3 (normalised match), Eq. 4 (window maximum), the dataset sums and --
+most importantly -- the min-max property (Property 1), which is the
+foundation of the whole TrajPattern algorithm.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures import (
+    match_pattern_dataset,
+    match_pattern_trajectory,
+    match_pattern_window,
+    minmax_upper_bound,
+    nm_pattern_dataset,
+    nm_pattern_trajectory,
+    nm_pattern_window,
+    position_log_probs,
+)
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+GRID = Grid(BoundingBox.unit(), nx=6, ny=6)
+DELTA = 1 / 6  # one cell
+
+
+def make_traj(cells, sigma=0.08, jitter=0.0, seed=0):
+    """Trajectory whose means sit on the given cell centres (plus jitter)."""
+    rng = np.random.default_rng(seed)
+    means = GRID.cell_centers(list(cells)).astype(float).copy()
+    if jitter:
+        means = means + rng.normal(scale=jitter, size=means.shape)
+    return UncertainTrajectory(means, sigma)
+
+
+# Hypothesis strategies over the 6x6 grid.
+cell_ids = st.integers(min_value=0, max_value=GRID.n_cells - 1)
+patterns = st.lists(cell_ids, min_size=1, max_size=4).map(
+    lambda c: TrajectoryPattern(tuple(c))
+)
+cell_paths = st.lists(cell_ids, min_size=4, max_size=10)
+
+
+class TestWindowMeasures:
+    def test_match_is_product_of_position_probs(self):
+        pattern = TrajectoryPattern((0, 1, 2))
+        window = make_traj([0, 1, 2])
+        logs = position_log_probs(pattern, window, GRID, DELTA)
+        assert match_pattern_window(pattern, window, GRID, DELTA) == pytest.approx(
+            math.exp(logs.sum())
+        )
+
+    def test_nm_is_normalised_log(self):
+        pattern = TrajectoryPattern((0, 1))
+        window = make_traj([0, 1])
+        m = match_pattern_window(pattern, window, GRID, DELTA)
+        assert nm_pattern_window(pattern, window, GRID, DELTA) == pytest.approx(
+            math.log(m) / 2
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nm_pattern_window(TrajectoryPattern((0,)), make_traj([0, 1]), GRID, DELTA)
+
+    def test_perfect_position_beats_wrong_position(self):
+        good = nm_pattern_window(TrajectoryPattern((0,)), make_traj([0]), GRID, DELTA)
+        bad = nm_pattern_window(TrajectoryPattern((35,)), make_traj([0]), GRID, DELTA)
+        assert good > bad
+
+    def test_floor_applies(self):
+        # Cell 35 is far from cell 0: probability below the floor.
+        nm = nm_pattern_window(
+            TrajectoryPattern((35,)), make_traj([0], sigma=0.01), GRID, DELTA,
+            min_log_prob=-10.0,
+        )
+        assert nm == pytest.approx(-10.0)
+
+    def test_wildcard_contributes_nothing(self):
+        window = make_traj([0, 1, 2])
+        with_wild = TrajectoryPattern((0, WILDCARD, 2))
+        without = TrajectoryPattern((0, 2))
+        logs_wild = position_log_probs(with_wild, window, GRID, DELTA)
+        assert logs_wild[1] == 0.0
+        # NM normalises by specified positions, so the wildcard is neutral.
+        sub_window = UncertainTrajectory(
+            window.means[[0, 2]], window.sigmas[[0, 2]]
+        )
+        assert nm_pattern_window(with_wild, window, GRID, DELTA) == pytest.approx(
+            nm_pattern_window(without, sub_window, GRID, DELTA)
+        )
+
+
+class TestTrajectoryMeasures:
+    def test_nm_takes_best_window(self):
+        traj = make_traj([5, 0, 1, 2, 30])
+        pattern = TrajectoryPattern((0, 1, 2))
+        best = nm_pattern_window(pattern, traj.window(1, 3), GRID, DELTA)
+        assert nm_pattern_trajectory(pattern, traj, GRID, DELTA) == pytest.approx(best)
+
+    def test_short_trajectory_scores_floor(self):
+        traj = make_traj([0])
+        nm = nm_pattern_trajectory(
+            TrajectoryPattern((0, 1)), traj, GRID, DELTA, min_log_prob=-9.0
+        )
+        assert nm == -9.0
+
+    def test_match_short_trajectory(self):
+        traj = make_traj([0])
+        m = match_pattern_trajectory(
+            TrajectoryPattern((0, 1)), traj, GRID, DELTA, min_log_prob=-9.0
+        )
+        assert m == pytest.approx(math.exp(-18.0))
+
+    def test_dataset_sums(self):
+        trajs = TrajectoryDataset([make_traj([0, 1, 2]), make_traj([2, 1, 0])])
+        pattern = TrajectoryPattern((0, 1))
+        total = nm_pattern_dataset(pattern, trajs, GRID, DELTA)
+        parts = [nm_pattern_trajectory(pattern, t, GRID, DELTA) for t in trajs]
+        assert total == pytest.approx(sum(parts))
+        total_m = match_pattern_dataset(pattern, trajs, GRID, DELTA)
+        parts_m = [match_pattern_trajectory(pattern, t, GRID, DELTA) for t in trajs]
+        assert total_m == pytest.approx(sum(parts_m))
+
+
+class TestAprioriOnMatch:
+    """The match measure (not NM) obeys Apriori -- section 3.3."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterns, cell_paths)
+    def test_match_monotone_under_extension(self, pattern, path_cells):
+        traj = make_traj(path_cells, jitter=0.03, seed=len(path_cells))
+        extended = pattern.concat(TrajectoryPattern((7,)))
+        m_small = match_pattern_trajectory(pattern, traj, GRID, DELTA)
+        m_big = match_pattern_trajectory(extended, traj, GRID, DELTA)
+        assert m_big <= m_small + 1e-12
+
+
+class TestMinMaxProperty:
+    """Property 1: the algorithmic foundation of the paper."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(patterns, patterns, st.lists(cell_paths, min_size=1, max_size=3))
+    def test_minmax_holds_on_dataset(self, left, right, paths):
+        dataset = TrajectoryDataset(
+            [make_traj(cells, jitter=0.02, seed=i) for i, cells in enumerate(paths)]
+        )
+        combined = left.concat(right)
+        nm_l = nm_pattern_dataset(left, dataset, GRID, DELTA)
+        nm_r = nm_pattern_dataset(right, dataset, GRID, DELTA)
+        nm_c = nm_pattern_dataset(combined, dataset, GRID, DELTA)
+        bound = minmax_upper_bound(nm_l, len(left), nm_r, len(right))
+        assert nm_c <= bound + 1e-9
+        assert bound <= max(nm_l, nm_r) + 1e-9
+
+    def test_minmax_bound_arguments_validated(self):
+        with pytest.raises(ValueError):
+            minmax_upper_bound(-1.0, 0, -2.0, 1)
+
+    def test_apriori_fails_for_nm(self):
+        """NM deliberately violates Apriori: a super-pattern can outscore
+        a sub-pattern (the reason the paper needs min-max at all)."""
+        traj = make_traj([0, 1], sigma=0.05)
+        dataset = TrajectoryDataset([traj])
+        single = TrajectoryPattern((35,))  # far from the data
+        pair = TrajectoryPattern((35, 1))  # adds a well-matching position
+        nm_single = nm_pattern_dataset(single, dataset, GRID, DELTA)
+        nm_pair = nm_pattern_dataset(pair, dataset, GRID, DELTA)
+        assert nm_pair > nm_single  # super-pattern scores higher

@@ -1,0 +1,161 @@
+"""Tests for the motion-prediction models (LM, LKF, RMF)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.models import (
+    KalmanModel,
+    LinearModel,
+    RecursiveMotionModel,
+    make_model,
+)
+
+
+def feed(model, positions, times=None):
+    times = times if times is not None else range(len(positions))
+    for t, pos in zip(times, positions):
+        model.observe(float(t), np.asarray(pos, dtype=float))
+    return model
+
+
+class TestLinearModel:
+    def test_before_any_report(self):
+        with pytest.raises(RuntimeError):
+            LinearModel().predict(0.0)
+
+    def test_single_report_predicts_static(self):
+        model = feed(LinearModel(), [[1.0, 2.0]])
+        assert np.allclose(model.predict(5.0), [1.0, 2.0])
+
+    def test_linear_extrapolation(self):
+        model = feed(LinearModel(), [[0, 0], [1, 2]])
+        assert np.allclose(model.predict(2.0), [2.0, 4.0])
+        assert np.allclose(model.predict(3.0), [3.0, 6.0])
+
+    def test_velocity_from_latest_pair(self):
+        model = feed(LinearModel(), [[0, 0], [1, 0], [1, 1]])
+        assert np.allclose(model.predict(3.0), [1.0, 2.0])
+
+    def test_non_monotone_time_rejected(self):
+        model = feed(LinearModel(), [[0, 0]])
+        with pytest.raises(ValueError):
+            model.observe(0.0, np.zeros(2))
+
+    def test_clone_is_fresh(self):
+        model = feed(LinearModel(), [[0, 0], [1, 1]])
+        clone = model.clone()
+        with pytest.raises(RuntimeError):
+            clone.predict(1.0)
+
+    def test_exact_on_linear_motion(self):
+        positions = [[0.1 * t, -0.05 * t] for t in range(5)]
+        model = feed(LinearModel(), positions)
+        assert np.allclose(model.predict(10.0), [1.0, -0.5])
+
+
+class TestKalmanModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KalmanModel(process_noise=0.0)
+        with pytest.raises(ValueError):
+            KalmanModel(measurement_noise=-1.0)
+
+    def test_before_any_report(self):
+        with pytest.raises(RuntimeError):
+            KalmanModel().predict(0.0)
+
+    def test_first_report_anchors(self):
+        model = feed(KalmanModel(), [[2.0, 3.0]])
+        assert np.allclose(model.predict(1.0), [2.0, 3.0])
+
+    def test_converges_on_linear_motion(self):
+        positions = [[0.1 * t, 0.2 * t] for t in range(20)]
+        model = feed(KalmanModel(), positions)
+        predicted = model.predict(21.0)
+        assert predicted == pytest.approx([2.1, 4.2], abs=0.05)
+
+    def test_velocity_estimated(self):
+        positions = [[0.5 * t, 0.0] for t in range(10)]
+        model = feed(KalmanModel(), positions)
+        assert model.predict(10.0)[0] - model.predict(9.0)[0] == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_smoother_than_raw_reports_under_noise(self):
+        rng = np.random.default_rng(0)
+        true = np.array([[0.1 * t, 0.0] for t in range(30)])
+        noisy = true + rng.normal(0, 0.05, true.shape)
+        model = feed(KalmanModel(process_noise=1e-4, measurement_noise=0.05), noisy)
+        # The filtered prediction should beat the last noisy report as an
+        # estimate of the true position.
+        err_model = abs(model.predict(29.0)[0] - true[29, 0])
+        err_raw = abs(noisy[29, 0] - true[29, 0])
+        assert err_model <= err_raw + 0.02
+
+    def test_non_monotone_time_rejected(self):
+        model = feed(KalmanModel(), [[0, 0]])
+        with pytest.raises(ValueError):
+            model.observe(0.0, np.zeros(2))
+
+
+class TestRecursiveMotionModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveMotionModel(retrospect=1)
+        with pytest.raises(ValueError):
+            RecursiveMotionModel(retrospect=3, window=3)
+        with pytest.raises(ValueError):
+            RecursiveMotionModel(max_speed=0.0)
+
+    def test_before_any_report(self):
+        with pytest.raises(RuntimeError):
+            RecursiveMotionModel().predict(0.0)
+
+    def test_falls_back_to_linear_early(self):
+        model = feed(RecursiveMotionModel(), [[0, 0], [1, 1]])
+        assert np.allclose(model.predict(2.0), [2.0, 2.0])
+
+    def test_exact_on_linear_motion(self):
+        positions = [[0.05 * t, 0.1 * t] for t in range(10)]
+        model = feed(RecursiveMotionModel(), positions)
+        assert model.predict(11.0) == pytest.approx([0.55, 1.1], abs=0.01)
+
+    def test_captures_constant_acceleration(self):
+        # x = 0.01 t^2 satisfies x_t = 2x_{t-1} - x_{t-2} + const; RMF with
+        # retrospect >= 3 can express it where pure linear cannot.
+        positions = [[0.01 * t * t, 0.0] for t in range(12)]
+        rmf = feed(RecursiveMotionModel(retrospect=3, window=10), positions)
+        lm = feed(LinearModel(), positions)
+        true_next = 0.01 * 12 * 12
+        assert abs(rmf.predict(12.0)[0] - true_next) < abs(
+            lm.predict(12.0)[0] - true_next
+        )
+
+    def test_divergence_guard(self):
+        # A wildly inconsistent history must not produce an explosive
+        # prediction thanks to the max_speed fallback.
+        rng = np.random.default_rng(1)
+        positions = rng.uniform(-1, 1, (10, 2))
+        model = feed(RecursiveMotionModel(max_speed=0.5), positions)
+        prediction = model.predict(15.0)
+        assert np.all(np.isfinite(prediction))
+        assert np.hypot(*(prediction - positions[-1])) < 10.0
+
+    def test_gap_filling_keeps_window(self):
+        model = feed(RecursiveMotionModel(window=5), [[0, 0], [1, 0]])
+        model.observe(6.0, np.array([6.0, 0.0]))  # 4-tick gap gets filled
+        assert len(model._history) == 5
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lm", LinearModel), ("lkf", KalmanModel), ("rmf", RecursiveMotionModel)],
+    )
+    def test_known_models(self, name, cls):
+        assert isinstance(make_model(name), cls)
+        assert isinstance(make_model(name.upper()), cls)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_model("gpt")

@@ -1,0 +1,115 @@
+"""Randomised exactness checks: miners vs brute-force oracles.
+
+Theorem 1 claims TrajPattern returns exactly the k patterns with the
+highest NM.  The fixture-based oracle tests pin one instance; these
+hypothesis tests draw many tiny instances (small alphabets, short
+trajectories) and compare the miner -- under every pruning configuration
+-- and the PB baseline against exhaustive enumeration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.match_miner import MatchMiner
+from repro.baselines.pb import PBMiner
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.core.trajpattern import TrajPatternMiner
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+# A 2x2 grid keeps exhaustive enumeration over length <= 4 at 340 patterns.
+GRID = Grid(BoundingBox.unit(), nx=2, ny=2)
+MAX_LENGTH = 4
+
+seeds = st.integers(min_value=0, max_value=100_000)
+ks = st.integers(min_value=1, max_value=6)
+
+
+def tiny_engine(seed: int) -> NMEngine:
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for _ in range(int(rng.integers(2, 5))):
+        n = int(rng.integers(3, 8))
+        means = rng.uniform(0.0, 1.0, (n, 2))
+        trajectories.append(
+            UncertainTrajectory(means, float(rng.uniform(0.1, 0.4)))
+        )
+    return NMEngine(
+        TrajectoryDataset(trajectories),
+        GRID,
+        EngineConfig(delta=0.25, min_prob=1e-4),
+    )
+
+
+def brute_force(engine, k, key):
+    scored = []
+    for length in range(1, MAX_LENGTH + 1):
+        for combo in itertools.product(range(GRID.n_cells), repeat=length):
+            scored.append((combo, key(TrajectoryPattern(combo))))
+    scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
+    return [c for c, _ in scored[:k]]
+
+
+class TestTrajPatternExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(seeds, ks)
+    def test_default_configuration(self, seed, k):
+        engine = tiny_engine(seed)
+        mined = TrajPatternMiner(engine, k=k, max_length=MAX_LENGTH).mine()
+        expected = brute_force(engine, k, engine.nm)
+        assert [p.cells for p in mined.patterns] == expected
+
+    @settings(max_examples=12, deadline=None)
+    @given(seeds, ks)
+    def test_exhaustive_configuration(self, seed, k):
+        """The literal paper loop (no lazy bounds) agrees too."""
+        engine = tiny_engine(seed)
+        mined = TrajPatternMiner(
+            engine,
+            k=k,
+            max_length=MAX_LENGTH,
+            use_bound_pruning=False,
+            use_extension_pruning=False,
+        ).mine()
+        expected = brute_force(engine, k, engine.nm)
+        assert [p.cells for p in mined.patterns] == expected
+
+    @settings(max_examples=12, deadline=None)
+    @given(seeds)
+    def test_min_length_variant(self, seed):
+        engine = tiny_engine(seed)
+        mined = TrajPatternMiner(
+            engine, k=4, min_length=2, max_length=MAX_LENGTH
+        ).mine()
+        scored = []
+        for length in range(2, MAX_LENGTH + 1):
+            for combo in itertools.product(range(GRID.n_cells), repeat=length):
+                scored.append((combo, engine.nm(TrajectoryPattern(combo))))
+        scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
+        assert [p.cells for p in mined.patterns] == [c for c, _ in scored[:4]]
+
+
+class TestBaselineExactness:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, ks)
+    def test_pb_matches_oracle(self, seed, k):
+        engine = tiny_engine(seed)
+        result, _ = PBMiner(engine, k=k, max_length=MAX_LENGTH).mine()
+        expected = brute_force(engine, k, engine.nm)
+        assert [p.cells for p in result.patterns] == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, ks)
+    def test_match_miner_matches_oracle(self, seed, k):
+        engine = tiny_engine(seed)
+        result = MatchMiner(engine, k=k, max_length=MAX_LENGTH).mine()
+        expected = brute_force(engine, k, engine.match)
+        assert [p.cells for p in result.patterns] == expected

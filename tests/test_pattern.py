@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern, patterns_from_cells
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid(BoundingBox.unit(), nx=10, ny=10)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = TrajectoryPattern((1, 2, 3))
+        assert len(p) == 3
+        assert list(p) == [1, 2, 3]
+        assert p[1] == 2
+
+    def test_slice_returns_pattern(self):
+        p = TrajectoryPattern((1, 2, 3))
+        assert p[:2] == TrajectoryPattern((1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryPattern(())
+
+    def test_negative_cell_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryPattern((1, -5))
+
+    def test_wildcard_allowed(self):
+        p = TrajectoryPattern((1, WILDCARD, 3))
+        assert p.has_wildcards
+        assert p.specified_positions() == [0, 2]
+
+    def test_singular(self):
+        p = TrajectoryPattern.singular(7)
+        assert p.is_singular
+        assert p.cells == (7,)
+
+    def test_from_points(self, grid):
+        pts = np.array([[0.05, 0.05], [0.15, 0.05]])
+        p = TrajectoryPattern.from_points(pts, grid)
+        assert p.cells == (0, 1)
+
+    def test_hashable(self):
+        assert len({TrajectoryPattern((1, 2)), TrajectoryPattern((1, 2))}) == 1
+
+    def test_repr_shows_wildcard(self):
+        assert "*" in repr(TrajectoryPattern((1, WILDCARD)))
+
+    def test_bulk_constructor(self):
+        ps = patterns_from_cells([(1,), (2, 3)])
+        assert ps[1].cells == (2, 3)
+
+
+class TestStructure:
+    def test_concat(self):
+        p = TrajectoryPattern((1, 2)).concat(TrajectoryPattern((3,)))
+        assert p.cells == (1, 2, 3)
+
+    def test_drop_first_last(self):
+        p = TrajectoryPattern((1, 2, 3))
+        assert p.drop_first().cells == (2, 3)
+        assert p.drop_last().cells == (1, 2)
+
+    def test_drop_on_singular_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryPattern((1,)).drop_first()
+
+    def test_pad_wildcards(self):
+        p = TrajectoryPattern((5,)).pad_wildcards(before=1, after=2)
+        assert p.cells == (WILDCARD, 5, WILDCARD, WILDCARD)
+
+    def test_pad_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryPattern((5,)).pad_wildcards(before=-1)
+
+    def test_splits(self):
+        p = TrajectoryPattern((1, 2, 3))
+        splits = [(a.cells, b.cells) for a, b in p.splits()]
+        assert splits == [((1,), (2, 3)), ((1, 2), (3,))]
+
+    def test_contiguous_sub_patterns(self):
+        p = TrajectoryPattern((1, 2, 3))
+        subs = [s.cells for s in p.contiguous_sub_patterns(2)]
+        assert subs == [(1, 2), (2, 3)]
+
+    def test_contiguous_sub_patterns_bad_length(self):
+        with pytest.raises(ValueError):
+            list(TrajectoryPattern((1, 2)).contiguous_sub_patterns(3))
+
+
+class TestRelations:
+    def test_super_pattern_definition_3(self):
+        p = TrajectoryPattern((1, 2, 3))
+        assert p.is_super_pattern_of(TrajectoryPattern((2, 3)))
+        assert p.is_super_pattern_of(TrajectoryPattern((1, 2, 3)))
+        assert not p.is_super_pattern_of(TrajectoryPattern((1, 3)))  # not contiguous
+        assert p.is_proper_super_pattern_of(TrajectoryPattern((2,)))
+        assert not p.is_proper_super_pattern_of(TrajectoryPattern((1, 2, 3)))
+
+    def test_sub_pattern_inverse(self):
+        small, big = TrajectoryPattern((2, 3)), TrajectoryPattern((1, 2, 3))
+        assert small.is_sub_pattern_of(big)
+        assert not big.is_sub_pattern_of(small)
+
+
+class TestGeometryHelpers:
+    def test_centers(self, grid):
+        p = TrajectoryPattern((0, 1))
+        centers = p.centers(grid)
+        assert np.allclose(centers, [[0.05, 0.05], [0.15, 0.05]])
+
+    def test_centers_reject_wildcards(self, grid):
+        with pytest.raises(ValueError):
+            TrajectoryPattern((0, WILDCARD)).centers(grid)
+
+    def test_snapshot_distance(self, grid):
+        a = TrajectoryPattern((0, 0))
+        b = TrajectoryPattern((1, 2))
+        d = a.snapshot_distance(b, grid)
+        assert d == pytest.approx([0.1, 0.2])
+
+    def test_snapshot_distance_length_mismatch(self, grid):
+        with pytest.raises(ValueError):
+            TrajectoryPattern((0,)).snapshot_distance(TrajectoryPattern((0, 1)), grid)
+
+    def test_similarity_definition_1(self, grid):
+        a = TrajectoryPattern((0, 10))
+        b = TrajectoryPattern((1, 11))
+        assert a.is_similar_to(b, grid, gamma=0.1)
+        assert not a.is_similar_to(b, grid, gamma=0.05)
+        assert not a.is_similar_to(TrajectoryPattern((0,)), grid, gamma=1.0)
+
+    def test_similarity_is_symmetric(self, grid):
+        a = TrajectoryPattern((0, 10))
+        b = TrajectoryPattern((2, 12))
+        for gamma in (0.05, 0.2, 0.5):
+            assert a.is_similar_to(b, grid, gamma) == b.is_similar_to(a, grid, gamma)

@@ -1,0 +1,69 @@
+"""Tests for the projection-based (PB) baseline miner."""
+
+import pytest
+
+from repro.baselines.pb import PBMiner
+from repro.core.trajpattern import TrajPatternMiner
+
+from tests.conftest import brute_force_top_k
+
+
+class TestValidation:
+    def test_bad_parameters(self, tiny_engine):
+        with pytest.raises(ValueError):
+            PBMiner(tiny_engine, k=0)
+        with pytest.raises(ValueError):
+            PBMiner(tiny_engine, k=1, min_length=0)
+        with pytest.raises(ValueError):
+            PBMiner(tiny_engine, k=1, min_length=3, max_length=2)
+        with pytest.raises(ValueError):
+            PBMiner(tiny_engine, k=1, max_prefixes=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_matches_brute_force(self, tiny_engine, k):
+        result, _ = PBMiner(tiny_engine, k=k, max_length=3).mine()
+        expected = brute_force_top_k(tiny_engine, k, max_length=3)
+        assert [p.cells for p in result.patterns] == [c for c, _ in expected]
+
+    def test_agrees_with_trajpattern(self, small_engine):
+        """PB mines the same top-k NM patterns as TrajPattern (the paper
+        uses PB precisely as an alternative miner for the same answer)."""
+        pb_result, _ = PBMiner(small_engine, k=10, max_length=3).mine()
+        tp_result = TrajPatternMiner(small_engine, k=10, max_length=3).mine()
+        assert [p.cells for p in pb_result.patterns] == [
+            p.cells for p in tp_result.patterns
+        ]
+
+    def test_min_length_variant(self, tiny_engine):
+        result, _ = PBMiner(tiny_engine, k=5, max_length=3, min_length=2).mine()
+        expected = brute_force_top_k(tiny_engine, 5, max_length=3, min_length=2)
+        assert [p.cells for p in result.patterns] == [c for c, _ in expected]
+
+
+class TestScalingBehaviour:
+    def test_prefix_set_grows_with_alphabet(self, small_engine, tiny_engine):
+        """The PB pathology: prefix sets scale with the alphabet size."""
+        _, small_stats = PBMiner(small_engine, k=5, max_length=2).mine()
+        _, tiny_stats = PBMiner(tiny_engine, k=5, max_length=2).mine()
+        assert small_stats.prefix_set_sizes[0] > tiny_stats.prefix_set_sizes[0]
+
+    def test_evaluates_more_than_trajpattern(self, small_engine):
+        """PB's loose bound forces far more evaluations than TrajPattern's
+        min-max bound does -- the Fig. 4 story."""
+        _, pb_stats = PBMiner(small_engine, k=5, max_length=3).mine()
+        tp_result = TrajPatternMiner(small_engine, k=5, max_length=3).mine()
+        assert pb_stats.prefixes_evaluated > tp_result.stats.candidates_evaluated
+
+    def test_truncation_flag(self, tiny_engine):
+        # A generous k keeps omega low, so the loose PB bound retains far
+        # more 2-prefixes than a cap of 3 allows.
+        _, stats = PBMiner(tiny_engine, k=40, max_length=3, max_prefixes=3).mine()
+        assert stats.truncated
+
+    def test_stats_populated(self, tiny_engine):
+        _, stats = PBMiner(tiny_engine, k=3, max_length=3).mine()
+        assert stats.levels == 3
+        assert len(stats.prefix_set_sizes) == 3
+        assert stats.wall_time_s > 0

@@ -1,0 +1,118 @@
+"""Tests for the PrefixSpan baseline (gapped subsequences, [8])."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.prefixspan import PrefixSpan, top_k_prefixspan
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+GRID = Grid(BoundingBox.unit(), nx=3, ny=1)  # cells 0, 1, 2
+
+
+def seq_dataset(*cell_sequences):
+    """Trajectories whose most-likely cells spell the given sequences."""
+    trajectories = []
+    for cells in cell_sequences:
+        means = GRID.cell_centers(list(cells)).copy()
+        trajectories.append(UncertainTrajectory(means, 0.05))
+    return TrajectoryDataset(trajectories)
+
+
+def brute_force_supports(cell_sequences, max_length):
+    """Exhaustive gapped-subsequence supports."""
+    supports = {}
+    for length in range(1, max_length + 1):
+        for pattern in itertools.product(range(GRID.n_cells), repeat=length):
+            count = 0
+            for seq in cell_sequences:
+                it = iter(seq)
+                if all(item in it for item in pattern):
+                    count += 1
+            if count:
+                supports[pattern] = count
+    return supports
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        ds = seq_dataset((0, 1))
+        with pytest.raises(ValueError):
+            PrefixSpan(ds, GRID, min_support=0)
+        with pytest.raises(ValueError):
+            PrefixSpan(ds, GRID, min_support=1, min_length=0)
+        with pytest.raises(ValueError):
+            PrefixSpan(ds, GRID, min_support=1, min_length=3, max_length=2)
+        with pytest.raises(ValueError):
+            top_k_prefixspan(ds, GRID, k=0)
+
+
+class TestCorrectness:
+    SEQUENCES = [
+        (0, 1, 2, 1),
+        (0, 2, 1, 1),
+        (1, 0, 2),
+        (2, 2, 1),
+    ]
+
+    @pytest.mark.parametrize("min_support", [1, 2, 3, 4])
+    def test_matches_brute_force(self, min_support):
+        ds = seq_dataset(*self.SEQUENCES)
+        result = PrefixSpan(ds, GRID, min_support=min_support, max_length=4).mine()
+        expected = {
+            p: s
+            for p, s in brute_force_supports(self.SEQUENCES, 4).items()
+            if s >= min_support
+        }
+        got = {p.cells: s for p, s in result.as_pairs()}
+        assert got == expected
+
+    def test_gapped_occurrence_counted(self):
+        """(0, 1) occurs in (0, 2, 1) despite the gap -- unlike the
+        contiguous support miner."""
+        from repro.baselines.support import SupportMiner
+
+        ds = seq_dataset((0, 2, 1))
+        gapped = PrefixSpan(ds, GRID, min_support=1, min_length=2).mine()
+        assert (0, 1) in {p.cells for p in gapped.patterns}
+        contiguous = SupportMiner(ds, GRID, k=50, min_length=2).mine()
+        assert (0, 1) not in {p.cells for p in contiguous.patterns}
+
+    def test_per_sequence_deduplication(self):
+        ds = seq_dataset((0, 0, 0))
+        result = PrefixSpan(ds, GRID, min_support=1).mine()
+        supports = {p.cells: s for p, s in result.as_pairs()}
+        assert supports[(0,)] == 1  # once per sequence, not per occurrence
+
+    def test_sorted_by_support(self):
+        ds = seq_dataset(*self.SEQUENCES)
+        result = PrefixSpan(ds, GRID, min_support=1, max_length=3).mine()
+        assert result.supports == sorted(result.supports, reverse=True)
+
+    def test_stats(self):
+        ds = seq_dataset(*self.SEQUENCES)
+        result = PrefixSpan(ds, GRID, min_support=2, max_length=3).mine()
+        assert result.stats.patterns_found == len(result)
+        assert result.stats.projections >= len(result)
+
+
+class TestTopK:
+    def test_returns_k_best(self):
+        ds = seq_dataset((0, 1, 2), (0, 1, 2), (0, 1, 0), (2, 2, 2))
+        result = top_k_prefixspan(ds, GRID, k=3, max_length=3)
+        assert len(result) == 3
+        brute = brute_force_supports(
+            [(0, 1, 2), (0, 1, 2), (0, 1, 0), (2, 2, 2)], 3
+        )
+        ranked = sorted(brute.items(), key=lambda kv: (-kv[1], len(kv[0]), kv[0]))
+        assert [p.cells for p in result.patterns] == [c for c, _ in ranked[:3]]
+
+    def test_fewer_patterns_than_k(self):
+        ds = seq_dataset((0,))
+        result = top_k_prefixspan(ds, GRID, k=10, max_length=2)
+        assert len(result) <= 10
+        assert len(result) >= 1

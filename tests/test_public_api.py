@@ -1,0 +1,101 @@
+"""Public API surface tests: imports, exports and versioning.
+
+A downstream user depends on these names; the tests pin them so an
+accidental rename shows up immediately.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "UncertainTrajectory",
+            "TrajectoryDataset",
+            "Grid",
+            "BoundingBox",
+            "Point",
+            "ProbModel",
+            "EngineConfig",
+            "NMEngine",
+            "build_engine",
+            "TrajectoryPattern",
+            "WILDCARD",
+            "Gap",
+            "GapPattern",
+            "TrajPatternMiner",
+            "MiningResult",
+            "PatternGroup",
+            "discover_pattern_groups",
+            "to_velocity_trajectory",
+            "to_velocity_dataset",
+        ],
+    )
+    def test_expected_exports(self, name):
+        assert name in repro.__all__
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.uncertainty",
+            "repro.trajectory",
+            "repro.core",
+            "repro.core.wildcards",
+            "repro.baselines",
+            "repro.mobility",
+            "repro.mobility.models",
+            "repro.datagen",
+            "repro.apps",
+            "repro.experiments",
+            "repro.viz",
+            "repro.cli",
+        ],
+    )
+    def test_importable(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} is missing a module docstring"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.uncertainty",
+            "repro.trajectory",
+            "repro.core",
+            "repro.baselines",
+            "repro.mobility",
+            "repro.datagen",
+            "repro.apps",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    def test_public_classes_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name not in ("WILDCARD", "__version__")
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,128 @@
+"""Tests for the dead-reckoning protocol (section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.models import LinearModel
+from repro.mobility.objects import GroundTruthPath
+from repro.mobility.reporting import ReportingConfig, dead_reckon
+
+
+def linear_path(n=20, vx=0.1, vy=0.0):
+    t = np.arange(n, dtype=float)
+    return GroundTruthPath(np.column_stack([vx * t, vy * t]), object_id="o")
+
+
+def turning_path(n=20, vx=0.1):
+    """Straight, then an abrupt 90-degree turn halfway."""
+    t = np.arange(n, dtype=float)
+    xs = np.minimum(t, n // 2) * vx
+    ys = np.maximum(t - n // 2, 0) * vx
+    return GroundTruthPath(np.column_stack([xs, ys]))
+
+
+class TestReportingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReportingConfig(uncertainty=0.0)
+        with pytest.raises(ValueError):
+            ReportingConfig(uncertainty=1.0, confidence_c=0.0)
+        with pytest.raises(ValueError):
+            ReportingConfig(uncertainty=1.0, p_loss=1.0)
+
+    def test_sigma(self):
+        assert ReportingConfig(uncertainty=0.5, confidence_c=2.0).sigma == 0.25
+
+
+class TestDeadReckon:
+    def test_linear_motion_never_reports(self):
+        """Once the linear model has the velocity, a linear path needs no
+        further uplinks."""
+        log = dead_reckon(
+            linear_path(), LinearModel(), ReportingConfig(uncertainty=0.05)
+        )
+        # One report at t=1 (model had zero velocity), then silence.
+        assert log.n_mispredictions <= 1
+        assert log.reported[2:].sum() == 0
+
+    def test_turn_triggers_report(self):
+        log = dead_reckon(
+            turning_path(), LinearModel(), ReportingConfig(uncertainty=0.05)
+        )
+        assert log.n_mispredictions >= 1
+        turn_tick = len(turning_path()) // 2
+        assert log.reported[turn_tick : turn_tick + 3].any()
+
+    def test_estimates_track_truth_within_u(self):
+        path = turning_path()
+        config = ReportingConfig(uncertainty=0.05)
+        log = dead_reckon(path, LinearModel(), config)
+        errors = np.hypot(*(log.estimates - path.positions).T)
+        # Wherever no report was needed, the estimate was within U; on
+        # delivery ticks it is exact.
+        assert np.all(errors[log.delivered] < 1e-12)
+        assert np.all(errors[~log.reported] <= config.uncertainty + 1e-9)
+
+    def test_loss_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            dead_reckon(
+                linear_path(),
+                LinearModel(),
+                ReportingConfig(uncertainty=0.05, p_loss=0.5),
+            )
+
+    def test_lossy_channel_retries(self):
+        path = turning_path(40)
+        clean = dead_reckon(path, LinearModel(), ReportingConfig(uncertainty=0.02))
+        lossy = dead_reckon(
+            path,
+            LinearModel(),
+            ReportingConfig(uncertainty=0.02, p_loss=0.6),
+            rng=np.random.default_rng(0),
+        )
+        assert lossy.n_lost > 0
+        # Losses force retries, so attempts can only go up.
+        assert lossy.n_mispredictions >= clean.n_mispredictions
+
+    def test_to_trajectory(self):
+        config = ReportingConfig(uncertainty=0.05, confidence_c=2.0)
+        log = dead_reckon(linear_path(), LinearModel(), config)
+        traj = log.to_trajectory()
+        assert len(traj) == len(linear_path())
+        assert set(traj.sigmas) == {config.sigma}
+        assert traj.object_id == "o"
+
+    def test_override_hook_used(self):
+        path = turning_path()
+        config = ReportingConfig(uncertainty=0.05)
+
+        calls = []
+
+        def oracle(t, estimates, model, delivered):
+            calls.append(t)
+            return path.positions[t]  # perfect prediction
+
+        log = dead_reckon(
+            path, LinearModel(), config, override_prediction=oracle
+        )
+        assert log.n_mispredictions == 0
+        assert len(calls) == len(path) - 1
+
+    def test_override_none_falls_back(self):
+        path = turning_path()
+        config = ReportingConfig(uncertainty=0.05)
+        base = dead_reckon(path, LinearModel(), config)
+        same = dead_reckon(
+            path,
+            LinearModel(),
+            config,
+            override_prediction=lambda t, e, m, d: None,
+        )
+        assert same.n_mispredictions == base.n_mispredictions
+
+    def test_first_tick_not_a_misprediction(self):
+        log = dead_reckon(
+            linear_path(3), LinearModel(), ReportingConfig(uncertainty=10.0)
+        )
+        assert log.n_mispredictions == 0
+        assert log.delivered[0]

@@ -1,0 +1,103 @@
+"""Tests for snapshot-interval resampling (section 5's interval knob)."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.resample import decimate, refine, resample_dataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+
+@pytest.fixture
+def traj():
+    means = np.column_stack([np.arange(9, dtype=float), np.zeros(9)])
+    sigmas = np.linspace(0.1, 0.5, 9)
+    return UncertainTrajectory(means, sigmas, object_id="r", dt=2.0)
+
+
+class TestDecimate:
+    def test_identity(self, traj):
+        assert decimate(traj, 1) is traj
+
+    def test_every_second(self, traj):
+        out = decimate(traj, 2)
+        assert len(out) == 5
+        assert np.allclose(out.means[:, 0], [0, 2, 4, 6, 8])
+        assert np.allclose(out.sigmas, traj.sigmas[::2])
+        assert out.dt == 4.0
+        assert out.object_id == "r"
+
+    def test_factor_larger_than_length(self, traj):
+        out = decimate(traj, 100)
+        assert len(out) == 1
+
+    def test_validation(self, traj):
+        with pytest.raises(ValueError):
+            decimate(traj, 0)
+
+
+class TestRefine:
+    def test_identity(self, traj):
+        assert refine(traj, 1) is traj
+
+    def test_doubling(self, traj):
+        out = refine(traj, 2)
+        assert len(out) == 17
+        assert out.dt == 1.0
+        # Original snapshots are preserved at even indices.
+        assert np.allclose(out.means[::2], traj.means)
+        assert np.allclose(out.sigmas[::2], traj.sigmas)
+        # Midpoints are halfway.
+        assert np.allclose(out.means[1::2, 0], np.arange(8) + 0.5)
+
+    def test_interpolated_sigma_formula(self, traj):
+        out = refine(traj, 2)
+        s0, s1 = traj.sigmas[0], traj.sigmas[1]
+        expected = np.sqrt(0.25 * s0**2 + 0.25 * s1**2)
+        assert out.sigmas[1] == pytest.approx(expected)
+        # Variance reduction: midpoint sigma below both endpoints' max.
+        assert out.sigmas[1] < max(s0, s1)
+
+    def test_extra_sigma_inflates(self, traj):
+        plain = refine(traj, 2)
+        inflated = refine(traj, 2, extra_sigma=0.3)
+        assert inflated.sigmas[1] > plain.sigmas[1]
+        # Endpoints stay untouched.
+        assert inflated.sigmas[0] == traj.sigmas[0]
+
+    def test_validation(self, traj):
+        with pytest.raises(ValueError):
+            refine(traj, 0)
+        with pytest.raises(ValueError):
+            refine(traj, 2, extra_sigma=-1.0)
+        with pytest.raises(ValueError):
+            refine(UncertainTrajectory([[0, 0]], 0.1), 2)
+
+
+class TestResampleDataset:
+    def test_positive_factor_decimates(self, traj):
+        dataset = TrajectoryDataset([traj], metadata={"kind": "location"})
+        out = resample_dataset(dataset, 3)
+        assert len(out[0]) == 3
+        assert out.metadata["resample_factor"] == 3
+        assert out.metadata["kind"] == "location"
+
+    def test_negative_factor_refines(self, traj):
+        dataset = TrajectoryDataset([traj])
+        out = resample_dataset(dataset, -2)
+        assert len(out[0]) == 17
+
+    def test_zero_rejected(self, traj):
+        with pytest.raises(ValueError):
+            resample_dataset(TrajectoryDataset([traj]), 0)
+
+    def test_mining_still_works_after_decimation(self, small_dataset):
+        """Coarser snapshots remain a valid mining input end to end."""
+        from repro.core.engine import EngineConfig, NMEngine
+        from repro.core.trajpattern import TrajPatternMiner
+
+        coarse = resample_dataset(small_dataset, 2)
+        grid = coarse.make_grid(0.04)
+        engine = NMEngine(coarse, grid, EngineConfig(delta=0.04, min_prob=1e-4))
+        result = TrajPatternMiner(engine, k=4, max_length=3).mine()
+        assert len(result) == 4

@@ -1,0 +1,110 @@
+"""Tests for the out-of-core streaming engine (section 4.4's space claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.core.streaming import StreamingNMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.io import save_dataset_jsonl
+
+
+@pytest.fixture
+def stored(small_dataset, small_engine, tmp_path):
+    path = tmp_path / "data.jsonl"
+    save_dataset_jsonl(small_dataset, path)
+    return path, small_engine
+
+
+class TestValidation:
+    def test_bad_chunk_size(self, stored):
+        path, engine = stored
+        with pytest.raises(ValueError):
+            StreamingNMEngine(path, engine.grid, engine.config, chunk_size=0)
+
+    def test_foreign_file_rejected(self, tmp_path, small_engine):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"format": "nope"}\n')
+        with pytest.raises(ValueError, match="not a repro trajectory"):
+            StreamingNMEngine(path, small_engine.grid, small_engine.config)
+
+    def test_empty_dataset_rejected_on_scan(self, tmp_path, small_engine):
+        path = tmp_path / "empty.jsonl"
+        save_dataset_jsonl(TrajectoryDataset([]), path)
+        streaming = StreamingNMEngine(path, small_engine.grid, small_engine.config)
+        with pytest.raises(ValueError, match="no trajectories"):
+            streaming.nm(TrajectoryPattern((0,)))
+
+
+class TestEquivalence:
+    """Chunked == in-memory, for every chunk size."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 100])
+    def test_nm_equivalence(self, stored, chunk_size, rng):
+        path, engine = stored
+        streaming = StreamingNMEngine(
+            path, engine.grid, engine.config, chunk_size=chunk_size
+        )
+        cells = engine.active_cells
+        patterns = [
+            TrajectoryPattern(tuple(int(c) for c in rng.choice(cells, size=n)))
+            for n in (1, 2, 3)
+        ]
+        got = streaming.nm_many(patterns)
+        expected = [engine.nm(p) for p in patterns]
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("chunk_size", [2, 7])
+    def test_match_equivalence(self, stored, chunk_size, rng):
+        path, engine = stored
+        streaming = StreamingNMEngine(
+            path, engine.grid, engine.config, chunk_size=chunk_size
+        )
+        cells = engine.active_cells
+        pattern = TrajectoryPattern((cells[0], cells[1]))
+        assert streaming.match(pattern) == pytest.approx(
+            engine.match(pattern), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 4])
+    def test_singular_table_equivalence(self, stored, chunk_size):
+        path, engine = stored
+        streaming = StreamingNMEngine(
+            path, engine.grid, engine.config, chunk_size=chunk_size
+        )
+        got = streaming.singular_nm_table()
+        expected = engine.singular_nm_table()
+        assert set(got) == set(expected)
+        for cell in expected:
+            assert got[cell] == pytest.approx(expected[cell], abs=1e-9)
+
+    def test_chunk_instrumentation(self, stored):
+        path, engine = stored
+        streaming = StreamingNMEngine(path, engine.grid, engine.config, chunk_size=5)
+        streaming.nm(TrajectoryPattern((engine.active_cells[0],)))
+        # 12 trajectories in 5-sized chunks -> 3 chunks.
+        assert streaming.n_chunks_scanned == 3
+
+    def test_empty_batch(self, stored):
+        path, engine = stored
+        streaming = StreamingNMEngine(path, engine.grid, engine.config)
+        assert len(streaming.nm_many([])) == 0
+
+
+class TestVerifyTopK:
+    def test_confirms_mined_ranking(self, stored):
+        """The out-of-core re-score agrees with the miner's own ranking."""
+        path, engine = stored
+        mined = TrajPatternMiner(engine, k=6, max_length=3).mine()
+        streaming = StreamingNMEngine(path, engine.grid, engine.config, chunk_size=4)
+        verified = streaming.verify_top_k(mined.patterns, k=6)
+        assert [p.cells for p, _ in verified] == [p.cells for p in mined.patterns]
+        assert [v for _, v in verified] == pytest.approx(mined.nm_values, abs=1e-9)
+
+    def test_k_validation(self, stored):
+        path, engine = stored
+        streaming = StreamingNMEngine(path, engine.grid, engine.config)
+        with pytest.raises(ValueError):
+            streaming.verify_top_k([TrajectoryPattern((0,))], k=0)

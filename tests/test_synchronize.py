@@ -1,0 +1,106 @@
+"""Unit tests for repro.trajectory.synchronize."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.synchronize import (
+    InterpolationMode,
+    LocationReport,
+    synchronize_reports,
+)
+
+
+@pytest.fixture
+def straight_reports():
+    """Reports on the line y = 2x at x = t, every two time units."""
+    return [LocationReport(t, float(t), 2.0 * t) for t in (0.0, 2.0, 4.0, 6.0)]
+
+
+class TestValidation:
+    def test_too_few_reports(self):
+        with pytest.raises(ValueError, match="two reports"):
+            synchronize_reports([LocationReport(0, 0, 0)], [0.0], sigma=0.1)
+
+    def test_duplicate_times(self):
+        reports = [LocationReport(0, 0, 0), LocationReport(0, 1, 1)]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            synchronize_reports(reports, [0.0], sigma=0.1)
+
+    def test_bad_sigma(self, straight_reports):
+        with pytest.raises(ValueError, match="sigma"):
+            synchronize_reports(straight_reports, [0.0, 1.0], sigma=0.0)
+
+    def test_snapshots_before_first_report(self, straight_reports):
+        with pytest.raises(ValueError, match="precede"):
+            synchronize_reports(straight_reports, [-1.0, 0.0], sigma=0.1)
+
+    def test_nonincreasing_snapshots(self, straight_reports):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            synchronize_reports(straight_reports, [0.0, 0.0, 1.0], sigma=0.1)
+
+    def test_linear_cannot_extrapolate(self, straight_reports):
+        with pytest.raises(ValueError, match="extrapolate"):
+            synchronize_reports(
+                straight_reports, [5.0, 8.0], sigma=0.1, mode=InterpolationMode.LINEAR
+            )
+
+
+class TestDeadReckoning:
+    def test_exact_on_linear_motion(self, straight_reports):
+        traj = synchronize_reports(
+            straight_reports, [1.0, 2.0, 3.0, 5.0], sigma=0.1
+        )
+        assert np.allclose(traj.means, [[1, 2], [2, 4], [3, 6], [5, 10]])
+
+    def test_extrapolates_past_last_report(self, straight_reports):
+        traj = synchronize_reports(straight_reports, [7.0, 8.0], sigma=0.1)
+        assert np.allclose(traj.means, [[7, 14], [8, 16]])
+
+    def test_unsorted_reports_accepted(self, straight_reports):
+        shuffled = list(reversed(straight_reports))
+        traj = synchronize_reports(shuffled, [1.0, 3.0], sigma=0.1)
+        assert np.allclose(traj.means, [[1, 2], [3, 6]])
+
+    def test_sigma_and_metadata(self, straight_reports):
+        traj = synchronize_reports(
+            straight_reports, [1.0, 2.0], sigma=0.25, object_id="bus"
+        )
+        assert traj.object_id == "bus"
+        assert set(traj.sigmas) == {0.25}
+        assert traj.start_time == 1.0
+        assert traj.dt == 1.0
+
+    def test_velocity_changes_between_reports(self):
+        """Dead reckoning uses the most recent velocity only."""
+        reports = [
+            LocationReport(0.0, 0.0, 0.0),
+            LocationReport(1.0, 1.0, 0.0),  # v = (1, 0)
+            LocationReport(2.0, 1.0, 1.0),  # v = (0, 1)
+        ]
+        traj = synchronize_reports(reports, [2.5], sigma=0.1)
+        assert np.allclose(traj.means, [[1.0, 1.5]])
+
+
+class TestLinearInterpolation:
+    def test_exact_midpoints(self, straight_reports):
+        traj = synchronize_reports(
+            straight_reports, [1.0, 3.0], sigma=0.1, mode=InterpolationMode.LINEAR
+        )
+        assert np.allclose(traj.means, [[1, 2], [3, 6]])
+
+    def test_on_report_times(self, straight_reports):
+        traj = synchronize_reports(
+            straight_reports, [2.0, 6.0], sigma=0.1, mode=InterpolationMode.LINEAR
+        )
+        assert np.allclose(traj.means, [[2, 4], [6, 12]])
+
+    def test_nonuniform_report_spacing(self):
+        reports = [
+            LocationReport(0.0, 0.0, 0.0),
+            LocationReport(4.0, 4.0, 0.0),
+            LocationReport(5.0, 4.0, 2.0),
+        ]
+        traj = synchronize_reports(
+            reports, [2.0, 4.5], sigma=0.1, mode=InterpolationMode.LINEAR
+        )
+        assert np.allclose(traj.means, [[2.0, 0.0], [4.0, 1.0]])

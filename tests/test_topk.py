@@ -1,0 +1,154 @@
+"""Unit tests for the PatternBook (Q / omega / high-low bookkeeping)."""
+
+import math
+
+import pytest
+
+from repro.core.topk import PatternBook, sort_key
+
+
+class TestSortKey:
+    def test_orders_by_nm_then_length_then_cells(self):
+        items = [((2,), -5.0), ((1,), -3.0), ((1, 2), -3.0), ((0,), -3.0)]
+        ordered = sorted(items, key=lambda it: sort_key(*it))
+        assert ordered == [((0,), -3.0), ((1,), -3.0), ((1, 2), -3.0), ((2,), -5.0)]
+
+
+class TestInsertion:
+    def test_exact_and_bounded_membership(self):
+        book = PatternBook(k=2)
+        book.insert_exact((1,), -1.0)
+        book.insert_bounded((2, 3), -9.0)
+        assert (1,) in book
+        assert (2, 3) in book
+        assert len(book) == 2
+        assert book.n_exact == 1
+        assert book.n_bounded == 1
+
+    def test_value_prefers_exact(self):
+        book = PatternBook(k=2)
+        book.insert_exact((1,), -1.0)
+        assert book.value((1,)) == -1.0
+        book.insert_bounded((2,), -4.0)
+        assert book.value((2,)) == -4.0
+
+    def test_exact_supersedes_bounded(self):
+        book = PatternBook(k=2)
+        book.insert_bounded((1, 2), -9.0)
+        book.insert_exact((1, 2), -10.0)
+        assert book.n_bounded == 0
+        assert book.value((1, 2)) == -10.0
+
+    def test_bounded_never_downgrades_exact(self):
+        book = PatternBook(k=2)
+        book.insert_exact((1,), -1.0)
+        book.insert_bounded((1,), -9.0)
+        assert book.value((1,)) == -1.0
+
+    def test_remove_keeps_exact_cache(self):
+        book = PatternBook(k=1)
+        book.insert_exact((1, 2), -3.0)
+        book.remove((1, 2))
+        assert (1, 2) not in book
+        assert book.is_evaluated((1, 2))
+        book.reactivate((1, 2))
+        assert book.value((1, 2)) == -3.0
+
+    def test_remove_bounded(self):
+        book = PatternBook(k=1)
+        book.insert_bounded((1, 2), -3.0)
+        book.remove((1, 2))
+        assert (1, 2) not in book
+        assert not book.is_evaluated((1, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternBook(k=0)
+        with pytest.raises(ValueError):
+            PatternBook(k=1, min_length=0)
+
+
+class TestOmega:
+    def test_omega_is_kth_best(self):
+        book = PatternBook(k=2)
+        for i, nm in enumerate([-1.0, -3.0, -2.0]):
+            book.insert_exact((i,), nm)
+        assert book.update_omega() == -2.0
+
+    def test_omega_inf_until_k_patterns(self):
+        book = PatternBook(k=3)
+        book.insert_exact((0,), -1.0)
+        assert math.isinf(book.update_omega())
+
+    def test_omega_never_decreases(self):
+        book = PatternBook(k=1)
+        book.insert_exact((0,), -1.0)
+        assert book.update_omega() == -1.0
+        book.insert_exact((1,), -5.0)
+        assert book.update_omega() == -1.0
+
+    def test_omega_ignores_bounded(self):
+        book = PatternBook(k=1)
+        book.insert_bounded((0, 1), -0.5)
+        assert math.isinf(book.update_omega())
+
+    def test_min_length_variant(self):
+        book = PatternBook(k=1, min_length=2)
+        book.insert_exact((0,), -0.1)  # short: does not qualify
+        assert math.isinf(book.update_omega())
+        book.insert_exact((0, 1), -2.0)
+        assert book.update_omega() == -2.0
+
+
+class TestHighLow:
+    def make_book(self):
+        book = PatternBook(k=2)
+        book.insert_exact((0,), -1.0)
+        book.insert_exact((1,), -2.0)
+        book.insert_exact((2,), -3.0)
+        book.insert_bounded((0, 1), -9.0)
+        book.update_omega()
+        return book
+
+    def test_split(self):
+        book = self.make_book()
+        assert set(book.high_patterns()) == {(0,), (1,)}
+        assert set(book.low_patterns()) == {(2,), (0, 1)}
+
+    def test_everything_high_while_omega_inf(self):
+        book = PatternBook(k=5)
+        book.insert_exact((0,), -1.0)
+        book.insert_bounded((0, 1), -9.0)
+        assert set(book.high_patterns()) == {(0,)}
+        assert set(book.low_patterns()) == {(0, 1)}
+
+    def test_partners_by_length_sorted(self):
+        book = self.make_book()
+        partners = book.partners_by_length()
+        values, cells = partners[1]
+        assert values == sorted(values, reverse=True)
+        assert cells[0] == (0,)
+        assert partners[2][1] == [(0, 1)]
+
+
+class TestTopK:
+    def test_top_k_deterministic(self):
+        book = PatternBook(k=2)
+        book.insert_exact((5,), -1.0)
+        book.insert_exact((1,), -1.0)
+        book.insert_exact((9,), -2.0)
+        top = book.top_k()
+        assert [c for c, _ in top] == [(1,), (5,)]
+
+    def test_top_k_respects_min_length(self):
+        book = PatternBook(k=2, min_length=2)
+        book.insert_exact((0,), -0.1)
+        book.insert_exact((1, 2), -5.0)
+        top = book.top_k()
+        assert [c for c, _ in top] == [(1, 2)]
+
+    def test_iter_sorted_exact_before_bounded(self):
+        book = PatternBook(k=1)
+        book.insert_exact((3,), -4.0)
+        book.insert_bounded((1, 1), -0.5)
+        assert [c for c, _ in book.iter_sorted()] == [(3,), (1, 1)]

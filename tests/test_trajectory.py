@@ -1,0 +1,116 @@
+"""Unit tests for repro.trajectory.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.uncertainty.gaussian import GaussianLocation
+
+
+@pytest.fixture
+def traj():
+    means = np.array([[0.0, 0.0], [1.0, 0.5], [2.0, 1.0], [3.0, 1.5]])
+    return UncertainTrajectory(means, [0.1, 0.2, 0.3, 0.4], object_id="t")
+
+
+class TestConstruction:
+    def test_basic(self, traj):
+        assert len(traj) == 4
+        assert traj.object_id == "t"
+        assert traj.means.shape == (4, 2)
+
+    def test_scalar_sigma_broadcast(self):
+        t = UncertainTrajectory([[0, 0], [1, 1]], 0.5)
+        assert list(t.sigmas) == [0.5, 0.5]
+
+    def test_bad_means_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            UncertainTrajectory(np.zeros((3, 3)), 0.1)
+
+    def test_sigma_length_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            UncertainTrajectory([[0, 0], [1, 1]], [0.1, 0.2, 0.3])
+
+    def test_nonpositive_sigma(self):
+        with pytest.raises(ValueError, match="positive"):
+            UncertainTrajectory([[0, 0], [1, 1]], [0.1, 0.0])
+
+    def test_nonfinite_means(self):
+        with pytest.raises(ValueError, match="finite"):
+            UncertainTrajectory([[0, 0], [np.nan, 1]], 0.1)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            UncertainTrajectory([[0, 0], [1, 1]], 0.1, dt=0.0)
+
+    def test_arrays_frozen(self, traj):
+        with pytest.raises(ValueError):
+            traj.means[0, 0] = 99.0
+
+    def test_input_not_aliased(self):
+        means = np.array([[0.0, 0.0], [1.0, 1.0]])
+        t = UncertainTrajectory(means, 0.1)
+        means[0, 0] = 42.0
+        assert t.means[0, 0] == 0.0
+
+
+class TestSequenceProtocol:
+    def test_getitem(self, traj):
+        snap = traj[1]
+        assert isinstance(snap, GaussianLocation)
+        assert (snap.x, snap.y, snap.sigma) == (1.0, 0.5, 0.2)
+
+    def test_iter(self, traj):
+        snaps = list(traj)
+        assert len(snaps) == 4
+        assert snaps[-1].sigma == 0.4
+
+    def test_equality(self, traj):
+        clone = UncertainTrajectory(traj.means, traj.sigmas, object_id="t")
+        assert traj == clone
+        other = UncertainTrajectory(traj.means, traj.sigmas, object_id="u")
+        assert traj != other
+
+
+class TestWindow:
+    def test_window_contents(self, traj):
+        w = traj.window(1, 2)
+        assert len(w) == 2
+        assert w.means[0, 0] == 1.0
+        assert w.sigmas[1] == 0.3
+
+    def test_window_time_shift(self, traj):
+        w = traj.window(2, 2)
+        assert w.start_time == pytest.approx(traj.start_time + 2 * traj.dt)
+
+    def test_window_bounds(self, traj):
+        with pytest.raises(IndexError):
+            traj.window(2, 5)
+        with pytest.raises(IndexError):
+            traj.window(-1, 2)
+        with pytest.raises(ValueError):
+            traj.window(0, 0)
+
+    def test_full_window_equals_self_content(self, traj):
+        w = traj.window(0, len(traj))
+        assert np.array_equal(w.means, traj.means)
+
+
+class TestHelpers:
+    def test_times(self, traj):
+        assert list(traj.times()) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_bounding_box(self, traj):
+        box = traj.bounding_box()
+        assert (box.min_x, box.max_x) == (0.0, 3.0)
+
+    def test_bounding_box_padded(self, traj):
+        box = traj.bounding_box(n_sigmas=2.0)
+        assert box.min_x == pytest.approx(-0.8)  # 2 * max sigma 0.4
+
+    def test_sample_true_path_statistics(self):
+        t = UncertainTrajectory(np.zeros((2000, 2)), 0.3)
+        rng = np.random.default_rng(0)
+        sample = t.sample_true_path(rng)
+        assert sample.shape == (2000, 2)
+        assert sample.std() == pytest.approx(0.3, abs=0.02)

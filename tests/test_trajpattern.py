@@ -1,0 +1,174 @@
+"""Tests for the TrajPattern miner, including brute-force oracle checks.
+
+The tiny-corridor fixture keeps the active alphabet small enough to
+enumerate *every* pattern up to a length cap, so the miner's top-k can be
+compared against ground truth exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+from tests.conftest import brute_force_top_k
+
+
+class TestValidation:
+    def test_bad_parameters(self, tiny_engine):
+        with pytest.raises(ValueError):
+            TrajPatternMiner(tiny_engine, k=0)
+        with pytest.raises(ValueError):
+            TrajPatternMiner(tiny_engine, k=1, min_length=0)
+        with pytest.raises(ValueError):
+            TrajPatternMiner(tiny_engine, k=1, min_length=3, max_length=2)
+        with pytest.raises(ValueError):
+            TrajPatternMiner(tiny_engine, k=1, max_iterations=0)
+
+    def test_no_active_cells_rejected(self, rng):
+        # Grid entirely away from the data.
+        traj = UncertainTrajectory(np.full((5, 2), 100.0), 0.01)
+        dataset = TrajectoryDataset([traj])
+        grid = Grid(BoundingBox.unit(), nx=3, ny=3)
+        engine = NMEngine(dataset, grid, EngineConfig(delta=0.1, min_prob=1e-4))
+        with pytest.raises(ValueError, match="no active grid cells"):
+            TrajPatternMiner(engine, k=1).mine()
+
+
+class TestOracle:
+    """Exactness against exhaustive enumeration."""
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_top_k_matches_brute_force(self, tiny_engine, k):
+        result = TrajPatternMiner(tiny_engine, k=k, max_length=4).mine()
+        expected = brute_force_top_k(tiny_engine, k, max_length=4)
+        got = [(p.cells, nm) for p, nm in result.as_pairs()]
+        assert [c for c, _ in got] == [c for c, _ in expected]
+        for (_, nm_got), (_, nm_exp) in zip(got, expected):
+            assert nm_got == pytest.approx(nm_exp, abs=1e-9)
+
+    def test_min_length_variant_matches_brute_force(self, tiny_engine):
+        k = 5
+        result = TrajPatternMiner(
+            tiny_engine, k=k, min_length=2, max_length=4
+        ).mine()
+        expected = brute_force_top_k(tiny_engine, k, max_length=4, min_length=2)
+        assert [p.cells for p in result.patterns] == [c for c, _ in expected]
+
+    def test_unbounded_length_converges_to_same_top(self, tiny_engine):
+        """Without a length cap the miner still terminates and the top-k is
+        at least as good as the capped brute force."""
+        result = TrajPatternMiner(tiny_engine, k=3).mine()
+        expected = brute_force_top_k(tiny_engine, 3, max_length=4)
+        assert result.nm_values[0] == pytest.approx(expected[0][1], abs=1e-9)
+        assert len(result.patterns) == 3
+
+
+class TestAblations:
+    """Both pruning mechanisms are result-preserving."""
+
+    @pytest.mark.parametrize(
+        "extension,bound",
+        [(True, True), (False, True), (True, False), (False, False)],
+    )
+    def test_pruning_preserves_results(self, tiny_engine, extension, bound):
+        reference = TrajPatternMiner(tiny_engine, k=5, max_length=3).mine()
+        variant = TrajPatternMiner(
+            tiny_engine,
+            k=5,
+            max_length=3,
+            use_extension_pruning=extension,
+            use_bound_pruning=bound,
+        ).mine()
+        assert [p.cells for p in variant.patterns] == [
+            p.cells for p in reference.patterns
+        ]
+
+    def test_bound_pruning_reduces_evaluations(self, small_engine):
+        pruned = TrajPatternMiner(small_engine, k=5, max_length=3).mine()
+        exhaustive = TrajPatternMiner(
+            small_engine, k=5, max_length=3, use_bound_pruning=False
+        ).mine()
+        assert (
+            pruned.stats.candidates_evaluated
+            < exhaustive.stats.candidates_evaluated
+        )
+        assert [p.cells for p in pruned.patterns] == [
+            p.cells for p in exhaustive.patterns
+        ]
+
+    def test_extension_pruning_shrinks_q(self, small_engine):
+        with_pruning = TrajPatternMiner(small_engine, k=5, max_length=3).mine()
+        without = TrajPatternMiner(
+            small_engine, k=5, max_length=3, use_extension_pruning=False
+        ).mine()
+        assert with_pruning.stats.final_q_size <= without.stats.final_q_size
+
+
+class TestBehaviour:
+    def test_deterministic_across_runs(self, small_engine):
+        a = TrajPatternMiner(small_engine, k=10, max_length=3).mine()
+        b = TrajPatternMiner(small_engine, k=10, max_length=3).mine()
+        assert [p.cells for p in a.patterns] == [p.cells for p in b.patterns]
+
+    def test_result_sorted_and_sized(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=10, max_length=3).mine()
+        assert len(result) == 10
+        assert result.nm_values == sorted(result.nm_values, reverse=True)
+
+    def test_omega_equals_kth_value(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=10, max_length=3).mine()
+        assert result.omega <= result.nm_values[-1] + 1e-12
+
+    def test_min_length_filters_output(self, small_engine):
+        result = TrajPatternMiner(
+            small_engine, k=5, min_length=2, max_length=4
+        ).mine()
+        assert all(len(p) >= 2 for p in result.patterns)
+
+    def test_max_length_respected(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=10, max_length=2).mine()
+        assert all(len(p) <= 2 for p in result.patterns)
+
+    def test_groups_partition_topk(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=10, max_length=3).mine(
+            discover_groups=True
+        )
+        assert result.groups is not None
+        grouped = [p for g in result.groups for p in g.patterns]
+        assert sorted(p.cells for p in grouped) == sorted(
+            p.cells for p in result.patterns
+        )
+
+    def test_stats_populated(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=5, max_length=3).mine()
+        stats = result.stats
+        assert stats.iterations >= 1
+        assert stats.candidates_evaluated > 0
+        assert stats.final_q_size > 0
+        assert stats.wall_time_s > 0
+
+    def test_mean_length(self, small_engine):
+        result = TrajPatternMiner(small_engine, k=5, max_length=3).mine()
+        assert result.mean_length() == pytest.approx(
+            sum(len(p) for p in result.patterns) / 5
+        )
+
+    def test_k_larger_than_alphabet(self, tiny_engine):
+        n_active = len(tiny_engine.active_cells)
+        result = TrajPatternMiner(tiny_engine, k=n_active * 3, max_length=2).mine()
+        assert len(result) > 0  # returns what exists without crashing
+
+    def test_single_trajectory_dataset(self, rng):
+        traj = UncertainTrajectory(
+            np.cumsum(rng.normal(0.05, 0.01, (10, 2)), axis=0), 0.05
+        )
+        dataset = TrajectoryDataset([traj])
+        grid = dataset.make_grid(0.05)
+        engine = NMEngine(dataset, grid, EngineConfig(delta=0.05, min_prob=1e-4))
+        result = TrajPatternMiner(engine, k=3, max_length=3).mine()
+        assert len(result) == 3

@@ -1,0 +1,165 @@
+"""Unit tests for repro.uncertainty.gaussian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty.gaussian import (
+    GaussianLocation,
+    ProbModel,
+    log_prob_within,
+    prob_within,
+    prob_within_box,
+    prob_within_disk,
+    sigma_from_uncertainty,
+)
+
+coords = st.floats(min_value=-10, max_value=10, allow_nan=False)
+sigmas = st.floats(min_value=0.01, max_value=5.0, allow_nan=False)
+deltas = st.floats(min_value=0.01, max_value=5.0, allow_nan=False)
+
+
+class TestBoxProbability:
+    def test_centered_matches_erf(self):
+        # P(|X| <= delta) for standard normal, squared for two axes.
+        from scipy.stats import norm
+
+        p1 = norm.cdf(1.0) - norm.cdf(-1.0)
+        got = prob_within_box(np.zeros(2), np.asarray(1.0), np.zeros(2), 1.0)
+        assert float(got) == pytest.approx(p1**2, rel=1e-12)
+
+    def test_far_away_is_tiny(self):
+        got = prob_within_box(np.zeros(2), np.asarray(0.1), np.array([5.0, 5.0]), 0.1)
+        assert float(got) < 1e-100 or float(got) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(0)
+        mean = np.array([0.3, -0.2])
+        sigma = 0.5
+        center = np.array([0.5, 0.1])
+        delta = 0.4
+        samples = rng.normal(mean, sigma, size=(200_000, 2))
+        inside = np.all(np.abs(samples - center) <= delta, axis=1)
+        got = float(prob_within_box(mean, np.asarray(sigma), center, delta))
+        assert got == pytest.approx(inside.mean(), abs=0.01)
+
+    def test_vectorised_shapes(self):
+        means = np.zeros((7, 2))
+        sigma = np.full(7, 0.3)
+        centers = np.tile([0.1, 0.1], (7, 1))
+        out = prob_within_box(means, sigma, centers, 0.2)
+        assert out.shape == (7,)
+        assert np.all((0 < out) & (out < 1))
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            prob_within_box(np.zeros(2), np.asarray(0.0), np.zeros(2), 0.1)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            prob_within_box(np.zeros(2), np.asarray(1.0), np.zeros(2), 0.0)
+
+
+class TestDiskProbability:
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(1)
+        mean = np.array([0.0, 0.4])
+        sigma = 0.6
+        center = np.array([0.3, 0.0])
+        delta = 0.5
+        samples = rng.normal(mean, sigma, size=(200_000, 2))
+        inside = np.hypot(*(samples - center).T) <= delta
+        got = float(prob_within_disk(mean, np.asarray(sigma), center, delta))
+        assert got == pytest.approx(inside.mean(), abs=0.01)
+
+    def test_disk_leq_box(self):
+        # The delta-disk is inscribed in the delta-box.
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            mean = rng.normal(size=2)
+            sigma = rng.uniform(0.1, 2.0)
+            center = rng.normal(size=2)
+            delta = rng.uniform(0.05, 1.0)
+            disk = float(prob_within_disk(mean, np.asarray(sigma), center, delta))
+            box = float(prob_within_box(mean, np.asarray(sigma), center, delta))
+            assert disk <= box + 1e-12
+
+
+class TestDispatch:
+    def test_prob_within_dispatch(self):
+        mean, sigma, center = np.zeros(2), np.asarray(1.0), np.zeros(2)
+        assert prob_within(mean, sigma, center, 1.0, ProbModel.BOX) == pytest.approx(
+            float(prob_within_box(mean, sigma, center, 1.0))
+        )
+        assert prob_within(mean, sigma, center, 1.0, ProbModel.DISK) == pytest.approx(
+            float(prob_within_disk(mean, sigma, center, 1.0))
+        )
+
+    def test_log_prob_within(self):
+        mean, sigma, center = np.zeros(2), np.asarray(1.0), np.zeros(2)
+        log_p = log_prob_within(mean, sigma, center, 1.0)
+        p = prob_within(mean, sigma, center, 1.0)
+        assert float(log_p) == pytest.approx(np.log(float(p)))
+
+
+class TestProbabilityProperties:
+    @settings(max_examples=50)
+    @given(coords, coords, sigmas, coords, coords, deltas)
+    def test_in_unit_interval(self, lx, ly, sigma, px, py, delta):
+        p = float(
+            prob_within_box(
+                np.array([lx, ly]), np.asarray(sigma), np.array([px, py]), delta
+            )
+        )
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=50)
+    @given(coords, coords, sigmas, deltas)
+    def test_maximised_at_center(self, lx, ly, sigma, delta):
+        mean = np.array([lx, ly])
+        at_mean = float(prob_within_box(mean, np.asarray(sigma), mean, delta))
+        off = float(
+            prob_within_box(mean, np.asarray(sigma), mean + [3 * sigma, 0], delta)
+        )
+        assert at_mean >= off
+
+    @settings(max_examples=50)
+    @given(coords, coords, sigmas, deltas, deltas)
+    def test_monotone_in_delta(self, lx, ly, sigma, d1, d2):
+        lo, hi = sorted([d1, d2])
+        mean = np.array([lx, ly])
+        center = mean + 0.5
+        p_lo = float(prob_within_box(mean, np.asarray(sigma), center, lo))
+        p_hi = float(prob_within_box(mean, np.asarray(sigma), center, hi))
+        assert p_lo <= p_hi + 1e-12
+
+
+class TestSigmaFromUncertainty:
+    def test_basic(self):
+        assert sigma_from_uncertainty(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sigma_from_uncertainty(0.0, 2.0)
+        with pytest.raises(ValueError):
+            sigma_from_uncertainty(1.0, 0.0)
+
+
+class TestGaussianLocation:
+    def test_prob_near(self):
+        loc = GaussianLocation(0.0, 0.0, 1.0)
+        assert loc.prob_near(0.0, 0.0, 1.0) == pytest.approx(
+            float(prob_within_box(np.zeros(2), np.asarray(1.0), np.zeros(2), 1.0))
+        )
+
+    def test_sample_shape_and_spread(self):
+        loc = GaussianLocation(1.0, -1.0, 0.5)
+        samples = loc.sample(np.random.default_rng(0), n=10_000)
+        assert samples.shape == (10_000, 2)
+        assert samples.mean(axis=0) == pytest.approx([1.0, -1.0], abs=0.02)
+        assert samples.std(axis=0) == pytest.approx([0.5, 0.5], abs=0.02)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianLocation(0.0, 0.0, 0.0)

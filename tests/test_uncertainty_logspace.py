@@ -1,0 +1,92 @@
+"""Unit tests for repro.uncertainty.logspace."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.logspace import (
+    LOG_ZERO,
+    clamp_log_prob,
+    log_mean_exp,
+    log_sum_exp,
+    safe_log,
+)
+
+
+class TestSafeLog:
+    def test_positive(self):
+        assert safe_log(np.e) == pytest.approx(1.0)
+
+    def test_zero_maps_to_floor(self):
+        assert safe_log(0.0) == LOG_ZERO
+
+    def test_custom_floor(self):
+        assert safe_log(0.0, floor=-50.0) == -50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            safe_log(-0.1)
+
+    def test_array(self):
+        out = safe_log(np.array([1.0, 0.0, np.e]))
+        assert out[0] == 0.0
+        assert out[1] == LOG_ZERO
+        assert out[2] == pytest.approx(1.0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(safe_log(0.5), float)
+
+
+class TestClamp:
+    def test_clamps_below(self):
+        assert clamp_log_prob(-100.0, -10.0) == -10.0
+
+    def test_keeps_above(self):
+        assert clamp_log_prob(-5.0, -10.0) == -5.0
+
+    def test_array(self):
+        out = clamp_log_prob(np.array([-100.0, -1.0]), -10.0)
+        assert list(out) == [-10.0, -1.0]
+
+
+class TestLogSumExp:
+    def test_matches_direct(self):
+        v = np.array([-1.0, -2.0, -3.0])
+        assert log_sum_exp(v) == pytest.approx(np.log(np.exp(v).sum()))
+
+    def test_extreme_values_stable(self):
+        v = np.array([-1000.0, -1000.0])
+        assert log_sum_exp(v) == pytest.approx(-1000.0 + np.log(2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_sum_exp(np.array([]))
+
+    def test_axis(self):
+        v = np.array([[0.0, 0.0], [-1.0, -1.0]])
+        out = log_sum_exp(v, axis=1)
+        assert out == pytest.approx([np.log(2.0), -1.0 + np.log(2.0)])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_bounds(self, values):
+        v = np.array(values)
+        out = log_sum_exp(v)
+        assert out >= v.max() - 1e-9
+        assert out <= v.max() + np.log(len(values)) + 1e-9
+
+
+class TestLogMeanExp:
+    def test_matches_direct(self):
+        v = np.array([-1.0, -2.0])
+        assert log_mean_exp(v) == pytest.approx(np.log(np.exp(v).mean()))
+
+    def test_constant_is_identity(self):
+        v = np.full(5, -3.0)
+        assert log_mean_exp(v) == pytest.approx(-3.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the velocity transform (section 3.2 formulas)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.trajectory.velocity import to_velocity_dataset, to_velocity_trajectory
+
+
+def make_traj(n, sigma=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    return UncertainTrajectory(rng.normal(size=(n, 2)), sigma, object_id="x")
+
+
+class TestVelocityTransform:
+    def test_means_are_differences(self):
+        t = UncertainTrajectory([[0, 0], [1, 2], [3, 3]], 0.1)
+        v = to_velocity_trajectory(t)
+        assert np.allclose(v.means, [[1, 2], [2, 1]])
+
+    def test_length_shrinks_by_one(self):
+        v = to_velocity_trajectory(make_traj(7))
+        assert len(v) == 6
+
+    def test_sigma_formula_independent(self):
+        t = UncertainTrajectory([[0, 0], [1, 1], [2, 2]], [0.3, 0.4, 0.5])
+        v = to_velocity_trajectory(t)
+        assert v.sigmas[0] == pytest.approx(np.hypot(0.3, 0.4))
+        assert v.sigmas[1] == pytest.approx(np.hypot(0.4, 0.5))
+
+    def test_sigma_formula_correlated(self):
+        t = UncertainTrajectory([[0, 0], [1, 1]], [0.3, 0.4])
+        v = to_velocity_trajectory(t, rho=0.5)
+        expected = np.sqrt(0.09 + 0.16 - 2 * 0.5 * 0.12)
+        assert v.sigmas[0] == pytest.approx(expected)
+
+    def test_full_correlation_stays_positive(self):
+        t = UncertainTrajectory([[0, 0], [1, 1]], [0.3, 0.3])
+        v = to_velocity_trajectory(t, rho=1.0)
+        assert v.sigmas[0] > 0
+
+    def test_rho_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_velocity_trajectory(make_traj(3), rho=1.5)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="two location snapshots"):
+            to_velocity_trajectory(UncertainTrajectory([[0, 0]], 0.1))
+
+    def test_metadata_preserved(self):
+        v = to_velocity_trajectory(make_traj(4))
+        assert v.object_id == "x"
+
+    def test_monte_carlo_velocity_distribution(self):
+        """The transformed sigma matches the empirical spread of sampled velocities."""
+        t = UncertainTrajectory(np.zeros((2, 2)), [0.2, 0.3])
+        v = to_velocity_trajectory(t)
+        rng = np.random.default_rng(1)
+        samples = np.array(
+            [np.diff(t.sample_true_path(rng), axis=0)[0] for _ in range(20_000)]
+        )
+        assert samples.std(axis=0) == pytest.approx([v.sigmas[0]] * 2, rel=0.05)
+
+    @given(st.integers(min_value=2, max_value=30))
+    def test_velocities_telescope_back(self, n):
+        t = make_traj(n, seed=n)
+        v = to_velocity_trajectory(t)
+        reconstructed = t.means[0] + np.concatenate(
+            [[np.zeros(2)], np.cumsum(v.means, axis=0)]
+        )
+        assert np.allclose(reconstructed, t.means)
+
+
+class TestVelocityDataset:
+    def test_converts_all(self):
+        ds = TrajectoryDataset([make_traj(5, seed=i) for i in range(3)])
+        vds = to_velocity_dataset(ds)
+        assert len(vds) == 3
+        assert all(len(t) == 4 for t in vds)
+        assert vds.metadata["kind"] == "velocity"
+
+    def test_drops_short_and_reports(self):
+        ds = TrajectoryDataset(
+            [make_traj(5), UncertainTrajectory([[0, 0]], 0.1)]
+        )
+        vds = to_velocity_dataset(ds)
+        assert len(vds) == 1
+        assert vds.metadata["dropped_short_trajectories"] == 1

@@ -1,0 +1,93 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.grid import Grid
+from repro.trajectory.trajectory import UncertainTrajectory
+from repro.viz import (
+    OVERLAP_GLYPH,
+    PATTERN_GLYPH,
+    TRAJECTORY_GLYPH,
+    render_grid,
+    render_misprediction_bars,
+    render_pattern,
+)
+
+GRID = Grid(BoundingBox.unit(), nx=10, ny=10)
+
+
+class TestRenderGrid:
+    def test_empty_canvas_dimensions(self):
+        out = render_grid(GRID, width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("+") and lines[-1].endswith("+")
+        assert all(line.startswith("|") for line in lines[1:-1])
+        assert len(lines[0]) == 12  # 10 columns + borders
+
+    def test_trajectory_plotted(self):
+        traj = UncertainTrajectory([[0.05, 0.05], [0.95, 0.95]], 0.05)
+        out = render_grid(GRID, trajectories=[traj], width=10)
+        assert TRAJECTORY_GLYPH in out
+
+    def test_pattern_plotted(self):
+        out = render_grid(GRID, patterns=[TrajectoryPattern((0, 99))], width=10)
+        assert out.count(PATTERN_GLYPH) == 2
+
+    def test_wildcards_skipped(self):
+        out = render_grid(
+            GRID, patterns=[TrajectoryPattern((0, WILDCARD))], width=10
+        )
+        assert out.count(PATTERN_GLYPH) == 1
+
+    def test_overlap_glyph(self):
+        traj = UncertainTrajectory([[0.05, 0.05], [0.05, 0.05]], 0.05)
+        out = render_grid(
+            GRID, trajectories=[traj], patterns=[TrajectoryPattern((0,))], width=10
+        )
+        assert OVERLAP_GLYPH in out
+
+    def test_corner_orientation(self):
+        """y grows upward: a point at the top-right lands on the first row."""
+        out = render_grid(GRID, patterns=[TrajectoryPattern((99,))], width=10)
+        first_body_row = out.splitlines()[1]
+        assert PATTERN_GLYPH in first_body_row
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_grid(GRID, width=1)
+
+
+class TestRenderPattern:
+    def test_basic(self):
+        text = render_pattern(TrajectoryPattern((0, 11)), GRID)
+        assert text == "(0.050,0.050) -> (0.150,0.150)"
+
+    def test_wildcard(self):
+        text = render_pattern(TrajectoryPattern((0, WILDCARD)), GRID)
+        assert text.endswith("-> *")
+
+
+class TestRenderBars:
+    def test_empty(self):
+        assert render_misprediction_bars([]) == "(no rows)"
+
+    def test_positive_and_negative(self):
+        out = render_misprediction_bars(
+            [("lm", 0.25), ("rmf", -0.10)], width=20
+        )
+        lines = out.splitlines()
+        assert ">" in lines[0] and "<" in lines[1]
+        assert "+25.0%" in lines[0] and "-10.0%" in lines[1]
+
+    def test_scaling_longest_bar(self):
+        out = render_misprediction_bars([("a", 0.1), ("b", 0.4)], width=20)
+        lines = out.splitlines()
+        assert lines[1].count(">") == 20
+        assert lines[0].count(">") == 5
+
+    def test_zero_rows_no_crash(self):
+        out = render_misprediction_bars([("x", 0.0)])
+        assert "+0.0%" in out

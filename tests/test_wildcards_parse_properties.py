@@ -1,0 +1,55 @@
+"""Property tests for gap-pattern parsing and span arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.wildcards import Gap, GapPattern
+
+cells = st.integers(min_value=0, max_value=999)
+segments = st.lists(
+    st.lists(cells, min_size=1, max_size=3), min_size=1, max_size=3
+)
+
+
+@st.composite
+def gap_patterns(draw):
+    segs = draw(segments)
+    gaps = []
+    for _ in range(len(segs) - 1):
+        lo = draw(st.integers(min_value=0, max_value=3))
+        hi = lo + draw(st.integers(min_value=0, max_value=3))
+        gaps.append((lo, hi))
+    return segs, gaps
+
+
+def to_text(segs, gaps):
+    parts = [" ".join(map(str, segs[0]))]
+    for (lo, hi), seg in zip(gaps, segs[1:]):
+        parts.append(f"[{lo}-{hi}]")
+        parts.append(" ".join(map(str, seg)))
+    return " ".join(parts)
+
+
+class TestParseProperties:
+    @given(gap_patterns())
+    def test_parse_round_trip(self, spec):
+        segs, gaps = spec
+        pattern = GapPattern.parse(to_text(segs, gaps))
+        assert [list(s.cells) for s in pattern.segments] == segs
+        assert [(g.min_length, g.max_length) for g in pattern.gaps] == gaps
+
+    @given(gap_patterns())
+    def test_span_arithmetic(self, spec):
+        segs, gaps = spec
+        pattern = GapPattern.parse(to_text(segs, gaps))
+        n_solid = sum(len(s) for s in segs)
+        assert pattern.n_specified == n_solid
+        assert pattern.min_span() == n_solid + sum(lo for lo, _ in gaps)
+        assert pattern.max_span() == n_solid + sum(hi for _, hi in gaps)
+        assert pattern.min_span() <= pattern.max_span()
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+    def test_gap_validation_property(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        gap = Gap(lo, hi)
+        assert gap.min_length <= gap.max_length
