@@ -1,0 +1,178 @@
+"""Standalone perf-trajectory runner: engine + fig4a mining benches.
+
+Runs the engine micro-benchmarks (index construction, candidate
+evaluation) and a fig4a-style mining workload, then writes
+``BENCH_engine.json`` so subsequent PRs have a recorded perf trajectory.
+Unlike the pytest-benchmark modules this script needs no plugins and
+explicitly compares the batched paths against the scalar reference paths
+(per-pattern ``nm`` loop, per-snapshot index collection), reporting
+throughput ratios.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benches.py [--output BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.core.trajpattern import TrajPatternMiner
+from repro.experiments.datasets import grid_with_cells, zebranet_dataset
+
+#: Engine micro-bench workload (mirrors benchmarks/test_bench_engine.py).
+ENGINE_WORKLOAD = dict(n_trajectories=50, n_ticks=60, sigma=0.01, seed=7)
+ENGINE_CELL_SIZE = 0.02
+ENGINE_MIN_PROB = 1e-4
+
+#: Mining workload (mirrors the fig4a bench baseline in conftest.py).
+MINING_WORKLOAD = dict(n_trajectories=30, n_ticks=40, sigma=0.01, seed=7)
+MINING_TARGET_CELLS = 1024
+MINING_K = 5
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    """Best wall time over ``rounds`` calls, plus the last return value."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_index_build(dataset, grid, config, rounds: int) -> dict:
+    """Vectorised vs scalar (reference) index entry collection."""
+    engine = NMEngine(dataset, grid, config)
+    vec_s, _ = _best_of(engine._collect_index_entries, rounds)
+    scalar_s, _ = _best_of(engine._collect_index_entries_scalar, rounds)
+    return {
+        "n_snapshots": dataset.total_snapshots(),
+        "n_entries": engine.n_index_entries,
+        "scalar_s": scalar_s,
+        "vectorised_s": vec_s,
+        "speedup": scalar_s / vec_s if vec_s > 0 else float("inf"),
+    }
+
+
+def bench_candidate_eval(engine, rounds: int, n_candidates: int = 400) -> dict:
+    """Batched vs scalar evaluation of one mixed-length candidate frontier."""
+    rng = np.random.default_rng(11)
+    cells = engine.active_cells
+    candidates = [
+        TrajectoryPattern(
+            tuple(int(c) for c in rng.choice(cells, size=rng.integers(2, 6)))
+        )
+        for _ in range(n_candidates)
+    ]
+    batched_s, batched_values = _best_of(
+        lambda: engine.nm_batch(candidates), rounds
+    )
+    scalar_s, scalar_values = _best_of(
+        lambda: np.array([engine.nm(p) for p in candidates]), rounds
+    )
+    assert np.allclose(batched_values, scalar_values, atol=1e-9)
+    return {
+        "n_candidates": n_candidates,
+        "scalar_s": scalar_s,
+        "scalar_candidates_per_s": n_candidates / scalar_s,
+        "batched_s": batched_s,
+        "batched_candidates_per_s": n_candidates / batched_s,
+        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+def bench_mining() -> dict:
+    """Fig. 4(a)-style mining wall time with batch instrumentation."""
+    dataset = zebranet_dataset(**MINING_WORKLOAD)
+    grid = grid_with_cells(dataset, MINING_TARGET_CELLS)
+    cell = min(grid.gx, grid.gy)
+    engine = NMEngine(
+        dataset, grid, EngineConfig(delta=cell, min_prob=ENGINE_MIN_PROB)
+    )
+    result = TrajPatternMiner(engine, k=MINING_K).mine()
+    stats = result.stats
+    return {
+        "k": MINING_K,
+        "wall_time_s": stats.wall_time_s,
+        "eval_time_s": stats.eval_time_s,
+        "candidates_evaluated": stats.candidates_evaluated,
+        "candidates_per_s": (
+            stats.candidates_evaluated / stats.eval_time_s
+            if stats.eval_time_s > 0
+            else float("inf")
+        ),
+        "eval_batches": stats.eval_batches,
+        "max_batch_size": stats.max_batch_size,
+        "iterations": stats.iterations,
+    }
+
+
+def run(rounds: int = 3) -> dict:
+    dataset = zebranet_dataset(**ENGINE_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+
+    index_build = bench_index_build(dataset, grid, config, rounds)
+    engine = NMEngine(dataset, grid, config)
+    candidate_eval = bench_candidate_eval(engine, rounds)
+    mining = bench_mining()
+
+    return {
+        "generated_by": "benchmarks/run_benches.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "rounds": rounds,
+        "engine_workload": {
+            **ENGINE_WORKLOAD,
+            "cell_size": ENGINE_CELL_SIZE,
+            "min_prob": ENGINE_MIN_PROB,
+        },
+        "mining_workload": {
+            **MINING_WORKLOAD,
+            "target_cells": MINING_TARGET_CELLS,
+            "k": MINING_K,
+        },
+        "index_build": index_build,
+        "candidate_eval": candidate_eval,
+        "mining": mining,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per measurement"
+    )
+    args = parser.parse_args()
+
+    report = run(rounds=args.rounds)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
+    print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
+          f"vectorised {ib['vectorised_s']:.3f}s  ({ib['speedup']:.1f}x)")
+    print(f"candidate eval: scalar {ce['scalar_candidates_per_s']:.0f}/s  "
+          f"batched {ce['batched_candidates_per_s']:.0f}/s  ({ce['speedup']:.1f}x)")
+    print(f"mining:         {mi['wall_time_s']:.3f}s wall, "
+          f"{mi['candidates_evaluated']} candidates in {mi['eval_batches']} batches")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,12 +34,57 @@ def test_bench_engine_index_build(benchmark, dataset):
     assert built.n_index_entries > 0
 
 
+def test_bench_engine_index_entries_scalar(benchmark, engine):
+    """Reference per-snapshot collection loop, kept for perf comparison."""
+    benchmark.group = "engine"
+    cells, _, _ = benchmark.pedantic(
+        engine._collect_index_entries_scalar, rounds=3, iterations=1
+    )
+    assert sum(len(c) for c in cells) == engine.n_index_entries
+
+
+def test_bench_engine_index_entries_vectorised(benchmark, engine):
+    benchmark.group = "engine"
+    cells, _, _ = benchmark.pedantic(
+        engine._collect_index_entries, rounds=3, iterations=1
+    )
+    assert sum(len(c) for c in cells) == engine.n_index_entries
+
+
 def test_bench_engine_nm_evaluation(benchmark, engine):
     benchmark.group = "engine"
     cells = engine.active_cells
     pattern = TrajectoryPattern(tuple(cells[i] for i in (0, 5, 9, 13)))
     value = benchmark(lambda: engine.nm(pattern))
     assert value < 0
+
+
+def _frontier(engine, n=256, seed=11):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    cells = engine.active_cells
+    return [
+        TrajectoryPattern(
+            tuple(int(c) for c in rng.choice(cells, size=rng.integers(2, 6)))
+        )
+        for _ in range(n)
+    ]
+
+
+def test_bench_engine_nm_scalar_frontier(benchmark, engine):
+    """Per-pattern loop over a frontier -- the pre-batching evaluation path."""
+    benchmark.group = "engine"
+    patterns = _frontier(engine)
+    values = benchmark(lambda: [engine.nm(p) for p in patterns])
+    assert len(values) == len(patterns)
+
+
+def test_bench_engine_nm_batch_frontier(benchmark, engine):
+    benchmark.group = "engine"
+    patterns = _frontier(engine)
+    values = benchmark(lambda: engine.nm_batch(patterns))
+    assert values.shape == (len(patterns),)
 
 
 def test_bench_engine_singular_table(benchmark, engine):

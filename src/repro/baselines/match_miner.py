@@ -148,26 +148,33 @@ class MatchMiner:
             if self.max_length is not None and stats.levels >= self.max_length:
                 break
             next_frontier: list[Cells] = []
-            for prefix in frontier:
-                # The threshold may have risen past this prefix mid-level;
-                # Apriori then rules out every extension of it.
-                if scores[prefix] < tracker.threshold:
+            for pos in range(0, len(frontier), self.FRONTIER_BATCH):
+                # The threshold may have risen past a prefix mid-level;
+                # Apriori then rules out every extension of it.  Batching
+                # in chunks (re-filtered between them) keeps that pruning
+                # while the chunk's extension tables share one engine pass.
+                live = [
+                    p
+                    for p in frontier[pos : pos + self.FRONTIER_BATCH]
+                    if scores[p] >= tracker.threshold
+                ]
+                if not live:
                     continue
-                # All single-cell right-extensions in one engine pass.
-                _, match_table = self.engine.extend_right_tables(
-                    TrajectoryPattern(prefix)
+                tables = self.engine.extend_right_tables_many(
+                    [TrajectoryPattern(p) for p in live]
                 )
-                for cell in cells_alphabet:
-                    candidate = prefix + (cell,)
-                    if candidate in scores:
-                        value = scores[candidate]  # warm-started earlier
-                    else:
-                        value = match_table[cell]
-                        scores[candidate] = value
-                        tracker.note(candidate, value)
-                        stats.candidates_evaluated += 1
-                    if value >= tracker.threshold:
-                        next_frontier.append(candidate)
+                for prefix, (_, match_table) in zip(live, tables):
+                    for cell in cells_alphabet:
+                        candidate = prefix + (cell,)
+                        if candidate in scores:
+                            value = scores[candidate]  # warm-started earlier
+                        else:
+                            value = match_table[cell]
+                            scores[candidate] = value
+                            tracker.note(candidate, value)
+                            stats.candidates_evaluated += 1
+                        if value >= tracker.threshold:
+                            next_frontier.append(candidate)
             frontier = [c for c in next_frontier if scores[c] >= tracker.threshold]
             stats.levels += 1
             stats.frontier_sizes.append(len(frontier))
@@ -187,6 +194,10 @@ class MatchMiner:
 
     #: Cap on warm-start candidates (most frequent discretised n-grams).
     WARM_START_CAP = 2000
+    #: Frontier prefixes whose extension tables share one batched engine
+    #: pass; the threshold is re-checked between chunks so the mid-level
+    #: Apriori pruning is preserved.
+    FRONTIER_BATCH = 64
 
     def _warm_start(
         self, scores: dict[Cells, float], tracker: _TopKTracker, stats: MatchMinerStats
@@ -210,9 +221,15 @@ class MatchMiner:
                 gram = cells[i : i + length]
                 counts[gram] = counts.get(gram, 0) + 1
         frequent = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
-        for gram, _ in frequent[: self.WARM_START_CAP]:
-            if gram not in scores:
-                value = self.engine.match(TrajectoryPattern(gram))
-                scores[gram] = value
-                tracker.note(gram, value)
-                stats.candidates_evaluated += 1
+        seeds = [
+            gram
+            for gram, _ in frequent[: self.WARM_START_CAP]
+            if gram not in scores
+        ]
+        values = self.engine.match_batch(
+            [TrajectoryPattern(gram) for gram in seeds]
+        )
+        for gram, value in zip(seeds, values):
+            scores[gram] = float(value)
+            tracker.note(gram, float(value))
+            stats.candidates_evaluated += 1

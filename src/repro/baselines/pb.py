@@ -93,6 +93,9 @@ class PBMiner:
         self.min_length = min_length
         self.max_prefixes = max_prefixes
 
+    #: Frontier prefixes whose extension tables share one batched engine pass.
+    FRONTIER_BATCH = 64
+
     def mine(self) -> tuple[MiningResult, PBStats]:
         """Run the prefix search; returns (result, PB-specific stats).
 
@@ -120,21 +123,24 @@ class PBMiner:
             if not prefixes:
                 break
             next_prefixes: list[Cells] = []
-            for prefix in prefixes:
-                # All single-cell right-extensions in one engine pass.
-                nm_table, _ = self.engine.extend_right_tables(
-                    TrajectoryPattern(prefix)
+            for pos in range(0, len(prefixes), self.FRONTIER_BATCH):
+                chunk = prefixes[pos : pos + self.FRONTIER_BATCH]
+                # All single-cell right-extensions of the whole chunk in
+                # one batched engine pass (shared column slices).
+                tables = self.engine.extend_right_tables_many(
+                    [TrajectoryPattern(p) for p in chunk]
                 )
-                for cell in alphabet:
-                    candidate = prefix + (cell,)
-                    nm = nm_table[cell]
-                    scores[candidate] = nm
-                    stats.prefixes_evaluated += 1
-                    if (
-                        length < self.max_length
-                        and self._upper_bound(nm, length, s_star) >= omega
-                    ):
-                        next_prefixes.append(candidate)
+                for prefix, (nm_table, _) in zip(chunk, tables):
+                    for cell in alphabet:
+                        candidate = prefix + (cell,)
+                        nm = nm_table[cell]
+                        scores[candidate] = nm
+                        stats.prefixes_evaluated += 1
+                        if (
+                            length < self.max_length
+                            and self._upper_bound(nm, length, s_star) >= omega
+                        ):
+                            next_prefixes.append(candidate)
             omega = max(omega, self._threshold(scores))
             next_prefixes = [
                 c

@@ -18,11 +18,30 @@ of numpy operations over the whole dataset:
    cross a trajectory boundary are masked out, and the per-trajectory maxima
    (Eq. 4) fall out of one ``np.maximum.reduceat``.
 
+3. **Batched evaluation** (:meth:`NMEngine.nm_batch` /
+   :meth:`NMEngine.match_batch`): a whole candidate frontier is scored in
+   one pass without materialising dense columns at all.  Every window sum
+   decomposes as ``n_specified * floor`` plus the *deviations* ``value -
+   floor`` of the index entries the window touches, and those deviations
+   are strictly positive (entries exist only above ``min_prob``).  So per
+   length group the engine gathers the touched ``(pattern, window)`` pairs
+   straight from the sparse index with one shifted lookup per position,
+   sums duplicates, reduces segment maxima per ``(pattern, trajectory)``,
+   and takes ``max(0, best deviation)`` -- untouched windows contribute the
+   all-floor baseline.  Work is proportional to the touched index entries,
+   not to ``n_patterns * n_windows``.  The miner and both baselines
+   evaluate their candidates through this path.
+
+The index itself is built fully vectorised: all snapshot neighbourhoods are
+enumerated with one :meth:`~repro.geometry.grid.Grid.cells_near_many` call
+and ``Prob`` is evaluated over the concatenated (snapshot, cell) pairs in
+bounded-size chunks, instead of per-snapshot Python iteration.
+
 Exactness: with the default auto radius the index stores every cell whose
 probability can exceed ``min_prob`` (the enumeration radius is derived from
 the normal quantile of ``min_prob``), so the engine agrees with the scalar
 reference implementation to floating-point accuracy -- the test suite checks
-this property directly.
+this property directly, for both the scalar and the batched paths.
 """
 
 from __future__ import annotations
@@ -38,6 +57,16 @@ from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.geometry.grid import Grid
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.uncertainty.gaussian import ProbModel, prob_within
+
+#: Snapshots enumerated per vectorised index-build round (bounds the size of
+#: the in-flight (snapshot, cell) pair arrays).
+_INDEX_ROW_CHUNK = 8192
+#: (snapshot, cell) pairs evaluated per ``prob_within`` call.
+_INDEX_PAIR_CHUNK = 1 << 20
+#: Matrix cells per batched-evaluation round: nm/match batches are split so
+#: the per-round ``n_patterns * n_trajectories`` maxima matrix, and dense
+#: window-score batches so ``n_patterns * n_windows``, stay under this.
+_BATCH_SCORE_BUDGET = 1 << 24
 
 
 @dataclass(frozen=True)
@@ -122,7 +151,10 @@ class NMEngine:
         self._entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._column_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._valid_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._seg_max: np.ndarray | None = None
+        self._entry_bounds: tuple[np.ndarray, np.ndarray] | None = None
         self.n_evaluations = 0  # instrumentation for the scalability benches
+        self.n_batches = 0  # batched-evaluation rounds (see nm_batch)
 
         # Flat segment index (filled by _build_index when entries exist).
         self._flat_rows = np.empty(0, dtype=np.int64)
@@ -157,8 +189,70 @@ class NMEngine:
 
     # -- index construction ------------------------------------------------------
 
-    def _build_index(self) -> None:
-        """Compute above-floor log-probabilities for every (snapshot, cell)."""
+    def _collect_index_entries(
+        self,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Above-floor (cell, row, log-prob) triples, fully vectorised.
+
+        All snapshot neighbourhoods of a row chunk are enumerated with one
+        :meth:`~repro.geometry.grid.Grid.cells_near_many` call and ``Prob``
+        is evaluated over the concatenated (snapshot, cell) pairs in bounded
+        chunks; only the (rare) per-snapshot cap falls back to a Python loop
+        over the few snapshots that exceed it.
+        """
+        cfg = self.config
+        radius_sigmas = cfg.effective_radius_sigmas()
+        cap = cfg.max_cells_per_snapshot
+        means = self.dataset.all_means()
+        sigmas = np.concatenate([t.sigmas for t in self.dataset])
+        radii = radius_sigmas * sigmas + cfg.delta
+
+        cells_acc: list[np.ndarray] = []
+        rows_acc: list[np.ndarray] = []
+        vals_acc: list[np.ndarray] = []
+        for lo in range(0, self._total_rows, _INDEX_ROW_CHUNK):
+            hi = min(lo + _INDEX_ROW_CHUNK, self._total_rows)
+            cells, owners = self.grid.cells_near_many(means[lo:hi], radii[lo:hi])
+            if not len(cells):
+                continue
+            probs = np.empty(len(cells))
+            for s in range(0, len(cells), _INDEX_PAIR_CHUNK):
+                e = min(s + _INDEX_PAIR_CHUNK, len(cells))
+                probs[s:e] = prob_within(
+                    means[lo + owners[s:e]],
+                    sigmas[lo + owners[s:e]],
+                    self.grid.cell_centers(cells[s:e]),
+                    cfg.delta,
+                    model=cfg.prob_model,
+                )
+            keep = probs > cfg.min_prob
+            cells, owners, probs = cells[keep], owners[keep], probs[keep]
+            if not len(cells):
+                continue
+            # owners stays sorted through the mask, so each snapshot's
+            # entries are one contiguous run; trim the runs over the cap.
+            counts = np.bincount(owners, minlength=hi - lo)
+            if np.any(counts > cap):
+                sel = np.ones(len(cells), dtype=bool)
+                run_starts = np.concatenate([[0], np.cumsum(counts)])
+                for r in np.nonzero(counts > cap)[0]:
+                    run = slice(int(run_starts[r]), int(run_starts[r + 1]))
+                    drop = np.argpartition(probs[run], -cap)[:-cap]
+                    sel[np.arange(run.start, run.stop)[drop]] = False
+                cells, owners, probs = cells[sel], owners[sel], probs[sel]
+            cells_acc.append(cells)
+            rows_acc.append(lo + owners)
+            vals_acc.append(np.log(probs))
+        return cells_acc, rows_acc, vals_acc
+
+    def _collect_index_entries_scalar(
+        self,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Reference per-snapshot collection loop.
+
+        Kept as the oracle the vectorised path is tested against and as the
+        baseline the index-build benchmarks compare to.
+        """
         cfg = self.config
         radius_sigmas = cfg.effective_radius_sigmas()
         cells_acc: list[np.ndarray] = []
@@ -187,7 +281,11 @@ class NMEngine:
                         rows_acc.append(np.full(len(cells), row, dtype=np.int64))
                         vals_acc.append(np.log(probs))
                 row += 1
+        return cells_acc, rows_acc, vals_acc
 
+    def _build_index(self) -> None:
+        """Compute above-floor log-probabilities for every (snapshot, cell)."""
+        cells_acc, rows_acc, vals_acc = self._collect_index_entries()
         if not cells_acc:
             return
         all_cells = np.concatenate(cells_acc)
@@ -277,6 +375,93 @@ class NMEngine:
         scores[~valid] = -np.inf
         return scores, bounds, eligible
 
+    def _entry_lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(start, count)`` arrays locating each cell's flat entries.
+
+        ``start[cell]`` / ``count[cell]`` delimit the cell's run inside
+        ``self._flat_rows`` / ``self._flat_vals`` (which are sorted by cell,
+        then row); inactive cells have count 0.  Built lazily once -- this
+        is what lets the batched paths gather arbitrary cell subsets with
+        pure array indexing instead of dict lookups or dense columns.
+        """
+        if self._entry_bounds is None:
+            n_cells = self.grid.n_cells
+            start = np.zeros(n_cells, dtype=np.int64)
+            count = np.zeros(n_cells, dtype=np.int64)
+            if self._seg_starts.size:
+                cell_starts = self._seg_starts[self._cell_seg_starts]
+                cell_counts = np.diff(
+                    np.append(cell_starts, len(self._flat_rows))
+                )
+                start[self._flat_cell_order] = cell_starts
+                count[self._flat_cell_order] = cell_counts
+            self._entry_bounds = (start, count)
+        return self._entry_bounds
+
+    def _offset_entries(
+        self, cells_j: np.ndarray, j: int, n_windows: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Index entries touched at pattern offset ``j`` across a batch.
+
+        ``cells_j[i]`` is pattern ``i``'s cell at position ``j``.  Returns
+        ``(pattern_row, window_start, deviation)`` triples -- one per index
+        entry of those cells whose shifted row lands on an in-range window
+        start -- where ``deviation = value - floor > 0``.  Wildcards (and
+        inactive cells) contribute nothing.  ``None`` when the offset
+        touches no entries at all.
+        """
+        start, count = self._entry_lookup()
+        safe = np.where(cells_j >= 0, cells_j, 0)
+        counts_j = np.where(cells_j >= 0, count[safe], 0)
+        total = int(counts_j.sum())
+        if total == 0:
+            return None
+        pat = np.repeat(np.arange(len(cells_j), dtype=np.int64), counts_j)
+        firsts = np.cumsum(counts_j) - counts_j
+        rank = np.arange(total, dtype=np.int64) - np.repeat(firsts, counts_j)
+        flat_pos = np.repeat(start[safe], counts_j) + rank
+        wrow = self._flat_rows[flat_pos] - j
+        keep = (wrow >= 0) & (wrow < n_windows)
+        return pat[keep], wrow[keep], self._flat_vals[flat_pos[keep]] - self._floor
+
+    def _stacked_window_scores(
+        self,
+        patterns: Sequence[TrajectoryPattern],
+        n_windows: int,
+    ) -> np.ndarray:
+        """Unmasked window log-sums of equal-length patterns, stacked.
+
+        Row ``i`` holds the window sums of ``patterns[i]`` over the first
+        ``n_windows`` global window starts.  Each row starts at its
+        pattern's all-floor baseline and the sparse entry deviations are
+        scattered on top, one shifted gather per position -- no dense
+        per-cell columns are materialised, so the cost is proportional to
+        the index entries the batch actually touches.
+        """
+        m = len(patterns[0])
+        cells_matrix = np.array([p.cells for p in patterns], dtype=np.int64)
+        n_spec = (cells_matrix != WILDCARD).sum(axis=1)
+        scores = np.empty((len(patterns), n_windows))
+        scores[:] = (self._floor * n_spec)[:, None]
+        flat = scores.ravel()
+        for j in range(m):
+            triples = self._offset_entries(cells_matrix[:, j], j, n_windows)
+            if triples is None:
+                continue
+            pat, wrow, dev = triples
+            # One offset yields at most one entry per (pattern, window), so
+            # the fancy-indexed add has no duplicate targets.
+            flat[pat * n_windows + wrow] += dev
+        return scores
+
+    def _group_by_length(
+        self, patterns: Sequence[TrajectoryPattern]
+    ) -> dict[int, list[int]]:
+        groups: dict[int, list[int]] = {}
+        for i, pattern in enumerate(patterns):
+            groups.setdefault(len(pattern), []).append(i)
+        return groups
+
     # -- measures ----------------------------------------------------------------------
 
     def nm_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
@@ -311,47 +496,205 @@ class NMEngine:
         """Dataset match: sum of per-trajectory max window probabilities."""
         return float(self.match_per_trajectory(pattern).sum())
 
+    # -- batched evaluation --------------------------------------------------------
+
+    def _batch_deviation_maxima(
+        self, cells_matrix: np.ndarray, n_windows: int, valid: np.ndarray
+    ) -> np.ndarray:
+        """Best per-``(pattern, trajectory)`` window deviation of a group.
+
+        A window's score is its pattern's all-floor baseline plus the (all
+        strictly positive) deviations of the index entries it touches, so
+        the per-trajectory best window is the baseline plus ``max(0, best
+        summed deviation over the trajectory's valid windows)``.  This
+        gathers the touched triples per offset, sums duplicates per
+        ``(pattern, window)`` key, and segment-reduces the maxima -- never
+        materialising anything of size ``n_patterns * n_windows``.
+        """
+        n_patterns, m = cells_matrix.shape
+        dev_max = np.zeros((n_patterns, len(self.dataset)))
+        start, count = self._entry_lookup()
+        flat_cells = cells_matrix.ravel()
+        safe = np.where(flat_cells >= 0, flat_cells, 0)
+        counts = np.where(flat_cells >= 0, count[safe], 0)
+        total = int(counts.sum())
+        if total == 0:
+            return dev_max
+        # One gather covering every (pattern, offset) slot of the group.
+        owner = np.repeat(np.arange(n_patterns * m, dtype=np.int64), counts)
+        firsts = np.cumsum(counts) - counts
+        rank = np.arange(total, dtype=np.int64) - np.repeat(firsts, counts)
+        flat_pos = np.repeat(start[safe], counts) + rank
+        wrow = self._flat_rows[flat_pos] - owner % m
+        keep = (wrow >= 0) & (wrow < n_windows)
+        wrow, owner, flat_pos = wrow[keep], owner[keep], flat_pos[keep]
+        keep = valid[wrow]
+        wrow, owner, flat_pos = wrow[keep], owner[keep], flat_pos[keep]
+        if not len(wrow):
+            return dev_max
+        dev = self._flat_vals[flat_pos] - self._floor
+        key = (owner // m) * np.int64(n_windows) + wrow
+        order = np.argsort(key, kind="stable")
+        key, dev = key[order], dev[order]
+        window_starts = np.concatenate([[0], np.nonzero(np.diff(key))[0] + 1])
+        window_sums = np.add.reduceat(dev, window_starts)
+        u_key = key[window_starts]
+        u_pat = u_key // n_windows
+        u_traj = self._row_traj[u_key % n_windows]
+        # u_key is sorted, so (u_pat, u_traj) runs are contiguous.
+        boundary = (
+            np.nonzero((np.diff(u_pat) != 0) | (np.diff(u_traj) != 0))[0] + 1
+        )
+        seg = np.concatenate([[0], boundary])
+        dev_max[u_pat[seg], u_traj[seg]] = np.maximum.reduceat(window_sums, seg)
+        return dev_max
+
+    def _batch_reduce(
+        self, patterns: Sequence[TrajectoryPattern], kind: str
+    ) -> np.ndarray:
+        """Shared driver of :meth:`nm_batch` / :meth:`match_batch`.
+
+        Groups patterns by length and reduces each group through the sparse
+        deviation gather (:meth:`_batch_deviation_maxima`), in chunks sized
+        so the per-chunk ``(n_patterns, n_trajectories)`` maxima matrix
+        stays within the batch budget.
+        """
+        patterns = list(patterns)
+        out = np.empty(len(patterns))
+        n_traj = len(self.dataset)
+        floor = self._floor
+        for m, idxs in self._group_by_length(patterns).items():
+            valid, _, eligible = self._window_plumbing(m)
+            cells_all = np.array([patterns[i].cells for i in idxs], dtype=np.int64)
+            n_spec = (cells_all != WILDCARD).sum(axis=1).astype(float)
+            if len(eligible) == 0:
+                # Every trajectory is shorter than the pattern: floor terms only.
+                if kind == "nm":
+                    out[idxs] = floor * n_traj
+                else:
+                    out[idxs] = n_traj * np.exp(floor * n_spec)
+                continue
+            n_windows = self._total_rows - m + 1
+            chunk = max(1, _BATCH_SCORE_BUDGET // max(n_traj, 1))
+            for start in range(0, len(idxs), chunk):
+                sub = idxs[start : start + chunk]
+                dev_max = self._batch_deviation_maxima(
+                    cells_all[start : start + chunk], n_windows, valid
+                )
+                spec = n_spec[start : start + chunk]
+                # Baseline floor * n_spec plus the best (>= 0) deviation.
+                maxes = dev_max[:, eligible] + floor * spec[:, None]
+                if kind == "nm":
+                    totals = maxes.sum(axis=1)
+                    normalised = np.divide(
+                        totals, spec, out=np.zeros(len(sub)), where=spec > 0
+                    )
+                    out[sub] = normalised + floor * (n_traj - len(eligible))
+                else:
+                    out[sub] = np.exp(maxes).sum(axis=1) + np.exp(floor * spec) * (
+                        n_traj - len(eligible)
+                    )
+                self.n_batches += 1
+        self.n_evaluations += len(patterns)
+        return out
+
+    def nm_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """``NM(P)`` of a whole candidate batch, in order.
+
+        Equal to ``[self.nm(p) for p in patterns]`` to floating-point
+        accuracy, but evaluated through the stacked score-matrix path (see
+        module docs, step 3) -- the miner's per-iteration frontier goes
+        through here.
+        """
+        if not len(patterns):
+            return np.empty(0)
+        return self._batch_reduce(patterns, "nm")
+
+    def match_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """Dataset match of a whole candidate batch, in order."""
+        if not len(patterns):
+            return np.empty(0)
+        return self._batch_reduce(patterns, "match")
+
     def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
-        """NM of several patterns, in order."""
-        return np.array([self.nm(p) for p in patterns])
+        """NM of several patterns, in order (alias of :meth:`nm_batch`)."""
+        return self.nm_batch(patterns)
+
+    def window_scores_batch(
+        self, patterns: Sequence[TrajectoryPattern]
+    ) -> list[np.ndarray]:
+        """Raw global window log-sums of each pattern (no boundary mask).
+
+        Entry ``i`` has one score per global window start of length
+        ``len(patterns[i])``; windows that cross a trajectory boundary are
+        *not* masked.  Consumers that slice per-trajectory ranges (the
+        wildcard gap DP) use this to share the batched column machinery.
+        """
+        patterns = list(patterns)
+        out: list[np.ndarray] = [np.empty(0)] * len(patterns)
+        for m, idxs in self._group_by_length(patterns).items():
+            n_windows = self._total_rows - m + 1
+            if n_windows <= 0:
+                continue
+            chunk = max(1, _BATCH_SCORE_BUDGET // max(n_windows, 1))
+            for start in range(0, len(idxs), chunk):
+                sub = idxs[start : start + chunk]
+                scores = self._stacked_window_scores(
+                    [patterns[i] for i in sub], n_windows
+                )
+                for row, i in enumerate(sub):
+                    out[i] = scores[row]
+        return out
 
     # -- bulk singular evaluation ---------------------------------------------------------
+
+    def _segment_maxima(self) -> np.ndarray:
+        """Max stored entry of every (cell, trajectory) segment, cached.
+
+        Segments follow the flat index order (sorted by cell, then
+        trajectory); ``self._cell_seg_starts`` delimits each cell's run and
+        ``self._flat_cell_order`` names the cells.  Both singular tables
+        derive from this one ``np.maximum.reduceat`` sweep.
+        """
+        if self._seg_max is None:
+            if self._seg_starts.size:
+                self._seg_max = np.maximum.reduceat(self._flat_vals, self._seg_starts)
+            else:
+                self._seg_max = np.empty(0)
+        return self._seg_max
 
     def singular_nm_table(self) -> dict[int, float]:
         """``NM`` of every active singular pattern, without column building.
 
         For length-1 patterns the per-trajectory max is just the max stored
         entry (or the floor when a trajectory never touches the cell), so
-        the whole table comes straight out of the index.
+        the whole table comes straight out of the index: each touched
+        trajectory swaps its floor term for its max entry (always an
+        improvement -- entries are above ``min_prob`` by construction).
         """
-        n_traj = len(self.dataset)
-        base = self._floor * n_traj
-        table: dict[int, float] = {}
-        for cell, (rows, vals) in self._entries.items():
-            trajs = self._row_traj[rows]
-            # rows are sorted, hence trajs is non-decreasing.
-            change = np.nonzero(np.diff(trajs))[0] + 1
-            seg_starts = np.concatenate([[0], change])
-            seg_max = np.maximum.reduceat(vals, seg_starts)
-            # Each touched trajectory swaps its floor term for its max entry,
-            # but only when the entry beats the floor (it always does,
-            # entries are above min_prob by construction).
-            table[cell] = base + float(np.sum(seg_max - self._floor))
-        return table
+        base = self._floor * len(self.dataset)
+        seg_max = self._segment_maxima()
+        if not seg_max.size:
+            return {}
+        gains = np.add.reduceat(seg_max - self._floor, self._cell_seg_starts)
+        return {
+            int(cell): base + float(gain)
+            for cell, gain in zip(self._flat_cell_order, gains)
+        }
 
     def singular_match_table(self) -> dict[int, float]:
         """Match of every active singular pattern (used by the match miner)."""
         n_traj = len(self.dataset)
         floor_p = np.exp(self._floor)
-        table: dict[int, float] = {}
-        for cell, (rows, vals) in self._entries.items():
-            trajs = self._row_traj[rows]
-            change = np.nonzero(np.diff(trajs))[0] + 1
-            seg_starts = np.concatenate([[0], change])
-            seg_max = np.maximum.reduceat(vals, seg_starts)
-            n_touched = len(seg_starts)
-            table[cell] = float(np.exp(seg_max).sum()) + floor_p * (n_traj - n_touched)
-        return table
+        seg_max = self._segment_maxima()
+        if not seg_max.size:
+            return {}
+        sums = np.add.reduceat(np.exp(seg_max), self._cell_seg_starts)
+        n_touched = np.diff(np.append(self._cell_seg_starts, len(seg_max)))
+        return {
+            int(cell): float(s) + floor_p * (n_traj - int(n))
+            for cell, s, n in zip(self._flat_cell_order, sums, n_touched)
+        }
 
     # -- bulk single-cell extensions --------------------------------------------------------
 
@@ -376,15 +719,8 @@ class NMEngine:
 
         # Prefix window scores aligned to extended-window starts.
         valid, bounds, eligible = self._window_plumbing(ext_len)
-        nm_default = np.full(n_traj, floor)
-        match_default = np.full(n_traj, np.exp(floor * (n_spec + 1)))
         if len(eligible) == 0:
-            nm_total = float(nm_default.sum())
-            match_total = float(match_default.sum())
-            return (
-                {c: nm_total for c in self._entries},
-                {c: match_total for c in self._entries},
-            )
+            return self._extension_floor_tables(n_spec)
 
         n_windows = self._total_rows - ext_len + 1
         prefix_scores = np.zeros(n_windows)
@@ -392,6 +728,77 @@ class NMEngine:
             if cell == WILDCARD:
                 continue
             prefix_scores += self._column(cell)[j : j + n_windows]
+        return self._extension_tables_from_scores(
+            m, n_spec, prefix_scores, valid, bounds, eligible
+        )
+
+    def extend_right_tables_many(
+        self, patterns: Sequence[TrajectoryPattern]
+    ) -> list[tuple[dict[int, float], dict[int, float]]]:
+        """:meth:`extend_right_tables` of a whole frontier at once.
+
+        The per-prefix window scores are built through the stacked batch
+        scorer (each distinct cell column sliced once per offset for the
+        whole frontier) before the shared flat-index pass; the level-wise
+        miners call this once per level instead of once per prefix.
+        """
+        patterns = list(patterns)
+        out: list[tuple[dict[int, float], dict[int, float]] | None] = [
+            None
+        ] * len(patterns)
+        for m, idxs in self._group_by_length(patterns).items():
+            ext_len = m + 1
+            valid, bounds, eligible = self._window_plumbing(ext_len)
+            if len(eligible) == 0:
+                for i in idxs:
+                    out[i] = self._extension_floor_tables(
+                        len(patterns[i].specified_positions())
+                    )
+                continue
+            n_windows = self._total_rows - ext_len + 1
+            chunk = max(1, _BATCH_SCORE_BUDGET // max(n_windows, 1))
+            for start in range(0, len(idxs), chunk):
+                sub = idxs[start : start + chunk]
+                scores = self._stacked_window_scores(
+                    [patterns[i] for i in sub], n_windows
+                )
+                for row, i in enumerate(sub):
+                    out[i] = self._extension_tables_from_scores(
+                        m,
+                        len(patterns[i].specified_positions()),
+                        scores[row],
+                        valid,
+                        bounds,
+                        eligible,
+                    )
+        return out  # type: ignore[return-value]
+
+    def _extension_floor_tables(
+        self, n_spec: int
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Extension tables when no trajectory fits the extended length."""
+        n_traj = len(self.dataset)
+        nm_total = self._floor * n_traj
+        match_total = n_traj * float(np.exp(self._floor * (n_spec + 1)))
+        return (
+            {c: nm_total for c in self._entries},
+            {c: match_total for c in self._entries},
+        )
+
+    def _extension_tables_from_scores(
+        self,
+        m: int,
+        n_spec: int,
+        prefix_scores: np.ndarray,
+        valid: np.ndarray,
+        bounds: np.ndarray,
+        eligible: np.ndarray,
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Flat-index extension pass shared by the single and batched paths."""
+        n_traj = len(self.dataset)
+        floor = self._floor
+        nm_default = np.full(n_traj, floor)
+        match_default = np.full(n_traj, np.exp(floor * (n_spec + 1)))
 
         # Base case: the new position scores the floor everywhere.
         base = prefix_scores + floor
@@ -406,7 +813,13 @@ class NMEngine:
         match_base_total = float(match_base.sum())
 
         if self._seg_starts.size == 0:
-            return {}, {}
+            # Empty flat index: no entry can improve on the base totals, so
+            # every extension scores exactly the base (mirrors the
+            # no-eligible-trajectory branch instead of dropping the totals).
+            return (
+                {c: nm_base_total for c in self._entries},
+                {c: match_base_total for c in self._entries},
+            )
 
         # Per-trajectory best base, aligned for comparison with entries.
         best_base_by_traj = np.full(n_traj, -np.inf)

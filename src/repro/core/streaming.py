@@ -105,9 +105,10 @@ class StreamingNMEngine:
     def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
         """Dataset NM of each pattern, computed in one pass over the file.
 
-        One chunk index is resident at a time; all patterns are scored
-        against it before it is dropped, so the file is read exactly once
-        per call regardless of the batch size.
+        One chunk index is resident at a time; the whole pattern batch is
+        scored against it with one :meth:`NMEngine.nm_batch` call before it
+        is dropped, so the file is read exactly once per call regardless of
+        the batch size.
         """
         if not patterns:
             return np.empty(0)
@@ -115,8 +116,7 @@ class StreamingNMEngine:
         scanned = False
         for engine in self._chunk_engines():
             scanned = True
-            for i, pattern in enumerate(patterns):
-                totals[i] += engine.nm(pattern)
+            totals += engine.nm_batch(patterns)
         if not scanned:
             raise ValueError(f"{self.path}: dataset contains no trajectories")
         return totals
@@ -129,8 +129,7 @@ class StreamingNMEngine:
         scanned = False
         for engine in self._chunk_engines():
             scanned = True
-            for i, pattern in enumerate(patterns):
-                totals[i] += engine.match(pattern)
+            totals += engine.match_batch(patterns)
         if not scanned:
             raise ValueError(f"{self.path}: dataset contains no trajectories")
         return totals

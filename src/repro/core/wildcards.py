@@ -113,13 +113,19 @@ class GapPattern:
 
 def nm_gap_pattern(engine: NMEngine, pattern: GapPattern) -> float:
     """Dataset NM of a gap pattern: sum over trajectories of the best
-    admissible alignment (section 5's DP evaluation)."""
-    return float(
-        sum(
-            nm_gap_pattern_trajectory(engine, pattern, i)
-            for i in range(len(engine.dataset))
-        )
-    )
+    admissible alignment (section 5's DP evaluation).
+
+    All segments' window scores over the *whole* dataset are computed with
+    one batched engine call (shared column slices,
+    :meth:`~repro.core.engine.NMEngine.window_scores_batch`); the DP then
+    runs per trajectory on slices of those global arrays.
+    """
+    global_scores = engine.window_scores_batch(list(pattern.segments))
+    total = 0.0
+    for i in range(len(engine.dataset)):
+        seg_scores = _slice_segment_scores(engine, pattern, global_scores, i)
+        total += _best_alignment_nm(engine, pattern, seg_scores, i)
+    return float(total)
 
 
 def nm_gap_pattern_trajectory(
@@ -127,20 +133,33 @@ def nm_gap_pattern_trajectory(
 ) -> float:
     """Best-alignment NM of a gap pattern within one trajectory.
 
-    DP over segments: ``best[j][t]`` is the maximum summed log-probability
-    of placing segments ``0..j`` such that segment ``j`` ends at snapshot
-    ``t`` (inclusive).  Transitions advance by the next segment's length
-    plus an admissible gap.  Trajectories shorter than the minimum span
-    score the engine's floor (consistent with fixed patterns).
+    Prefer :func:`nm_gap_pattern` for the dataset total -- it batches the
+    segment scoring across all trajectories at once.
+    """
+    seg_scores = [
+        _segment_window_scores(engine, seg, traj_index) for seg in pattern.segments
+    ]
+    return _best_alignment_nm(engine, pattern, seg_scores, traj_index)
+
+
+def _best_alignment_nm(
+    engine: NMEngine,
+    pattern: GapPattern,
+    seg_scores: list[np.ndarray],
+    traj_index: int,
+) -> float:
+    """DP over segment placements given per-trajectory segment scores.
+
+    ``best[j][t]`` is the maximum summed log-probability of placing
+    segments ``0..j`` such that segment ``j`` ends at snapshot ``t``
+    (inclusive).  Transitions advance by the next segment's length plus an
+    admissible gap.  Trajectories shorter than the minimum span score the
+    engine's floor (consistent with fixed patterns).
     """
     length = len(engine.dataset[traj_index])
     floor = engine.floor_log_prob
     if length < pattern.min_span():
         return floor
-
-    seg_scores = [
-        _segment_window_scores(engine, seg, traj_index) for seg in pattern.segments
-    ]
 
     # best ending at snapshot t for the current segment prefix.
     first = pattern.segments[0]
@@ -172,6 +191,26 @@ def nm_gap_pattern_trajectory(
     if top == -np.inf:
         return floor
     return top / pattern.n_specified
+
+
+def _slice_segment_scores(
+    engine: NMEngine,
+    pattern: GapPattern,
+    global_scores: list[np.ndarray],
+    traj_index: int,
+) -> list[np.ndarray]:
+    """One trajectory's segment windows, sliced out of the global arrays.
+
+    Window starts fully inside the trajectory never cross a boundary, so
+    the raw global sums equal the per-trajectory ones.
+    """
+    length = len(engine.dataset[traj_index])
+    start_row = int(engine._starts[traj_index])
+    out = []
+    for seg, scores in zip(pattern.segments, global_scores):
+        n_windows = max(length - len(seg) + 1, 0)
+        out.append(scores[start_row : start_row + n_windows])
+    return out
 
 
 def _segment_window_scores(

@@ -167,6 +167,60 @@ class Grid:
         """Ids of cells whose centre is within the square of half-width ``radius``."""
         return self.cells_in_box(x - radius, y - radius, x + radius, y + radius)
 
+    def cells_in_boxes(
+        self,
+        min_x: np.ndarray,
+        min_y: np.ndarray,
+        max_x: np.ndarray,
+        max_y: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cells_in_box` over ``n`` query boxes at once.
+
+        Returns ``(cells, owners)``: the concatenated cell ids of every box
+        and, aligned with them, the index of the box each id belongs to.
+        Within one box the ids come out in the same (row-major) order as
+        :meth:`cells_in_box`; empty boxes simply contribute nothing.
+        """
+        min_x = np.asarray(min_x, dtype=float)
+        min_y = np.asarray(min_y, dtype=float)
+        max_x = np.asarray(max_x, dtype=float)
+        max_y = np.asarray(max_y, dtype=float)
+        half_gx, half_gy = self.gx / 2.0, self.gy / 2.0
+        col_lo = np.ceil((min_x - self.bbox.min_x - half_gx) / self.gx - 1e-12).astype(np.int64)
+        col_hi = np.floor((max_x - self.bbox.min_x - half_gx) / self.gx + 1e-12).astype(np.int64)
+        row_lo = np.ceil((min_y - self.bbox.min_y - half_gy) / self.gy - 1e-12).astype(np.int64)
+        row_hi = np.floor((max_y - self.bbox.min_y - half_gy) / self.gy + 1e-12).astype(np.int64)
+        col_lo, col_hi = np.maximum(col_lo, 0), np.minimum(col_hi, self.nx - 1)
+        row_lo, row_hi = np.maximum(row_lo, 0), np.minimum(row_hi, self.ny - 1)
+        n_cols = np.maximum(col_hi - col_lo + 1, 0)
+        n_rows = np.maximum(row_hi - row_lo + 1, 0)
+        counts = n_cols * n_rows
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        owners = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        # Rank of each entry within its own box, then row-major (a, b) -> id.
+        box_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        rank = np.arange(total, dtype=np.int64) - np.repeat(box_starts, counts)
+        width = n_cols[owners]
+        rows = row_lo[owners] + rank // width
+        cols = col_lo[owners] + rank % width
+        return rows * self.nx + cols, owners
+
+    def cells_near_many(
+        self, points: np.ndarray, radii: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cells_near` for ``(n, 2)`` points with per-point radii.
+
+        Returns ``(cells, owners)`` exactly like :meth:`cells_in_boxes`; the
+        sparse probability index uses this to enumerate every snapshot's
+        candidate neighbourhood in one call.
+        """
+        points = np.asarray(points, dtype=float)
+        radii = np.broadcast_to(np.asarray(radii, dtype=float), len(points))
+        xs, ys = points[:, 0], points[:, 1]
+        return self.cells_in_boxes(xs - radii, ys - radii, xs + radii, ys + radii)
+
     def neighbors(self, cell: int, include_diagonal: bool = True) -> list[int]:
         """Adjacent cell ids (4- or 8-neighbourhood), excluding ``cell`` itself."""
         row, col = self.row_col(cell)

@@ -98,6 +98,33 @@ class TestSpatialQueries:
         cells = grid.cells_in_box(-1, -1, 2, 2)
         assert len(cells) == grid.n_cells
 
+    def test_cells_near_many_matches_scalar(self, grid):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-0.2, 1.2, (40, 2))
+        radii = rng.uniform(0.0, 0.4, 40)
+        cells, owners = grid.cells_near_many(points, radii)
+        assert len(cells) == len(owners)
+        for i, (point, radius) in enumerate(zip(points, radii)):
+            expected = grid.cells_near(point[0], point[1], radius)
+            got = cells[owners == i]
+            assert np.array_equal(got, expected)
+
+    def test_cells_near_many_scalar_radius(self, grid):
+        points = np.array([[0.5, 0.5], [0.05, 0.05]])
+        cells, owners = grid.cells_near_many(points, 0.13)
+        for i in range(2):
+            expected = grid.cells_near(points[i, 0], points[i, 1], 0.13)
+            assert np.array_equal(cells[owners == i], expected)
+
+    def test_cells_in_boxes_all_empty(self, grid):
+        cells, owners = grid.cells_in_boxes(
+            np.array([2.0, 5.0]),
+            np.array([2.0, 5.0]),
+            np.array([3.0, 6.0]),
+            np.array([3.0, 6.0]),
+        )
+        assert len(cells) == 0 and len(owners) == 0
+
     def test_neighbors_interior(self, grid):
         assert len(grid.neighbors(35)) == 8
         assert len(grid.neighbors(35, include_diagonal=False)) == 4
