@@ -1,9 +1,12 @@
 """Standalone perf-trajectory runner: engine + fig4a mining benches.
 
 Runs the engine micro-benchmarks (index construction, candidate
-evaluation) and a fig4a-style mining workload, then writes
-``BENCH_engine.json`` so subsequent PRs have a recorded perf trajectory.
-Unlike the pytest-benchmark modules this script needs no plugins and
+evaluation), a fig4a-style mining workload, the sharded parallel-scaling
+sweep (1/2/4/8 workers) and the index-cache cold/warm comparison, then
+writes ``BENCH_engine.json`` so subsequent PRs have a recorded perf
+trajectory.  Each run is *appended* to the file's ``history`` list (keyed
+by git SHA + timestamp); the top-level sections always describe the latest
+run.  Unlike the pytest-benchmark modules this script needs no plugins and
 explicitly compares the batched paths against the scalar reference paths
 (per-pattern ``nm`` loop, per-snapshot index collection), reporting
 throughput ratios.
@@ -17,13 +20,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
+import tempfile
 import time
+from dataclasses import replace
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.engine import EngineConfig, NMEngine
+from repro.core.parallel import ParallelNMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.core.trajpattern import TrajPatternMiner
 from repro.experiments.datasets import grid_with_cells, zebranet_dataset
@@ -37,6 +46,11 @@ ENGINE_MIN_PROB = 1e-4
 MINING_WORKLOAD = dict(n_trajectories=30, n_ticks=40, sigma=0.01, seed=7)
 MINING_TARGET_CELLS = 1024
 MINING_K = 5
+
+#: Parallel-scaling workload: larger so the build amortises pool startup.
+PARALLEL_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
+PARALLEL_JOBS = (1, 2, 4, 8)
+PARALLEL_N_CANDIDATES = 400
 
 
 def _best_of(fn, rounds: int) -> tuple[float, object]:
@@ -117,6 +131,90 @@ def bench_mining() -> dict:
     }
 
 
+def _random_candidates(engine, n: int, seed: int = 11) -> list[TrajectoryPattern]:
+    rng = np.random.default_rng(seed)
+    cells = engine.active_cells
+    return [
+        TrajectoryPattern(
+            tuple(int(c) for c in rng.choice(cells, size=rng.integers(2, 6)))
+        )
+        for _ in range(n)
+    ]
+
+
+def bench_parallel_scaling(rounds: int) -> dict:
+    """Sharded build + frontier eval at 1/2/4/8 workers vs the serial engine.
+
+    Times are honest wall-clock on this machine; ``cpu_count`` is recorded
+    because multi-worker speedups are only physically possible with
+    multiple cores (on a 1-core box the sharded paths measure pure
+    orchestration overhead).
+    """
+    dataset = zebranet_dataset(**PARALLEL_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+
+    t0 = time.perf_counter()
+    serial = NMEngine(dataset, grid, config)
+    serial_build_s = time.perf_counter() - t0
+    candidates = _random_candidates(serial, PARALLEL_N_CANDIDATES)
+    serial_eval_s, reference = _best_of(lambda: serial.nm_batch(candidates), rounds)
+
+    workers = {}
+    for jobs in PARALLEL_JOBS:
+        t0 = time.perf_counter()
+        engine = ParallelNMEngine(dataset, grid, config, jobs=jobs)
+        build_s = time.perf_counter() - t0
+        try:
+            eval_s, values = _best_of(lambda: engine.nm_batch(candidates), rounds)
+            assert np.allclose(values, reference, atol=1e-9)
+            assert engine.n_index_entries == serial.n_index_entries
+        finally:
+            engine.close()
+        workers[str(jobs)] = {"build_s": build_s, "eval_s": eval_s}
+    base = workers[str(PARALLEL_JOBS[0])]
+    for entry in workers.values():
+        entry["build_speedup_vs_1worker"] = base["build_s"] / entry["build_s"]
+        entry["eval_speedup_vs_1worker"] = base["eval_s"] / entry["eval_s"]
+    return {
+        "cpu_count": os.cpu_count(),
+        "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
+        "n_candidates": PARALLEL_N_CANDIDATES,
+        "serial": {"build_s": serial_build_s, "eval_s": serial_eval_s},
+        "workers": workers,
+    }
+
+
+def bench_index_cache(rounds: int) -> dict:
+    """Cold index build vs warm start from the on-disk cache.
+
+    Uses the larger parallel workload: the cache pays off proportionally to
+    the probability enumeration it skips, so a trivially small index would
+    mostly measure ``.npz`` open overhead.
+    """
+    dataset = zebranet_dataset(**PARALLEL_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+    cold_s = float("inf")
+    with tempfile.TemporaryDirectory() as tmp:
+        cached = replace(config, cache_dir=tmp)
+        for i in range(rounds):
+            with tempfile.TemporaryDirectory() as cold_dir:
+                t0 = time.perf_counter()
+                NMEngine(dataset, grid, replace(config, cache_dir=cold_dir))
+                cold_s = min(cold_s, time.perf_counter() - t0)
+        NMEngine(dataset, grid, cached)  # populate the warm cache
+        warm_s, engine = _best_of(lambda: NMEngine(dataset, grid, cached), rounds)
+        assert engine.index_cache_hit
+    return {
+        "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
+        "n_entries": engine.n_index_entries,
+        "cold_build_s": cold_s,
+        "warm_load_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
 def run(rounds: int = 3) -> dict:
     dataset = zebranet_dataset(**ENGINE_WORKLOAD)
     grid = dataset.make_grid(ENGINE_CELL_SIZE)
@@ -126,6 +224,8 @@ def run(rounds: int = 3) -> dict:
     engine = NMEngine(dataset, grid, config)
     candidate_eval = bench_candidate_eval(engine, rounds)
     mining = bench_mining()
+    parallel_scaling = bench_parallel_scaling(rounds)
+    index_cache = bench_index_cache(rounds)
 
     return {
         "generated_by": "benchmarks/run_benches.py",
@@ -145,7 +245,38 @@ def run(rounds: int = 3) -> dict:
         "index_build": index_build,
         "candidate_eval": candidate_eval,
         "mining": mining,
+        "parallel_scaling": parallel_scaling,
+        "index_cache": index_cache,
     }
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _load_history(output: Path) -> list:
+    """History entries from a previous report file, tolerating old formats."""
+    if not output.exists():
+        return []
+    try:
+        previous = json.loads(output.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history")
+    if isinstance(history, list):
+        return history
+    # Pre-history report: preserve it as the first entry rather than drop it.
+    previous.pop("history", None)
+    return [{"git_sha": "unknown", "timestamp": None, "report": previous}]
 
 
 def main() -> None:
@@ -162,7 +293,18 @@ def main() -> None:
     args = parser.parse_args()
 
     report = run(rounds=args.rounds)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    history = _load_history(args.output)
+    history.append(
+        {
+            "git_sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "report": report,
+        }
+    )
+    args.output.write_text(
+        json.dumps({**report, "history": history}, indent=2) + "\n",
+        encoding="utf-8",
+    )
 
     ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
     print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
@@ -171,7 +313,16 @@ def main() -> None:
           f"batched {ce['batched_candidates_per_s']:.0f}/s  ({ce['speedup']:.1f}x)")
     print(f"mining:         {mi['wall_time_s']:.3f}s wall, "
           f"{mi['candidates_evaluated']} candidates in {mi['eval_batches']} batches")
-    print(f"wrote {args.output}")
+    ps, ic = report["parallel_scaling"], report["index_cache"]
+    scaling = "  ".join(
+        f"{jobs}w {entry['build_s']:.2f}s/{entry['eval_s'] * 1e3:.0f}ms"
+        for jobs, entry in ps["workers"].items()
+    )
+    print(f"parallel:       cpus {ps['cpu_count']}, serial build "
+          f"{ps['serial']['build_s']:.2f}s, build/eval per workers: {scaling}")
+    print(f"index cache:    cold {ic['cold_build_s']:.3f}s  "
+          f"warm {ic['warm_load_s']:.3f}s  ({ic['speedup']:.1f}x)")
+    print(f"wrote {args.output} ({len(history)} history entries)")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ Public API highlights
 """
 
 from repro.core.engine import EngineConfig, NMEngine, build_engine
+from repro.core.parallel import ParallelNMEngine
 from repro.core.groups import PatternGroup, discover_pattern_groups
 from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.core.parameters import SuggestedParameters, suggest_parameters
@@ -42,6 +43,7 @@ __all__ = [
     "ProbModel",
     "EngineConfig",
     "NMEngine",
+    "ParallelNMEngine",
     "build_engine",
     "TrajectoryPattern",
     "WILDCARD",

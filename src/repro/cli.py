@@ -123,6 +123,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.core.engine import EngineConfig, NMEngine
     from repro.core.parameters import suggest_parameters
     from repro.core.results_io import save_mining_result
@@ -134,19 +136,32 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     cell = args.cell_size if args.cell_size else suggestion.cell_size
     delta = args.delta if args.delta else cell
     grid = dataset.make_grid(cell)
-    engine = NMEngine(
-        dataset, grid, EngineConfig(delta=delta, min_prob=args.min_prob)
+    engine_config = EngineConfig(
+        delta=delta,
+        min_prob=args.min_prob,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(
-        f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
-        f"delta {delta:.6g}"
-    )
-    result = TrajPatternMiner(
-        engine,
-        k=args.k,
-        min_length=args.min_length,
-        max_length=args.max_length,
-    ).mine(discover_groups=True, gamma=suggestion.gamma)
+    with ExitStack() as stack:
+        if engine_config.jobs > 1:
+            from repro.core.parallel import ParallelNMEngine
+
+            engine = stack.enter_context(
+                ParallelNMEngine(dataset, grid, engine_config)
+            )
+        else:
+            engine = NMEngine(dataset, grid, engine_config)
+        print(
+            f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
+            f"delta {delta:.6g}, jobs {engine_config.jobs}"
+            + (", index cache hit" if engine.index_cache_hit else "")
+        )
+        result = TrajPatternMiner(
+            engine,
+            k=args.k,
+            min_length=args.min_length,
+            max_length=args.max_length,
+        ).mine(discover_groups=True, gamma=suggestion.gamma)
     save_mining_result(result, grid, args.output)
     print(
         f"mined {len(result)} patterns (mean length {result.mean_length():.2f}, "
@@ -163,7 +178,9 @@ def _cmd_score(args: argparse.Namespace) -> int:
     from repro.core.streaming import StreamingNMEngine
 
     result, grid = load_mining_result(args.patterns)
-    engine_config = EngineConfig(delta=args.delta, min_prob=args.min_prob)
+    engine_config = EngineConfig(
+        delta=args.delta, min_prob=args.min_prob, cache_dir=args.cache_dir
+    )
     streaming = StreamingNMEngine(
         args.dataset, grid, engine_config, chunk_size=args.chunk_size
     )
@@ -219,6 +236,18 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--cell-size", type=float, default=None, dest="cell_size")
     mine.add_argument("--delta", type=float, default=None)
     mine.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
+    mine.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sharded evaluation (1 = in-process)",
+    )
+    mine.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="directory for the persistent index cache (off when omitted)",
+    )
     mine.add_argument("--show", type=int, default=10)
     mine.set_defaults(func=_cmd_mine)
 
@@ -230,6 +259,12 @@ def _build_parser() -> argparse.ArgumentParser:
     score.add_argument("--delta", type=float, required=True)
     score.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
     score.add_argument("--chunk-size", type=int, default=64, dest="chunk_size")
+    score.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="directory for per-chunk index caches (off when omitted)",
+    )
     score.add_argument("--show", type=int, default=10)
     score.set_defaults(func=_cmd_score)
 

@@ -12,8 +12,9 @@
 * :mod:`~repro.core.groups` -- pattern-group discovery (sections 3.4, 4.2).
 """
 
-from repro.core.engine import EngineConfig, NMEngine
+from repro.core.engine import EngineConfig, ExtensionTables, NMEngine, build_engine
 from repro.core.groups import PatternGroup, discover_pattern_groups
+from repro.core.index_cache import cache_key, load_index, save_index
 from repro.core.measures import (
     match_pattern_trajectory,
     match_pattern_window,
@@ -26,13 +27,21 @@ from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.core.trajpattern import MiningResult, TrajPatternMiner
 from repro.core.parameters import SuggestedParameters, suggest_parameters
 from repro.core.results_io import load_mining_result, save_mining_result
+from repro.core.parallel import ParallelNMEngine, shard_dataset
 from repro.core.wildcards import Gap, GapPattern, nm_gap_pattern
 
 __all__ = [
     "TrajectoryPattern",
     "WILDCARD",
     "NMEngine",
+    "ParallelNMEngine",
+    "shard_dataset",
+    "build_engine",
     "EngineConfig",
+    "ExtensionTables",
+    "cache_key",
+    "load_index",
+    "save_index",
     "TrajPatternMiner",
     "MiningResult",
     "PatternGroup",

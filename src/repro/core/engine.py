@@ -48,11 +48,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 from scipy import special
 
+from repro.core import index_cache
 from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.geometry.grid import Grid
 from repro.trajectory.dataset import TrajectoryDataset
@@ -95,6 +97,19 @@ class EngineConfig:
         Number of materialised per-cell dense columns kept in an LRU cache;
         candidate patterns reuse cells heavily, so this trades memory for a
         large constant-factor win during mining.
+    jobs:
+        Worker processes for sharded evaluation.  The engine itself ignores
+        this (one :class:`NMEngine` is always single-process); it is read by
+        :func:`build_engine` and
+        :class:`~repro.core.parallel.ParallelNMEngine` to decide how many
+        shard workers to spawn.  ``1`` (default) keeps everything in-process.
+    cache_dir:
+        Directory for the persistent on-disk index cache
+        (:mod:`repro.core.index_cache`).  When set, engine construction
+        first tries to load the built index from
+        ``cache_dir/index-<key>.npz`` and falls back to a fresh build
+        (persisting the result) on a miss.  ``None`` disables caching.
+        Excluded from the cache key itself, as is ``jobs``.
     """
 
     delta: float
@@ -103,6 +118,8 @@ class EngineConfig:
     radius_sigmas: float | None = None
     max_cells_per_snapshot: int = 4096
     column_cache_size: int = 256
+    jobs: int = 1
+    cache_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -115,6 +132,8 @@ class EngineConfig:
             raise ValueError("max_cells_per_snapshot must be positive")
         if self.column_cache_size <= 0:
             raise ValueError("column_cache_size must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
 
     @property
     def min_log_prob(self) -> float:
@@ -129,12 +148,49 @@ class EngineConfig:
         return float(-special.ndtri(self.min_prob))
 
 
+@dataclass(frozen=True)
+class ExtensionTables:
+    """Single-cell extension tables of one prefix, with their floor base.
+
+    ``nm_by_cell`` / ``match_by_cell`` map every *active* cell ``c`` to the
+    NM / match of ``prefix + (c,)`` over the engine's dataset.
+    ``nm_base_total`` / ``match_base_total`` are the values an *inactive*
+    extension cell would score (the new position at the floor everywhere)
+    -- exactly the contribution a dataset shard adds for a cell that has no
+    entries in that shard, which is what makes the sharded merge an exact
+    reduction (see :mod:`repro.core.parallel`).
+    """
+
+    nm_by_cell: dict[int, float]
+    match_by_cell: dict[int, float]
+    nm_base_total: float
+    match_base_total: float
+
+    def as_pair(self) -> tuple[dict[int, float], dict[int, float]]:
+        """The legacy ``(nm_by_cell, match_by_cell)`` view."""
+        return self.nm_by_cell, self.match_by_cell
+
+
 class NMEngine:
     """Evaluates NM / match of patterns over a whole dataset (see module docs)."""
 
     def __init__(
-        self, dataset: TrajectoryDataset, grid: Grid, config: EngineConfig
+        self,
+        dataset: TrajectoryDataset,
+        grid: Grid,
+        config: EngineConfig,
+        prebuilt: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> None:
+        """Build (or adopt) the sparse index over ``dataset``.
+
+        ``prebuilt`` short-circuits the expensive probability enumeration:
+        it supplies already-computed ``(cells, rows, vals)`` entry triples
+        (for example a cache payload or a shard slice of one) and the
+        engine only runs the cheap sort/segment post-processing.  The
+        caller is responsible for the triples matching ``(dataset, grid,
+        config)`` -- the shard workers and the index cache guarantee this
+        by construction (content-hashed keys).
+        """
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
         self.dataset = dataset
@@ -148,15 +204,21 @@ class NMEngine:
         self._total_rows = int(lengths.sum())
         self._row_traj = np.repeat(np.arange(len(dataset), dtype=np.int64), lengths)
 
-        self._entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._column_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._valid_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._seg_max: np.ndarray | None = None
         self._entry_bounds: tuple[np.ndarray, np.ndarray] | None = None
         self.n_evaluations = 0  # instrumentation for the scalability benches
         self.n_batches = 0  # batched-evaluation rounds (see nm_batch)
+        self.index_cache_hit = False  # True when the index came from disk
 
-        # Flat segment index (filled by _build_index when entries exist).
+        # Flat segment index (filled by _install_index when entries exist).
+        # Per-cell lookup is (cell ids, bounds) over the sorted flat arrays
+        # instead of a per-cell dict: O(log C) by searchsorted, and install
+        # stays pure array work (which is what makes warm cache loads fast).
+        self._cell_ids = np.empty(0, dtype=np.int64)
+        self._cell_bounds = np.zeros(1, dtype=np.int64)
+        self._flat_cells = np.empty(0, dtype=np.int64)
         self._flat_rows = np.empty(0, dtype=np.int64)
         self._flat_vals = np.empty(0)
         self._seg_starts = np.empty(0, dtype=np.int64)
@@ -164,7 +226,10 @@ class NMEngine:
         self._cell_seg_starts = np.empty(0, dtype=np.int64)
         self._flat_cell_order = np.empty(0, dtype=np.int64)
 
-        self._build_index()
+        if prebuilt is not None:
+            self._install_index(*prebuilt)
+        else:
+            self._build_index()
 
     # -- public metadata -------------------------------------------------------
 
@@ -175,7 +240,7 @@ class NMEngine:
         These are the only cells that can beat an inactive cell's NM; the
         miner seeds its singular patterns from them.
         """
-        return sorted(self._entries)
+        return [int(c) for c in self._cell_ids]
 
     @property
     def floor_log_prob(self) -> float:
@@ -185,7 +250,7 @@ class NMEngine:
     @property
     def n_index_entries(self) -> int:
         """Number of stored (snapshot, cell) probability entries."""
-        return sum(len(rows) for rows, _ in self._entries.values())
+        return int(len(self._flat_cells))
 
     # -- index construction ------------------------------------------------------
 
@@ -284,24 +349,81 @@ class NMEngine:
         return cells_acc, rows_acc, vals_acc
 
     def _build_index(self) -> None:
-        """Compute above-floor log-probabilities for every (snapshot, cell)."""
+        """Compute above-floor log-probabilities for every (snapshot, cell).
+
+        With ``config.cache_dir`` set, a content-hashed on-disk copy of the
+        flat entry arrays is tried first; a fresh build persists its result
+        so the next construction over the same (dataset, grid, config) is a
+        pure load.
+        """
+        cache_dir = self.config.cache_dir
+        key = None
+        if cache_dir is not None:
+            key = index_cache.cache_key(self.dataset, self.grid, self.config)
+            loaded = index_cache.load_index(cache_dir, key)
+            if loaded is not None:
+                self.index_cache_hit = True
+                self._install_index(*loaded)
+                return
         cells_acc, rows_acc, vals_acc = self._collect_index_entries()
-        if not cells_acc:
+        if cells_acc:
+            all_cells = np.concatenate(cells_acc)
+            all_rows = np.concatenate(rows_acc)
+            all_vals = np.concatenate(vals_acc)
+        else:
+            all_cells = np.empty(0, dtype=np.int64)
+            all_rows = np.empty(0, dtype=np.int64)
+            all_vals = np.empty(0)
+        self._install_index(all_cells, all_rows, all_vals)
+        if key is not None:
+            index_cache.save_index(
+                cache_dir, key, self._flat_cells, self._flat_rows, self._flat_vals
+            )
+
+    def index_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The flat ``(cells, rows, vals)`` entry arrays, sorted by (cell, row).
+
+        This is exactly the payload the index cache persists and the shard
+        distribution layer slices; feeding it back through the ``prebuilt``
+        constructor argument reproduces the engine's index bit-for-bit.
+        """
+        return self._flat_cells, self._flat_rows, self._flat_vals
+
+    def _install_index(
+        self, all_cells: np.ndarray, all_rows: np.ndarray, all_vals: np.ndarray
+    ) -> None:
+        """Sort raw entry triples and derive every index structure from them.
+
+        Idempotent over ordering: entries are keyed by unique (cell, row)
+        pairs, so any permutation of the same triples installs identically.
+        Already-sorted input (a cache payload or a shard slice of one)
+        skips the lexsort, keeping warm starts array-speed.
+        """
+        if not len(all_cells):
             return
-        all_cells = np.concatenate(cells_acc)
-        all_rows = np.concatenate(rows_acc)
-        all_vals = np.concatenate(vals_acc)
-        order = np.lexsort((all_rows, all_cells))
-        all_cells, all_rows, all_vals = all_cells[order], all_rows[order], all_vals[order]
-        uniq, first = np.unique(all_cells, return_index=True)
-        bounds = np.append(first, len(all_cells))
-        for i, cell in enumerate(uniq):
-            sl = slice(bounds[i], bounds[i + 1])
-            self._entries[int(cell)] = (all_rows[sl].copy(), all_vals[sl].copy())
+        all_cells = np.ascontiguousarray(all_cells, dtype=np.int64)
+        all_rows = np.ascontiguousarray(all_rows, dtype=np.int64)
+        all_vals = np.ascontiguousarray(all_vals, dtype=np.float64)
+        cell_diff = np.diff(all_cells)
+        presorted = bool(
+            np.all((cell_diff > 0) | ((cell_diff == 0) & (np.diff(all_rows) > 0)))
+        )
+        if not presorted:
+            order = np.lexsort((all_rows, all_cells))
+            all_cells, all_rows, all_vals = (
+                all_cells[order],
+                all_rows[order],
+                all_vals[order],
+            )
+            cell_diff = np.diff(all_cells)
+        first = np.concatenate([[0], np.nonzero(cell_diff != 0)[0] + 1])
+        self._cell_ids = all_cells[first]
+        self._cell_bounds = np.append(first, len(all_cells))
 
         # Flat segment index for the vectorised bulk-extension path: entries
         # sorted by (cell, row), segmented at every (cell, trajectory)
         # change.  Pattern-independent, built once.
+        self._flat_cells = all_cells
         self._flat_rows = all_rows
         self._flat_vals = all_vals
         entry_traj = self._row_traj[all_rows]
@@ -323,6 +445,13 @@ class NMEngine:
 
     # -- columns -------------------------------------------------------------------
 
+    def _cell_slice(self, cell: int) -> slice | None:
+        """Range of ``cell``'s entries in the flat arrays, or ``None``."""
+        i = int(np.searchsorted(self._cell_ids, cell))
+        if i == len(self._cell_ids) or self._cell_ids[i] != cell:
+            return None
+        return slice(int(self._cell_bounds[i]), int(self._cell_bounds[i + 1]))
+
     def _column(self, cell: int) -> np.ndarray:
         """Dense log-prob column of ``cell`` over all global rows (LRU cached)."""
         cached = self._column_cache.get(cell)
@@ -330,10 +459,9 @@ class NMEngine:
             self._column_cache.move_to_end(cell)
             return cached
         col = np.full(self._total_rows, self._floor)
-        entry = self._entries.get(cell)
-        if entry is not None:
-            rows, vals = entry
-            col[rows] = vals
+        sl = self._cell_slice(cell)
+        if sl is not None:
+            col[self._flat_rows[sl]] = self._flat_vals[sl]
         col.setflags(write=False)
         self._column_cache[cell] = col
         if len(self._column_cache) > self.config.column_cache_size:
@@ -711,11 +839,13 @@ class NMEngine:
 
         Returns ``(nm_by_cell, match_by_cell)`` over the active alphabet.
         """
+        return self.extension_tables(pattern).as_pair()
+
+    def extension_tables(self, pattern: TrajectoryPattern) -> ExtensionTables:
+        """:meth:`extend_right_tables` plus the inactive-cell base totals."""
         m = len(pattern)
         n_spec = len(pattern.specified_positions())
         ext_len = m + 1
-        n_traj = len(self.dataset)
-        floor = self._floor
 
         # Prefix window scores aligned to extended-window starts.
         valid, bounds, eligible = self._window_plumbing(ext_len)
@@ -742,10 +872,14 @@ class NMEngine:
         whole frontier) before the shared flat-index pass; the level-wise
         miners call this once per level instead of once per prefix.
         """
+        return [t.as_pair() for t in self.extension_tables_many(patterns)]
+
+    def extension_tables_many(
+        self, patterns: Sequence[TrajectoryPattern]
+    ) -> list[ExtensionTables]:
+        """:meth:`extend_right_tables_many` plus inactive-cell base totals."""
         patterns = list(patterns)
-        out: list[tuple[dict[int, float], dict[int, float]] | None] = [
-            None
-        ] * len(patterns)
+        out: list[ExtensionTables | None] = [None] * len(patterns)
         for m, idxs in self._group_by_length(patterns).items():
             ext_len = m + 1
             valid, bounds, eligible = self._window_plumbing(ext_len)
@@ -773,16 +907,16 @@ class NMEngine:
                     )
         return out  # type: ignore[return-value]
 
-    def _extension_floor_tables(
-        self, n_spec: int
-    ) -> tuple[dict[int, float], dict[int, float]]:
+    def _extension_floor_tables(self, n_spec: int) -> ExtensionTables:
         """Extension tables when no trajectory fits the extended length."""
         n_traj = len(self.dataset)
         nm_total = self._floor * n_traj
         match_total = n_traj * float(np.exp(self._floor * (n_spec + 1)))
-        return (
-            {c: nm_total for c in self._entries},
-            {c: match_total for c in self._entries},
+        return ExtensionTables(
+            dict.fromkeys(self.active_cells, nm_total),
+            dict.fromkeys(self.active_cells, match_total),
+            nm_total,
+            match_total,
         )
 
     def _extension_tables_from_scores(
@@ -793,7 +927,7 @@ class NMEngine:
         valid: np.ndarray,
         bounds: np.ndarray,
         eligible: np.ndarray,
-    ) -> tuple[dict[int, float], dict[int, float]]:
+    ) -> ExtensionTables:
         """Flat-index extension pass shared by the single and batched paths."""
         n_traj = len(self.dataset)
         floor = self._floor
@@ -816,9 +950,11 @@ class NMEngine:
             # Empty flat index: no entry can improve on the base totals, so
             # every extension scores exactly the base (mirrors the
             # no-eligible-trajectory branch instead of dropping the totals).
-            return (
-                {c: nm_base_total for c in self._entries},
-                {c: match_base_total for c in self._entries},
+            return ExtensionTables(
+                dict.fromkeys(self.active_cells, nm_base_total),
+                dict.fromkeys(self.active_cells, match_base_total),
+                nm_base_total,
+                match_base_total,
             )
 
         # Per-trajectory best base, aligned for comparison with entries.
@@ -856,8 +992,10 @@ class NMEngine:
             int(cell): match_base_total + float(d)
             for cell, d in zip(self._flat_cell_order, match_delta)
         }
-        self.n_evaluations += len(self._entries)
-        return nm_by_cell, match_by_cell
+        self.n_evaluations += len(self._cell_ids)
+        return ExtensionTables(
+            nm_by_cell, match_by_cell, nm_base_total, match_base_total
+        )
 
     # -- point queries -----------------------------------------------------------------------
 
@@ -869,10 +1007,10 @@ class NMEngine:
             raise IndexError(
                 f"snapshot {snapshot} out of range for trajectory {traj_index}"
             )
-        entry = self._entries.get(int(cell))
-        if entry is None:
+        sl = self._cell_slice(int(cell))
+        if sl is None:
             return self._floor
-        rows, vals = entry
+        rows, vals = self._flat_rows[sl], self._flat_vals[sl]
         row = int(self._starts[traj_index] + snapshot)
         pos = int(np.searchsorted(rows, row))
         if pos < len(rows) and rows[pos] == row:
@@ -908,11 +1046,19 @@ def build_engine(
     cell_size: float,
     delta: float | None = None,
     **config_kwargs,
-) -> NMEngine:
+):
     """Convenience constructor: grid covering the dataset + engine in one call.
 
     ``delta`` defaults to ``cell_size`` (the paper sets ``g_x = g_y = delta``).
+    With ``jobs > 1`` the returned engine is a
+    :class:`~repro.core.parallel.ParallelNMEngine` (same evaluation surface,
+    sharded across worker processes); close it -- or use it as a context
+    manager -- to release the workers and shared-memory segments.
     """
     grid = dataset.make_grid(cell_size)
     config = EngineConfig(delta=delta if delta is not None else cell_size, **config_kwargs)
+    if config.jobs > 1:
+        from repro.core.parallel import ParallelNMEngine
+
+        return ParallelNMEngine(dataset, grid, config)
     return NMEngine(dataset, grid, config)

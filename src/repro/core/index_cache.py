@@ -1,0 +1,152 @@
+"""Persistent on-disk cache of the engine's sparse probability index.
+
+Building the index is the expensive part of engine construction: every
+snapshot neighbourhood is enumerated and ``Prob`` evaluated per (snapshot,
+cell) pair.  The *result* however is three flat arrays -- ``(cell, row,
+log-prob)`` triples sorted by (cell, row) -- that depend only on the
+dataset geometry, the grid and the index-affecting knobs of
+:class:`~repro.core.engine.EngineConfig`.  This module persists those
+arrays as one ``.npz`` per configuration under a cache directory, so
+repeated mining/experiment runs skip the build entirely.
+
+Cache key
+---------
+The file name is a SHA-256 over
+
+* a format-version tag (bump :data:`CACHE_FORMAT_VERSION` when the stored
+  layout changes),
+* every trajectory's means and sigmas (raw little-endian float64 bytes)
+  plus the trajectory lengths -- so *any* change to the dataset, including
+  reordering, invalidates the key,
+* the grid extent and resolution,
+* the index-affecting config fields: ``delta``, ``prob_model``,
+  ``min_prob``, ``radius_sigmas`` and ``max_cells_per_snapshot``.
+
+Knobs that do not change the stored entries (``column_cache_size``,
+``jobs``, ``cache_dir`` itself) are deliberately excluded, so serial and
+parallel runs share one cache file.
+
+Robustness: files are written atomically (temp file + ``os.replace``) and
+:func:`load_index` treats *any* unreadable, truncated or
+wrong-format file as a miss -- the engine then falls back to a fresh
+build and overwrites the bad file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+#: Bump when the stored array layout changes; part of the cache key.
+CACHE_FORMAT_VERSION = 1
+
+#: Arrays stored in the ``.npz`` payload, in order.
+_PAYLOAD_KEYS = ("cells", "rows", "vals")
+
+
+def _hash_update_array(h: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed an array into the hash in a layout-independent way."""
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+    h.update(arr.astype("<f8", copy=False).tobytes())
+
+
+def dataset_fingerprint(dataset) -> str:
+    """SHA-256 hex digest of every trajectory's means, sigmas and length."""
+    h = hashlib.sha256()
+    h.update(f"n={len(dataset)}".encode())
+    for traj in dataset:
+        _hash_update_array(h, traj.means)
+        _hash_update_array(h, traj.sigmas)
+    return h.hexdigest()
+
+
+def cache_key(dataset, grid, config) -> str:
+    """Cache key of one (dataset, grid, index configuration) combination."""
+    h = hashlib.sha256()
+    h.update(f"format={CACHE_FORMAT_VERSION}".encode())
+    h.update(dataset_fingerprint(dataset).encode())
+    bbox = grid.bbox
+    h.update(
+        (
+            f"grid={bbox.min_x!r},{bbox.min_y!r},{bbox.max_x!r},{bbox.max_y!r},"
+            f"{grid.nx},{grid.ny}"
+        ).encode()
+    )
+    h.update(
+        (
+            f"config=delta:{config.delta!r},model:{config.prob_model.value},"
+            f"min_prob:{config.min_prob!r},radius:{config.radius_sigmas!r},"
+            f"cap:{config.max_cells_per_snapshot}"
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+def cache_path(cache_dir: str | Path, key: str) -> Path:
+    """Path of the cache file for ``key`` under ``cache_dir``."""
+    return Path(cache_dir) / f"index-{key}.npz"
+
+
+def save_index(
+    cache_dir: str | Path,
+    key: str,
+    cells: np.ndarray,
+    rows: np.ndarray,
+    vals: np.ndarray,
+) -> Path:
+    """Atomically persist the flat index arrays under ``cache_dir``.
+
+    The write goes to a temp file in the same directory first so a crash
+    mid-write can never leave a half-written file under the final name.
+    """
+    target = cache_path(cache_dir, key)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(
+                fh,
+                cells=np.ascontiguousarray(cells, dtype=np.int64),
+                rows=np.ascontiguousarray(rows, dtype=np.int64),
+                vals=np.ascontiguousarray(vals, dtype=np.float64),
+            )
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def load_index(
+    cache_dir: str | Path, key: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Load the flat index arrays for ``key``, or ``None`` on any failure.
+
+    Missing, truncated, corrupted or wrong-shape files are all treated as
+    cache misses; the caller rebuilds and overwrites.
+    """
+    target = cache_path(cache_dir, key)
+    try:
+        with np.load(target) as payload:
+            arrays = tuple(np.asarray(payload[k]) for k in _PAYLOAD_KEYS)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return None
+    cells, rows, vals = arrays
+    if not (cells.ndim == rows.ndim == vals.ndim == 1):
+        return None
+    if not (len(cells) == len(rows) == len(vals)):
+        return None
+    if cells.dtype.kind != "i" or rows.dtype.kind != "i" or vals.dtype.kind != "f":
+        return None
+    return cells, rows, vals

@@ -1,0 +1,633 @@
+"""Multi-core sharded evaluation: parallel index build + frontier scoring.
+
+NM and match are *sums of per-trajectory terms* (Eq. 4 summed over the
+dataset): per trajectory a window maximum, then one dataset sum.  Any
+partition of the dataset along the trajectory axis therefore evaluates
+independently, and the partition results combine by plain addition -- an
+**exact reduction**, not an approximation.  The out-of-core engine
+(:mod:`repro.core.streaming`) already exploits this sequentially; this
+module exploits it *concurrently*:
+
+* :func:`shard_dataset` splits the dataset into contiguous trajectory
+  spans balanced by snapshot count;
+* each shard is owned by one long-lived worker process that builds (or
+  adopts) the shard's sparse index once and then serves candidate batches
+  over it -- the sharded index build runs in all workers concurrently,
+  which is where the multi-core construction speedup comes from;
+* :class:`ParallelNMEngine` exposes the familiar evaluation surface
+  (``nm_batch``, ``match_batch``, the singular tables,
+  ``extend_right_tables_many``, per-trajectory arrays, gap-pattern NM) by
+  broadcasting each request to all workers and reducing the replies in
+  the parent.  The miners and the wildcard DP run on it unchanged.
+
+Shared memory
+-------------
+Dense arrays never travel through pickles:
+
+* the parent places the dataset's stacked means/sigmas in
+  ``multiprocessing.shared_memory`` segments; workers attach and slice
+  their trajectory span zero-copy;
+* on an index-cache hit the parent also shares the cached flat entry
+  arrays; each worker filters its row range out of the shared view and
+  skips the probability enumeration entirely;
+* after a cold build each worker exports its flat index through a
+  shared-memory segment it creates; the parent merges the shards into the
+  canonical full-dataset arrays and persists them through
+  :mod:`repro.core.index_cache` -- so serial and parallel runs share one
+  cache file, in either direction.
+
+Lifetime rules: every segment is unlinked by its creator, exactly once.
+The parent unlinks its segments in :meth:`ParallelNMEngine.close`
+(also wired to ``atexit`` and ``__exit__``); workers unlink their export
+segments after the parent confirms the merge.  Attaching never registers
+with the resource tracker on CPython >= 3.9, so no spurious cleanups or
+leak warnings occur.  After ``close()`` no ``/dev/shm`` segment with the
+``repro-shm-`` prefix survives -- the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import secrets
+import traceback
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.core import index_cache
+from repro.core.engine import EngineConfig, ExtensionTables, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.geometry.grid import Grid
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.trajectory import UncertainTrajectory
+
+#: Prefix of every shared-memory segment this module creates (the leak
+#: check in the tests globs ``/dev/shm`` for it).
+SHM_PREFIX = "repro-shm-"
+
+
+# -- shared-memory plumbing -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Address of one ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def share_array(
+    array: np.ndarray, registry: list[shared_memory.SharedMemory]
+) -> ShmArraySpec:
+    """Copy ``array`` into a fresh shared-memory segment.
+
+    The segment object is appended to ``registry``; the registry owner is
+    responsible for ``close()`` + ``unlink()`` (creator-unlinks rule).
+    """
+    arr = np.ascontiguousarray(array)
+    shm = shared_memory.SharedMemory(
+        create=True,
+        size=max(arr.nbytes, 1),  # zero-byte segments are invalid
+        name=SHM_PREFIX + secrets.token_hex(8),
+    )
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    registry.append(shm)
+    return ShmArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
+
+
+def attach_array(
+    spec: ShmArraySpec,
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Zero-copy ndarray view over an existing segment (caller closes)."""
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return view, shm
+
+
+# -- sharding ----------------------------------------------------------------------
+
+
+def shard_dataset(dataset: TrajectoryDataset, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous trajectory spans ``[lo, hi)`` balanced by snapshot count.
+
+    ``n_shards`` is capped at the trajectory count so no shard is ever
+    empty (the engine refuses empty datasets); each shard holds at least
+    one trajectory.  Spans are contiguous and ordered, so concatenating
+    per-shard per-trajectory results reproduces dataset order.
+    """
+    n = len(dataset)
+    if n == 0:
+        raise ValueError("cannot shard an empty dataset")
+    n_shards = max(1, min(n_shards, n))
+    cum = np.cumsum([len(t) for t in dataset])
+    total = int(cum[-1])
+    bounds = [0]
+    for s in range(1, n_shards):
+        cut = int(np.searchsorted(cum, total * s / n_shards))
+        cut = max(cut, bounds[-1] + 1)  # at least one trajectory per shard
+        cut = min(cut, n - (n_shards - s))  # leave one for each later shard
+        bounds.append(cut)
+    bounds.append(n)
+    return [(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+
+
+# -- the worker process ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerInit:
+    """Everything a shard worker needs to build its engine."""
+
+    grid: Grid
+    config: EngineConfig
+    means: ShmArraySpec
+    sigmas: ShmArraySpec
+    lengths: tuple[int, ...]  # trajectory lengths of this shard, in order
+    row_lo: int  # global row range [row_lo, row_hi) of the shard
+    row_hi: int
+    index: tuple[ShmArraySpec, ShmArraySpec, ShmArraySpec] | None
+
+
+def _worker_build_engine(init: _WorkerInit) -> NMEngine:
+    """Construct the shard dataset and engine from the shared arrays."""
+    means, means_shm = attach_array(init.means)
+    sigmas, sigmas_shm = attach_array(init.sigmas)
+    try:
+        trajectories = []
+        row = init.row_lo
+        for length in init.lengths:
+            trajectories.append(
+                UncertainTrajectory(means[row : row + length], sigmas[row : row + length])
+            )
+            row += length
+        shard = TrajectoryDataset(trajectories)
+        prebuilt = None
+        if init.index is not None:
+            attachments = [attach_array(spec) for spec in init.index]
+            try:
+                cells, rows, vals = (view for view, _ in attachments)
+                keep = (rows >= init.row_lo) & (rows < init.row_hi)
+                prebuilt = (
+                    cells[keep].copy(),
+                    rows[keep] - init.row_lo,
+                    vals[keep].copy(),
+                )
+            finally:
+                for _, shm in attachments:
+                    shm.close()
+        return NMEngine(shard, init.grid, init.config, prebuilt=prebuilt)
+    finally:
+        means_shm.close()
+        sigmas_shm.close()
+
+
+def _worker_main(conn, init: _WorkerInit) -> None:
+    """Shard worker loop: build once, then serve evaluation requests."""
+    from repro.core.wildcards import nm_gap_pattern  # deferred: avoids cycles
+
+    exported: list[shared_memory.SharedMemory] = []
+    try:
+        engine = _worker_build_engine(init)
+        conn.send(
+            (
+                "ok",
+                {
+                    "n_traj": len(engine.dataset),
+                    "n_entries": engine.n_index_entries,
+                    "active_cells": np.asarray(engine.active_cells, dtype=np.int64),
+                },
+            )
+        )
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+
+    def patterns_of(cells_list) -> list[TrajectoryPattern]:
+        return [TrajectoryPattern(cells) for cells in cells_list]
+
+    running = True
+    while running:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op, payload = msg
+        try:
+            if op == "close":
+                result, running = None, False
+            elif op == "nm_batch":
+                result = engine.nm_batch(patterns_of(payload))
+            elif op == "match_batch":
+                result = engine.match_batch(patterns_of(payload))
+            elif op == "nm_per_traj":
+                result = engine.nm_per_trajectory(TrajectoryPattern(payload))
+            elif op == "match_per_traj":
+                result = engine.match_per_trajectory(TrajectoryPattern(payload))
+            elif op == "singular_nm":
+                result = engine.singular_nm_table()
+            elif op == "singular_match":
+                result = engine.singular_match_table()
+            elif op == "ext_tables":
+                result = engine.extension_tables_many(patterns_of(payload))
+            elif op == "gap_nm":
+                result = nm_gap_pattern(engine, payload)
+            elif op == "best_window":
+                cells, local_index = payload
+                result = engine.best_window(TrajectoryPattern(cells), local_index)
+            elif op == "export_index":
+                specs = tuple(
+                    share_array(a, exported) for a in engine.index_arrays()
+                )
+                result = specs
+            elif op == "release_index":
+                for shm in exported:
+                    shm.close()
+                    shm.unlink()
+                exported.clear()
+                result = None
+            elif op == "stats":
+                result = (engine.n_evaluations, engine.n_batches)
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            conn.send(("ok", result))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    for shm in exported:  # belt and braces: never leak an export segment
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:
+            pass
+    conn.close()
+
+
+# -- the parent-side engine ---------------------------------------------------------
+
+
+class ParallelNMEngine:
+    """Sharded, multi-process NM/match evaluation with an NMEngine-like API.
+
+    Parameters
+    ----------
+    dataset, grid, config:
+        Exactly as for :class:`~repro.core.engine.NMEngine`.  ``config.jobs``
+        sets the worker count (capped at the trajectory count);
+        ``config.cache_dir`` enables the shared on-disk index cache.
+    jobs:
+        Optional override of ``config.jobs``.
+
+    The instance owns worker processes and shared-memory segments; call
+    :meth:`close` (or use it as a context manager) to release them.  All
+    evaluation results equal the single-process engine to floating-point
+    accuracy -- the merge is an exact reduction over per-trajectory terms.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        grid: Grid,
+        config: EngineConfig,
+        jobs: int | None = None,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("cannot build an engine over an empty dataset")
+        jobs = config.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.dataset = dataset
+        self.grid = grid
+        self.config = config
+        self.shard_bounds = shard_dataset(dataset, jobs)
+        self.n_shards = len(self.shard_bounds)
+        self.index_cache_hit = False
+        self._own_shm: list[shared_memory.SharedMemory] = []
+        self._conns: list = []
+        self._workers: list = []
+        self._closed = False
+        try:
+            self._start_workers()
+        except BaseException:
+            self.close()
+            raise
+        atexit.register(self.close)
+
+    # -- startup ---------------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+
+        lengths = [len(t) for t in self.dataset]
+        row_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(int)
+        means_spec = share_array(self.dataset.all_means(), self._own_shm)
+        sigmas_spec = share_array(
+            np.concatenate([t.sigmas for t in self.dataset]), self._own_shm
+        )
+
+        cache_dir, key, index_specs = self.config.cache_dir, None, None
+        if cache_dir is not None:
+            key = index_cache.cache_key(self.dataset, self.grid, self.config)
+            loaded = index_cache.load_index(cache_dir, key)
+            if loaded is not None:
+                self.index_cache_hit = True
+                index_specs = tuple(share_array(a, self._own_shm) for a in loaded)
+
+        # Workers are plain single-process engines: no recursive pools, no
+        # per-shard cache files (the parent owns the canonical cache).
+        worker_config = replace(self.config, jobs=1, cache_dir=None)
+        for lo, hi in self.shard_bounds:
+            init = _WorkerInit(
+                grid=self.grid,
+                config=worker_config,
+                means=means_spec,
+                sigmas=sigmas_spec,
+                lengths=tuple(lengths[lo:hi]),
+                row_lo=int(row_offsets[lo]),
+                row_hi=int(row_offsets[hi]),
+                index=index_specs,
+            )
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, init), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._workers.append(proc)
+
+        metas = [self._recv(i) for i in range(self.n_shards)]
+        self._shard_sizes = [meta["n_traj"] for meta in metas]
+        self.n_index_entries = int(sum(meta["n_entries"] for meta in metas))
+        cells: set[int] = set()
+        for meta in metas:
+            cells.update(int(c) for c in meta["active_cells"])
+        self._active_cells = sorted(cells)
+
+        if key is not None and not self.index_cache_hit:
+            self._persist_cold_index(cache_dir, key, row_offsets)
+
+    def _persist_cold_index(self, cache_dir, key: str, row_offsets) -> None:
+        """Merge the freshly built shard indexes and write the shared cache.
+
+        Shard arrays come back through worker-created shared memory (no
+        pickling); rows are shifted to global coordinates, concatenated and
+        (cell, row)-sorted -- byte-identical to what a serial engine would
+        persist, so either path can warm-start the other.
+        """
+        specs_per_shard = self._broadcast(("export_index", None))
+        parts = []
+        for (lo, _hi), specs in zip(self.shard_bounds, specs_per_shard):
+            attachments = [attach_array(spec) for spec in specs]
+            cells, rows, vals = (view for view, _ in attachments)
+            parts.append((cells.copy(), rows + int(row_offsets[lo]), vals.copy()))
+            for _, shm in attachments:
+                shm.close()
+        self._broadcast(("release_index", None))
+        all_cells = np.concatenate([p[0] for p in parts])
+        all_rows = np.concatenate([p[1] for p in parts])
+        all_vals = np.concatenate([p[2] for p in parts])
+        order = np.lexsort((all_rows, all_cells))
+        index_cache.save_index(
+            cache_dir, key, all_cells[order], all_rows[order], all_vals[order]
+        )
+
+    # -- messaging -------------------------------------------------------------
+
+    def _recv(self, i: int):
+        status, payload = self._conns[i].recv()
+        if status == "error":
+            raise RuntimeError(f"shard worker {i} failed:\n{payload}")
+        return payload
+
+    def _broadcast(self, msg) -> list:
+        """Send one request to every worker, then gather all replies.
+
+        Requests are sent before any reply is read so the workers compute
+        concurrently.
+        """
+        if self._closed:
+            raise RuntimeError("ParallelNMEngine is closed")
+        for conn in self._conns:
+            conn.send(msg)
+        return [self._recv(i) for i in range(len(self._conns))]
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def active_cells(self) -> list[int]:
+        """Cells with at least one above-floor entry, ascending (union)."""
+        return list(self._active_cells)
+
+    @property
+    def floor_log_prob(self) -> float:
+        """The log-space probability floor."""
+        return self.config.min_log_prob
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total pattern evaluations across all shard workers."""
+        return sum(n for n, _ in self._broadcast(("stats", None)))
+
+    @property
+    def n_batches(self) -> int:
+        """Total batched-evaluation rounds across all shard workers."""
+        return sum(b for _, b in self._broadcast(("stats", None)))
+
+    # -- batched measures --------------------------------------------------------
+
+    def nm_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """``NM(P)`` of a whole candidate batch: sum of per-shard NM sums."""
+        patterns = list(patterns)
+        if not patterns:
+            return np.empty(0)
+        cells_list = [p.cells for p in patterns]
+        return np.sum(self._broadcast(("nm_batch", cells_list)), axis=0)
+
+    def match_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """Dataset match of a whole candidate batch, in order."""
+        patterns = list(patterns)
+        if not patterns:
+            return np.empty(0)
+        cells_list = [p.cells for p in patterns]
+        return np.sum(self._broadcast(("match_batch", cells_list)), axis=0)
+
+    def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
+        """NM of several patterns, in order (alias of :meth:`nm_batch`)."""
+        return self.nm_batch(patterns)
+
+    def nm(self, pattern: TrajectoryPattern) -> float:
+        """``NM(P)`` over the dataset."""
+        return float(self.nm_batch([pattern])[0])
+
+    def match(self, pattern: TrajectoryPattern) -> float:
+        """Dataset match of ``pattern``."""
+        return float(self.match_batch([pattern])[0])
+
+    def nm_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
+        """Eq. 4 per trajectory; shard arrays concatenate in dataset order."""
+        return np.concatenate(self._broadcast(("nm_per_traj", pattern.cells)))
+
+    def match_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
+        """Un-normalised match per trajectory, in dataset order."""
+        return np.concatenate(self._broadcast(("match_per_traj", pattern.cells)))
+
+    def best_window(
+        self, pattern: TrajectoryPattern, traj_index: int
+    ) -> tuple[int, float] | None:
+        """Best (start, NM) window in one trajectory (routed to its shard)."""
+        if not 0 <= traj_index < len(self.dataset):
+            raise IndexError(f"trajectory index {traj_index} out of range")
+        for i, (lo, hi) in enumerate(self.shard_bounds):
+            if lo <= traj_index < hi:
+                self._conns[i].send(("best_window", (pattern.cells, traj_index - lo)))
+                return self._recv(i)
+        raise AssertionError("unreachable: shard bounds cover the dataset")
+
+    # -- singular tables -----------------------------------------------------------
+
+    def singular_nm_table(self) -> dict[int, float]:
+        """NM of every active singular pattern (exact sharded reduction).
+
+        A shard where a cell is inactive contributes the floor once per
+        shard trajectory -- the same accounting the out-of-core engine uses.
+        """
+        tables = self._broadcast(("singular_nm", None))
+        floor = self.config.min_log_prob
+        n_total = len(self.dataset)
+        totals: dict[int, float] = {}
+        counted: dict[int, int] = {}
+        for table, n_shard in zip(tables, self._shard_sizes):
+            for cell, value in table.items():
+                totals[cell] = totals.get(cell, 0.0) + value
+                counted[cell] = counted.get(cell, 0) + n_shard
+        return {
+            cell: total + floor * (n_total - counted[cell])
+            for cell, total in totals.items()
+        }
+
+    def singular_match_table(self) -> dict[int, float]:
+        """Match of every active singular pattern (exact sharded reduction)."""
+        tables = self._broadcast(("singular_match", None))
+        floor_p = float(np.exp(self.config.min_log_prob))
+        n_total = len(self.dataset)
+        totals: dict[int, float] = {}
+        counted: dict[int, int] = {}
+        for table, n_shard in zip(tables, self._shard_sizes):
+            for cell, value in table.items():
+                totals[cell] = totals.get(cell, 0.0) + value
+                counted[cell] = counted.get(cell, 0) + n_shard
+        return {
+            cell: total + floor_p * (n_total - counted[cell])
+            for cell, total in totals.items()
+        }
+
+    # -- extension tables ----------------------------------------------------------
+
+    def extend_right_tables(
+        self, pattern: TrajectoryPattern
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """NM and match of ``pattern + (c,)`` for every active cell ``c``."""
+        return self.extend_right_tables_many([pattern])[0]
+
+    def extend_right_tables_many(
+        self, patterns: Sequence[TrajectoryPattern]
+    ) -> list[tuple[dict[int, float], dict[int, float]]]:
+        """Sharded :meth:`NMEngine.extend_right_tables_many`.
+
+        Per prefix, each shard reports its extension tables *plus* the base
+        totals an inactive cell would score there; a cell missing from a
+        shard's table contributes that shard's base -- making the merged
+        table exactly the full-dataset one.
+        """
+        patterns = list(patterns)
+        if not patterns:
+            return []
+        cells_list = [p.cells for p in patterns]
+        per_shard: list[list[ExtensionTables]] = self._broadcast(
+            ("ext_tables", cells_list)
+        )
+        out: list[tuple[dict[int, float], dict[int, float]]] = []
+        for i in range(len(patterns)):
+            shard_tables = [tables[i] for tables in per_shard]
+            nm_merged: dict[int, float] = {}
+            match_merged: dict[int, float] = {}
+            active: set[int] = set()
+            for t in shard_tables:
+                active.update(t.nm_by_cell)
+            for cell in active:
+                nm_merged[cell] = sum(
+                    t.nm_by_cell.get(cell, t.nm_base_total) for t in shard_tables
+                )
+                match_merged[cell] = sum(
+                    t.match_by_cell.get(cell, t.match_base_total)
+                    for t in shard_tables
+                )
+            out.append((nm_merged, match_merged))
+        return out
+
+    # -- gap patterns ------------------------------------------------------------
+
+    def nm_gap_pattern_total(self, pattern) -> float:
+        """Dataset NM of a :class:`~repro.core.wildcards.GapPattern`.
+
+        Each worker runs the alignment DP over its shard; per-trajectory
+        bests sum exactly.  :func:`repro.core.wildcards.nm_gap_pattern`
+        dispatches here automatically.
+        """
+        return float(sum(self._broadcast(("gap_nm", pattern))))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down and unlink every owned shared-memory segment.
+
+        Idempotent; also registered with ``atexit`` and invoked by the
+        context-manager exit and the finaliser.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (OSError, ValueError):
+                pass
+        for conn, proc in zip(self._conns, self._workers):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        for shm in self._own_shm:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._own_shm.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ParallelNMEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

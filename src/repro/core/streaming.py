@@ -22,6 +22,7 @@ the in-memory engine exactly.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -96,9 +97,17 @@ class StreamingNMEngine:
             yield TrajectoryDataset(batch)
 
     def _chunk_engines(self) -> Iterator[NMEngine]:
+        # Chunk engines are always in-process (one resident index is the
+        # whole point); `jobs` is neutralised rather than spawning a pool
+        # per chunk.  `cache_dir` is kept: each chunk gets its own
+        # content-keyed cache file, so repeated re-scoring runs skip every
+        # chunk's index build.
+        config = (
+            replace(self.config, jobs=1) if self.config.jobs != 1 else self.config
+        )
         for chunk in self._iter_chunks():
             self.n_chunks_scanned += 1
-            yield NMEngine(chunk, self.grid, self.config)
+            yield NMEngine(chunk, self.grid, config)
 
     # -- evaluation -------------------------------------------------------------
 

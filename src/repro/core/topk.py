@@ -139,6 +139,17 @@ class PatternBook:
         low.update(self._bounded)
         return low
 
+    def membership(self) -> tuple[frozenset[Cells], frozenset[Cells]]:
+        """Snapshot of the active pattern set (exact keys, bounded keys).
+
+        The miner filters this down to the relevant extension partners
+        (Lemma 1) and compares successive snapshots to detect convergence:
+        candidates are a function of the high set *and* of the available
+        partners, so the loop is at a fixed point only when both are
+        unchanged.
+        """
+        return frozenset(self._exact), frozenset(self._bounded)
+
     # -- candidate-generation support -----------------------------------------------
 
     def partners_by_length(self) -> dict[int, tuple[list[float], list[Cells]]]:

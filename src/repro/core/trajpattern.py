@@ -15,8 +15,13 @@ Outline (section 4, observations 1-3):
    in ``Q`` on both sides, score the new candidates, update ``omega`` and
    the high/low split, and prune low patterns that do not satisfy the
    1-extension property (section 4.1).
-3. Stop when the high set no longer changes; report the top-k and cluster
-   them into pattern groups (section 4.2).
+3. Stop when neither the high set nor the set of *relevant* extension
+   partners (high patterns plus lows satisfying the 1-extension property,
+   the only partners Lemma 1 allows in an answer) changes.  High-set
+   stability alone is not enough: a low added in the final iteration is a
+   new extension partner, and by the min-max property a top-k pattern may
+   decompose as high + low.  Report the top-k and cluster them into
+   pattern groups (section 4.2).
 
 Lazy bound-based scoring (``use_bound_pruning``, on by default): a candidate
 whose min-max weighted-mean upper bound falls below ``omega`` is *provably*
@@ -222,6 +227,17 @@ class TrajPatternMiner:
         book.update_omega()
         high = book.high_patterns()
 
+        # Convergence needs more than a stable high set: a low added to Q in
+        # the last iteration is a brand-new extension partner (the min-max
+        # property only forces *one* part of a decomposition to be high), so
+        # stopping on high-set stability alone can miss top-k patterns of
+        # the form high + fresh-low.  By Lemma 1 the partners that can ever
+        # matter are high patterns and lows satisfying the 1-extension
+        # property -- so the loop is at a fixed point exactly when the high
+        # set and that *relevant* partner set both stop changing.  (Full Q
+        # stability would also be correct but ruins termination in the
+        # no-pruning ablation modes, where junk lows accumulate forever.)
+        prev_partners = self._relevant_partners(book, high)
         for _ in range(self.max_iterations):
             stats.iterations += 1
             evaluated_before = stats.candidates_evaluated
@@ -241,9 +257,11 @@ class TrajPatternMiner:
                     eval_time_s=stats.eval_time_s - eval_time_before,
                 )
             )
-            if set(new_high) == set(high):
+            partners = self._relevant_partners(book, new_high)
+            if partners == prev_partners and set(new_high) == set(high):
                 high = new_high
                 break
+            prev_partners = partners
             high = new_high
 
         stats.final_q_size = len(book)
@@ -297,6 +315,27 @@ class TrajPatternMiner:
             if not book.is_evaluated(gram)
         ]
         self._evaluate_batch(book, seeds, stats)
+
+    # -- convergence ------------------------------------------------------------------
+
+    @staticmethod
+    def _relevant_partners(
+        book: PatternBook, high: dict[Cells, float]
+    ) -> frozenset[Cells]:
+        """The active patterns that can still seed new candidates (Lemma 1).
+
+        Every answer pattern is an extension of a high pattern by a high
+        pattern or by a low satisfying the 1-extension property, so only
+        those partners participate in the convergence check.  Lows that fail
+        the property may stay in ``Q`` (when extension pruning is off)
+        without keeping the loop alive.
+        """
+        exact, bounded = book.membership()
+        return frozenset(
+            cells
+            for cells in exact | bounded
+            if cells in high or satisfies_one_extension(cells, high)
+        )
 
     # -- one iteration of the main loop ---------------------------------------------
 

@@ -119,7 +119,14 @@ def nm_gap_pattern(engine: NMEngine, pattern: GapPattern) -> float:
     one batched engine call (shared column slices,
     :meth:`~repro.core.engine.NMEngine.window_scores_batch`); the DP then
     runs per trajectory on slices of those global arrays.
+
+    Sharded engines (:class:`~repro.core.parallel.ParallelNMEngine`)
+    expose ``nm_gap_pattern_total`` instead of raw window scores; the DP
+    then runs inside each shard worker and the per-shard sums add exactly.
     """
+    sharded_total = getattr(engine, "nm_gap_pattern_total", None)
+    if sharded_total is not None:
+        return float(sharded_total(pattern))
     global_scores = engine.window_scores_batch(list(pattern.segments))
     total = 0.0
     for i in range(len(engine.dataset)):

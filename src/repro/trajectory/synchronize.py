@@ -95,9 +95,7 @@ def synchronize_reports(
         raise ValueError("linear interpolation cannot extrapolate past the last report")
 
     positions = np.array([[r.x, r.y] for r in ordered])
-    means = np.empty((len(snap), 2))
-    for i, t in enumerate(snap):
-        means[i] = _estimate_at(t, times, positions, mode)
+    means = _estimate_many(snap, np.asarray(times), positions, mode)
 
     dt = float(snap[1] - snap[0]) if len(snap) > 1 else 1.0
     return UncertainTrajectory(
@@ -105,10 +103,44 @@ def synchronize_reports(
     )
 
 
+def _estimate_many(
+    snap: np.ndarray,
+    times: np.ndarray,
+    positions: np.ndarray,
+    mode: InterpolationMode,
+) -> np.ndarray:
+    """Expected locations at every snapshot time, vectorised.
+
+    One ``np.searchsorted`` finds the last report at or before each
+    snapshot; both modes then run as pure array arithmetic.  Equivalent to
+    calling :func:`_estimate_at` per snapshot -- the scalar version is kept
+    as the tested reference implementation.
+    """
+    idx = np.searchsorted(times, snap, side="right") - 1
+    if np.any(idx < 0):
+        raise ValueError(f"time {snap[int(np.argmin(idx))]} precedes first report")
+
+    if mode is InterpolationMode.LINEAR:
+        nxt = np.minimum(idx + 1, len(times) - 1)
+        span = times[nxt] - times[idx]
+        # w = 0 both when the snapshot hits a report exactly and when idx is
+        # the last report (span 0) -- matching the scalar early returns.
+        w = np.where(span > 0, (snap - times[idx]) / np.where(span > 0, span, 1.0), 0.0)
+        return (1.0 - w)[:, None] * positions[idx] + w[:, None] * positions[nxt]
+
+    # Dead reckoning (Eq. 1): velocity from the pair (vel_idx - 1, vel_idx)
+    # straddling each snapshot; the first interval reuses the (0, 1) pair.
+    vel_idx = np.maximum(idx, 1)
+    v = (positions[vel_idx] - positions[vel_idx - 1]) / (
+        times[vel_idx] - times[vel_idx - 1]
+    )[:, None]
+    return positions[idx] + v * (snap - times[idx])[:, None]
+
+
 def _estimate_at(
     t: float, times: list[float], positions: np.ndarray, mode: InterpolationMode
 ) -> np.ndarray:
-    """Expected location at time ``t`` from the surrounding reports."""
+    """Expected location at time ``t`` (scalar reference for the tests)."""
     # Index of the last report at or before t (>= 0 by the caller's checks).
     idx = bisect.bisect_right(times, t) - 1
     if idx < 0:

@@ -97,6 +97,32 @@ class TestTrajPatternExactness:
         assert [p.cells for p in mined.patterns] == [c for c, _ in scored[:4]]
 
 
+class TestConvergenceRegression:
+    """Pinned hypothesis counterexample (seed 4735, k=3).
+
+    On this instance the true third-best pattern is ``(1, 1, 3)`` =
+    high ``(1,)`` + low ``(1, 3)``, where ``(1, 3)`` only enters ``Q`` in
+    the first extension round.  A miner that stops as soon as the high set
+    stabilises never tries that concatenation and reports ``(2,)`` instead;
+    convergence must also require the relevant extension-partner set (high
+    patterns + 1-extension lows) to be stable.
+    """
+
+    @pytest.mark.parametrize("extension", [True, False])
+    @pytest.mark.parametrize("bound", [True, False])
+    def test_high_plus_fresh_low_pattern_found(self, extension, bound):
+        engine = tiny_engine(4735)
+        mined = TrajPatternMiner(
+            engine,
+            k=3,
+            max_length=MAX_LENGTH,
+            use_extension_pruning=extension,
+            use_bound_pruning=bound,
+        ).mine()
+        assert [p.cells for p in mined.patterns] == [(1,), (3,), (1, 1, 3)]
+        assert [p.cells for p in mined.patterns] == brute_force(engine, 3, engine.nm)
+
+
 class TestBaselineExactness:
     @settings(max_examples=15, deadline=None)
     @given(seeds, ks)

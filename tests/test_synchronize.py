@@ -6,6 +6,8 @@ import pytest
 from repro.trajectory.synchronize import (
     InterpolationMode,
     LocationReport,
+    _estimate_at,
+    _estimate_many,
     synchronize_reports,
 )
 
@@ -104,3 +106,35 @@ class TestLinearInterpolation:
             reports, [2.0, 4.5], sigma=0.1, mode=InterpolationMode.LINEAR
         )
         assert np.allclose(traj.means, [[2.0, 0.0], [4.0, 1.0]])
+
+
+class TestVectorisedMatchesScalarReference:
+    """The searchsorted batch path equals the per-snapshot reference."""
+
+    @pytest.mark.parametrize("mode", list(InterpolationMode))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_reports_and_snapshots(self, mode, seed):
+        rng = np.random.default_rng(seed)
+        n_reports = int(rng.integers(2, 12))
+        times = np.cumsum(rng.uniform(0.2, 3.0, n_reports))
+        positions = rng.uniform(-5.0, 5.0, (n_reports, 2))
+        t_max = times[-1] if mode is InterpolationMode.LINEAR else times[-1] + 5.0
+        snap = np.sort(rng.uniform(times[0], t_max, 25))
+        snap = snap[np.r_[True, np.diff(snap) > 0]]
+
+        vectorised = _estimate_many(snap, times, positions, mode)
+        reference = np.array(
+            [_estimate_at(t, list(times), positions, mode) for t in snap]
+        )
+        np.testing.assert_allclose(vectorised, reference, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", list(InterpolationMode))
+    def test_snapshots_exactly_on_report_times(self, mode):
+        times = np.array([0.0, 1.0, 3.0, 6.0])
+        positions = np.array([[0.0, 0.0], [2.0, 1.0], [1.0, 4.0], [5.0, 5.0]])
+        vectorised = _estimate_many(times, times, positions, mode)
+        reference = np.array(
+            [_estimate_at(t, list(times), positions, mode) for t in times]
+        )
+        np.testing.assert_allclose(vectorised, reference, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(vectorised, positions, rtol=1e-12, atol=1e-12)
