@@ -36,6 +36,31 @@ from repro.core.parallel import ParallelNMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.core.trajpattern import TrajPatternMiner
 from repro.experiments.datasets import grid_with_cells, zebranet_dataset
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+
+
+class _capture_metrics:
+    """Enable the global registry for a block and keep its final snapshot.
+
+    The benches report instrument values (index-build time, cache hit/miss
+    counts, batch sizes) straight from the observability layer instead of
+    duplicating hand-rolled timers; the registry is returned to its
+    default-off state afterwards so the timed default-path sections stay
+    uninstrumented.
+    """
+
+    def __enter__(self) -> "_capture_metrics":
+        registry = obs_metrics.get_registry()
+        registry.reset()
+        registry.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        registry = obs_metrics.get_registry()
+        self.snapshot = registry.snapshot()
+        registry.disable()
+        registry.reset()
 
 #: Engine micro-bench workload (mirrors benchmarks/test_bench_engine.py).
 ENGINE_WORKLOAD = dict(n_trajectories=50, n_ticks=60, sigma=0.01, seed=7)
@@ -66,7 +91,8 @@ def _best_of(fn, rounds: int) -> tuple[float, object]:
 
 def bench_index_build(dataset, grid, config, rounds: int) -> dict:
     """Vectorised vs scalar (reference) index entry collection."""
-    engine = NMEngine(dataset, grid, config)
+    with _capture_metrics() as captured:
+        engine = NMEngine(dataset, grid, config)
     vec_s, _ = _best_of(engine._collect_index_entries, rounds)
     scalar_s, _ = _best_of(engine._collect_index_entries_scalar, rounds)
     return {
@@ -75,6 +101,8 @@ def bench_index_build(dataset, grid, config, rounds: int) -> dict:
         "scalar_s": scalar_s,
         "vectorised_s": vec_s,
         "speedup": scalar_s / vec_s if vec_s > 0 else float("inf"),
+        # engine.index_build_ns as observed by the metrics registry.
+        "metrics": captured.snapshot["histograms"],
     }
 
 
@@ -128,6 +156,9 @@ def bench_mining() -> dict:
         "eval_batches": stats.eval_batches,
         "max_batch_size": stats.max_batch_size,
         "iterations": stats.iterations,
+        # The run's own registry: miner.eval_ns / miner.batch_size are the
+        # source of truth behind the fields above.
+        "metrics": stats.metrics.snapshot(),
     }
 
 
@@ -196,22 +227,72 @@ def bench_index_cache(rounds: int) -> dict:
     grid = dataset.make_grid(ENGINE_CELL_SIZE)
     config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
     cold_s = float("inf")
-    with tempfile.TemporaryDirectory() as tmp:
-        cached = replace(config, cache_dir=tmp)
-        for i in range(rounds):
-            with tempfile.TemporaryDirectory() as cold_dir:
-                t0 = time.perf_counter()
-                NMEngine(dataset, grid, replace(config, cache_dir=cold_dir))
-                cold_s = min(cold_s, time.perf_counter() - t0)
-        NMEngine(dataset, grid, cached)  # populate the warm cache
-        warm_s, engine = _best_of(lambda: NMEngine(dataset, grid, cached), rounds)
-        assert engine.index_cache_hit
+    with _capture_metrics() as captured:
+        with tempfile.TemporaryDirectory() as tmp:
+            cached = replace(config, cache_dir=tmp)
+            for i in range(rounds):
+                with tempfile.TemporaryDirectory() as cold_dir:
+                    t0 = time.perf_counter()
+                    NMEngine(dataset, grid, replace(config, cache_dir=cold_dir))
+                    cold_s = min(cold_s, time.perf_counter() - t0)
+            NMEngine(dataset, grid, cached)  # populate the warm cache
+            warm_s, engine = _best_of(
+                lambda: NMEngine(dataset, grid, cached), rounds
+            )
+            assert engine.index_cache_hit
+    counters = captured.snapshot["counters"]
+    assert counters.get("index.cache.hit", 0) >= rounds
     return {
         "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
         "n_entries": engine.n_index_entries,
         "cold_build_s": cold_s,
         "warm_load_s": warm_s,
         "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        # Cache hit/miss/write counts and per-build timings straight from
+        # the observability layer.
+        "metrics": {
+            "counters": counters,
+            "index_build_ns": captured.snapshot["histograms"].get(
+                "engine.index_build_ns"
+            ),
+        },
+    }
+
+
+def bench_obs_overhead(engine, rounds: int, n_candidates: int = 400) -> dict:
+    """Batched-evaluation throughput with observability off vs fully on.
+
+    ``disabled`` is the default state every other bench runs in (no
+    registry, no tracer: hot paths pay one global read per instrumentation
+    point); ``enabled`` turns on both the metrics registry and an
+    in-memory tracer.  The acceptance bar for the instrumentation layer is
+    that ``disabled`` throughput stays within a few percent of the
+    pre-instrumentation history entries.
+    """
+    candidates = _random_candidates(engine, n_candidates)
+    disabled_s, _ = _best_of(lambda: engine.nm_batch(candidates), rounds)
+
+    registry = obs_metrics.get_registry()
+    sink = tracing.BufferSink()
+    tracing.configure_tracing(sink=sink)
+    registry.reset()
+    registry.enable()
+    try:
+        enabled_s, _ = _best_of(lambda: engine.nm_batch(candidates), rounds)
+    finally:
+        tracing.disable_tracing()
+        registry.disable()
+        registry.reset()
+    return {
+        "n_candidates": n_candidates,
+        "disabled_s": disabled_s,
+        "disabled_candidates_per_s": n_candidates / disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_candidates_per_s": n_candidates / enabled_s,
+        "enabled_overhead_pct": (
+            (enabled_s / disabled_s - 1.0) * 100.0 if disabled_s > 0 else 0.0
+        ),
+        "spans_emitted": len(sink.records),
     }
 
 
@@ -223,6 +304,7 @@ def run(rounds: int = 3) -> dict:
     index_build = bench_index_build(dataset, grid, config, rounds)
     engine = NMEngine(dataset, grid, config)
     candidate_eval = bench_candidate_eval(engine, rounds)
+    obs_overhead = bench_obs_overhead(engine, rounds)
     mining = bench_mining()
     parallel_scaling = bench_parallel_scaling(rounds)
     index_cache = bench_index_cache(rounds)
@@ -244,6 +326,7 @@ def run(rounds: int = 3) -> dict:
         },
         "index_build": index_build,
         "candidate_eval": candidate_eval,
+        "obs_overhead": obs_overhead,
         "mining": mining,
         "parallel_scaling": parallel_scaling,
         "index_cache": index_cache,
@@ -313,6 +396,10 @@ def main() -> None:
           f"batched {ce['batched_candidates_per_s']:.0f}/s  ({ce['speedup']:.1f}x)")
     print(f"mining:         {mi['wall_time_s']:.3f}s wall, "
           f"{mi['candidates_evaluated']} candidates in {mi['eval_batches']} batches")
+    oo = report["obs_overhead"]
+    print(f"obs overhead:   off {oo['disabled_candidates_per_s']:.0f}/s  "
+          f"on {oo['enabled_candidates_per_s']:.0f}/s  "
+          f"({oo['enabled_overhead_pct']:+.1f}%)")
     ps, ic = report["parallel_scaling"], report["index_cache"]
     scaling = "  ".join(
         f"{jobs}w {entry['build_s']:.2f}s/{entry['eval_s'] * 1e3:.0f}ms"

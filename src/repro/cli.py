@@ -8,6 +8,11 @@ Two families of commands:
 * **reproduction commands** regenerating the paper's evaluation:
   ``table1``, ``fig3``, ``fig4``, ``ablations``, ``all`` and ``report``
   (everything into one markdown file).
+
+``mine`` and ``score`` accept the observability flags ``--log-level``,
+``--trace-out``, ``--metrics-out`` and ``--manifest-out`` (see
+:mod:`repro.obs`), and ``report <file>`` pretty-prints a span trace or run
+manifest into per-phase timing tables.
 """
 
 from __future__ import annotations
@@ -111,6 +116,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.target:
+        from repro.obs.report import render_file
+
+        print(render_file(args.target))
+        return 0
+
     from repro.experiments.report import build_report
 
     report = build_report()
@@ -122,14 +133,89 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # -- library commands -----------------------------------------------------------
 
 
+def _resolve_manifest(manifest_arg: str | None, default_base: str) -> str | None:
+    """Resolve ``--manifest-out`` (``"auto"`` -> ``<default_base>.manifest.json``)."""
+    if manifest_arg is None:
+        return None
+    if manifest_arg == "auto":
+        return f"{default_base}.manifest.json"
+    return manifest_arg
+
+
+def _obs_setup(args: argparse.Namespace, manifest_out: str | None) -> None:
+    """Switch on the observability pieces the flags ask for.
+
+    The manifest embeds a metric snapshot, so requesting one implies
+    enabling the metrics registry even without ``--metrics-out``.
+    """
+    from repro import obs
+
+    obs.configure(
+        log_level=args.log_level,
+        trace_out=args.trace_out,
+        enable_metrics=args.metrics_out is not None or manifest_out is not None,
+    )
+
+
+def _obs_finish(
+    args: argparse.Namespace,
+    manifest_out: str | None,
+    command: str,
+    dataset_fingerprint: str,
+    config,
+    timer,
+    extra_metrics: dict | None = None,
+) -> None:
+    """Write the metrics/manifest outputs, then return obs to default-off."""
+    import json
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import metrics
+
+    snapshot = metrics.get_registry().snapshot()
+    if extra_metrics:
+        snapshot.update(extra_metrics)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(snapshot, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+    if manifest_out is not None:
+        arguments = {
+            k: v for k, v in vars(args).items() if k != "func" and v is not None
+        }
+        document = obs_manifest.build_manifest(
+            command=command,
+            arguments=arguments,
+            dataset_fingerprint=dataset_fingerprint,
+            config=config,
+            metrics=snapshot,
+            wall_time_s=timer.wall_time_s,
+            cpu_time_s=timer.cpu_time_s,
+        )
+        obs_manifest.write_manifest(manifest_out, document)
+        print(f"wrote run manifest -> {manifest_out}")
+    # Close the trace file and disable the registry so consecutive
+    # in-process invocations (tests, notebooks) start from default-off.
+    obs.shutdown()
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
+    from repro.core import index_cache
     from repro.core.engine import EngineConfig, NMEngine
     from repro.core.parameters import suggest_parameters
     from repro.core.results_io import save_mining_result
     from repro.core.trajpattern import TrajPatternMiner
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import tracing
     from repro.trajectory.io import load_dataset_jsonl
+
+    manifest_out = _resolve_manifest(args.manifest_out, args.output)
+    _obs_setup(args, manifest_out)
 
     dataset = load_dataset_jsonl(args.dataset)
     suggestion = suggest_parameters(dataset)
@@ -141,53 +227,99 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_prob=args.min_prob,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        log_level=args.log_level,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
     )
-    with ExitStack() as stack:
-        if engine_config.jobs > 1:
-            from repro.core.parallel import ParallelNMEngine
+    parallel_snapshot = None
+    with obs_manifest.RunTimer() as timer:
+        with tracing.span("run", command="mine", dataset=str(args.dataset)):
+            with ExitStack() as stack:
+                if engine_config.jobs > 1:
+                    from repro.core.parallel import ParallelNMEngine
 
-            engine = stack.enter_context(
-                ParallelNMEngine(dataset, grid, engine_config)
-            )
-        else:
-            engine = NMEngine(dataset, grid, engine_config)
-        print(
-            f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
-            f"delta {delta:.6g}, jobs {engine_config.jobs}"
-            + (", index cache hit" if engine.index_cache_hit else "")
-        )
-        result = TrajPatternMiner(
-            engine,
-            k=args.k,
-            min_length=args.min_length,
-            max_length=args.max_length,
-        ).mine(discover_groups=True, gamma=suggestion.gamma)
-    save_mining_result(result, grid, args.output)
+                    engine = stack.enter_context(
+                        ParallelNMEngine(dataset, grid, engine_config)
+                    )
+                else:
+                    engine = NMEngine(dataset, grid, engine_config)
+                print(
+                    f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
+                    f"delta {delta:.6g}, jobs {engine_config.jobs}"
+                    + (", index cache hit" if engine.index_cache_hit else "")
+                )
+                result = TrajPatternMiner(
+                    engine,
+                    k=args.k,
+                    min_length=args.min_length,
+                    max_length=args.max_length,
+                ).mine(discover_groups=True, gamma=suggestion.gamma)
+                if hasattr(engine, "obs_snapshot"):
+                    parallel_snapshot = engine.obs_snapshot()
+            save_mining_result(result, grid, args.output)
     print(
         f"mined {len(result)} patterns (mean length {result.mean_length():.2f}, "
         f"{result.stats.wall_time_s:.1f}s) -> {args.output}"
     )
     for pattern, nm in result.as_pairs()[: args.show]:
         print(f"  NM {nm:12.2f}  {pattern.cells}")
+    _obs_finish(
+        args,
+        manifest_out,
+        command="mine",
+        dataset_fingerprint=index_cache.dataset_fingerprint(dataset),
+        config=engine_config,
+        timer=timer,
+        extra_metrics=(
+            {"parallel": parallel_snapshot} if parallel_snapshot else None
+        ),
+    )
     return 0
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
+    import hashlib
+    from pathlib import Path
+
     from repro.core.engine import EngineConfig
     from repro.core.results_io import load_mining_result
     from repro.core.streaming import StreamingNMEngine
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import tracing
+
+    manifest_out = _resolve_manifest(args.manifest_out, args.dataset)
+    _obs_setup(args, manifest_out)
 
     result, grid = load_mining_result(args.patterns)
     engine_config = EngineConfig(
-        delta=args.delta, min_prob=args.min_prob, cache_dir=args.cache_dir
+        delta=args.delta,
+        min_prob=args.min_prob,
+        cache_dir=args.cache_dir,
+        log_level=args.log_level,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
     )
-    streaming = StreamingNMEngine(
-        args.dataset, grid, engine_config, chunk_size=args.chunk_size
-    )
-    verified = streaming.verify_top_k(result.patterns, k=len(result.patterns))
+    with obs_manifest.RunTimer() as timer:
+        with tracing.span("run", command="score", dataset=str(args.dataset)):
+            streaming = StreamingNMEngine(
+                args.dataset, grid, engine_config, chunk_size=args.chunk_size
+            )
+            verified = streaming.verify_top_k(
+                result.patterns, k=len(result.patterns)
+            )
     print(f"re-scored {len(verified)} patterns against {args.dataset}:")
     for pattern, nm in verified[: args.show]:
         print(f"  NM {nm:12.2f}  {pattern.cells}")
+    _obs_finish(
+        args,
+        manifest_out,
+        command="score",
+        dataset_fingerprint=hashlib.sha256(
+            Path(args.dataset).read_bytes()
+        ).hexdigest(),
+        config=engine_config,
+        timer=timer,
+    )
     return 0
 
 
@@ -201,6 +333,40 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
 
 
 # -- entry point -------------------------------------------------------------------
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the ``mine`` and ``score`` commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        default=None,
+        dest="log_level",
+        help="emit structured JSON logs at this level (DEBUG, INFO, ...)",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="write a span trace (JSONL) of the run to this file",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        help="write a metric snapshot (JSON) of the run to this file",
+    )
+    group.add_argument(
+        "--manifest-out",
+        nargs="?",
+        const="auto",
+        default=None,
+        dest="manifest_out",
+        help=(
+            "write a run manifest (git sha, config, dataset hash, metrics, "
+            "resource footprint); without a value, '<output>.manifest.json'"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -223,7 +389,22 @@ def _build_parser() -> argparse.ArgumentParser:
         alias.add_argument("--scale", choices=["small", "paper"], default="small")
         alias.set_defaults(func=_cmd_experiment, experiment=name)
 
-    report = sub.add_parser("report", help="write the full reproduction report")
+    report = sub.add_parser(
+        "report",
+        help=(
+            "write the full reproduction report, or pretty-print a trace / "
+            "run-manifest file"
+        ),
+    )
+    report.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "a span trace (JSONL) or run manifest to render as a per-phase "
+            "timing table; omitted: build the reproduction report"
+        ),
+    )
     report.add_argument("--output", default="REPORT.md")
     report.set_defaults(func=_cmd_report)
 
@@ -249,6 +430,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the persistent index cache (off when omitted)",
     )
     mine.add_argument("--show", type=int, default=10)
+    _add_obs_arguments(mine)
     mine.set_defaults(func=_cmd_mine)
 
     score = sub.add_parser(
@@ -266,6 +448,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for per-chunk index caches (off when omitted)",
     )
     score.add_argument("--show", type=int, default=10)
+    _add_obs_arguments(score)
     score.set_defaults(func=_cmd_score)
 
     suggest = sub.add_parser(

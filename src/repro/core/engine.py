@@ -55,6 +55,7 @@ import numpy as np
 from scipy import special
 
 from repro.core import index_cache
+from repro.obs import logs, metrics, tracing
 from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.geometry.grid import Grid
 from repro.trajectory.dataset import TrajectoryDataset
@@ -69,6 +70,8 @@ _INDEX_PAIR_CHUNK = 1 << 20
 #: the per-round ``n_patterns * n_trajectories`` maxima matrix, and dense
 #: window-score batches so ``n_patterns * n_windows``, stay under this.
 _BATCH_SCORE_BUDGET = 1 << 24
+
+_log = logs.get_logger("engine")
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,14 @@ class EngineConfig:
         ``cache_dir/index-<key>.npz`` and falls back to a fresh build
         (persisting the result) on a miss.  ``None`` disables caching.
         Excluded from the cache key itself, as is ``jobs``.
+    log_level, trace_out, metrics_out:
+        Observability knobs (all off / ``None`` by default): the
+        ``repro.*`` structured-log level, the span-trace JSONL path and
+        the metrics-snapshot JSON path.  They configure the *process
+        global* state in :mod:`repro.obs` -- applied by
+        :func:`build_engine` (and the CLI) via
+        :func:`repro.obs.apply_config` -- and never affect evaluation
+        results or the index cache key.
     """
 
     delta: float
@@ -120,6 +131,9 @@ class EngineConfig:
     column_cache_size: int = 256
     jobs: int = 1
     cache_dir: str | Path | None = None
+    log_level: str | None = None
+    trace_out: str | Path | None = None
+    metrics_out: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -226,10 +240,25 @@ class NMEngine:
         self._cell_seg_starts = np.empty(0, dtype=np.int64)
         self._flat_cell_order = np.empty(0, dtype=np.int64)
 
-        if prebuilt is not None:
-            self._install_index(*prebuilt)
-        else:
-            self._build_index()
+        with tracing.span(
+            "index.build", prebuilt=prebuilt is not None
+        ) as span, metrics.timer("engine.index_build_ns"):
+            if prebuilt is not None:
+                self._install_index(*prebuilt)
+            else:
+                self._build_index()
+            span.set_attr("n_entries", self.n_index_entries)
+            span.set_attr("cache_hit", self.index_cache_hit)
+        _log.debug(
+            "engine index ready",
+            extra={
+                "n_entries": self.n_index_entries,
+                "n_trajectories": len(dataset),
+                "n_snapshots": self._total_rows,
+                "cache_hit": self.index_cache_hit,
+                "prebuilt": prebuilt is not None,
+            },
+        )
 
     # -- public metadata -------------------------------------------------------
 
@@ -736,13 +765,25 @@ class NMEngine:
         """
         if not len(patterns):
             return np.empty(0)
-        return self._batch_reduce(patterns, "nm")
+        with tracing.span("engine.nm_batch", n_patterns=len(patterns)), (
+            metrics.timer("engine.nm_batch_ns")
+        ):
+            out = self._batch_reduce(patterns, "nm")
+        metrics.counter("engine.evaluations").inc(len(patterns))
+        metrics.histogram("engine.batch_size").observe(len(patterns))
+        return out
 
     def match_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
         """Dataset match of a whole candidate batch, in order."""
         if not len(patterns):
             return np.empty(0)
-        return self._batch_reduce(patterns, "match")
+        with tracing.span("engine.match_batch", n_patterns=len(patterns)), (
+            metrics.timer("engine.match_batch_ns")
+        ):
+            out = self._batch_reduce(patterns, "match")
+        metrics.counter("engine.evaluations").inc(len(patterns))
+        metrics.histogram("engine.batch_size").observe(len(patterns))
+        return out
 
     def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
         """NM of several patterns, in order (alias of :meth:`nm_batch`)."""
@@ -879,6 +920,14 @@ class NMEngine:
     ) -> list[ExtensionTables]:
         """:meth:`extend_right_tables_many` plus inactive-cell base totals."""
         patterns = list(patterns)
+        with tracing.span("engine.ext_tables", n_prefixes=len(patterns)), (
+            metrics.timer("engine.ext_tables_ns")
+        ):
+            return self._extension_tables_many(patterns)
+
+    def _extension_tables_many(
+        self, patterns: list[TrajectoryPattern]
+    ) -> list[ExtensionTables]:
         out: list[ExtensionTables | None] = [None] * len(patterns)
         for m, idxs in self._group_by_length(patterns).items():
             ext_len = m + 1
@@ -1057,6 +1106,9 @@ def build_engine(
     """
     grid = dataset.make_grid(cell_size)
     config = EngineConfig(delta=delta if delta is not None else cell_size, **config_kwargs)
+    from repro import obs  # deferred: repro/__init__ imports this module
+
+    obs.apply_config(config)
     if config.jobs > 1:
         from repro.core.parallel import ParallelNMEngine
 

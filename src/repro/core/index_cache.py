@@ -30,6 +30,12 @@ Robustness: files are written atomically (temp file + ``os.replace``) and
 :func:`load_index` treats *any* unreadable, truncated or
 wrong-format file as a miss -- the engine then falls back to a fresh
 build and overwrites the bad file.
+
+Observability: every load outcome is logged on the ``repro.index_cache``
+logger and counted on the global metrics registry -- ``index.cache.hit``,
+``index.cache.miss`` (file absent) and ``index.cache.corrupt`` (file
+present but rejected, logged as a warning because it means a rebuild the
+operator probably did not expect).
 """
 
 from __future__ import annotations
@@ -41,6 +47,10 @@ import zipfile
 from pathlib import Path
 
 import numpy as np
+
+from repro.obs import logs, metrics
+
+_log = logs.get_logger("index_cache")
 
 #: Bump when the stored array layout changes; part of the cache key.
 CACHE_FORMAT_VERSION = 1
@@ -125,6 +135,11 @@ def save_index(
         except OSError:
             pass
         raise
+    metrics.counter("index.cache.write").inc()
+    _log.debug(
+        "index cache write",
+        extra={"path": str(target), "n_entries": int(len(cells))},
+    )
     return target
 
 
@@ -140,13 +155,32 @@ def load_index(
     try:
         with np.load(target) as payload:
             arrays = tuple(np.asarray(payload[k]) for k in _PAYLOAD_KEYS)
-    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+    except FileNotFoundError:
+        metrics.counter("index.cache.miss").inc()
+        _log.debug("index cache miss", extra={"path": str(target)})
         return None
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        return _corrupt(target, f"unreadable: {exc}")
     cells, rows, vals = arrays
     if not (cells.ndim == rows.ndim == vals.ndim == 1):
-        return None
+        return _corrupt(target, "arrays are not one-dimensional")
     if not (len(cells) == len(rows) == len(vals)):
-        return None
+        return _corrupt(target, "array lengths disagree")
     if cells.dtype.kind != "i" or rows.dtype.kind != "i" or vals.dtype.kind != "f":
-        return None
+        return _corrupt(target, "unexpected array dtypes")
+    metrics.counter("index.cache.hit").inc()
+    _log.info(
+        "index cache hit",
+        extra={"path": str(target), "n_entries": int(len(cells))},
+    )
     return cells, rows, vals
+
+
+def _corrupt(target: Path, reason: str) -> None:
+    """Count and log a present-but-rejected cache file, returning a miss."""
+    metrics.counter("index.cache.corrupt").inc()
+    _log.warning(
+        "index cache file rejected; falling back to a fresh build",
+        extra={"path": str(target), "reason": reason},
+    )
+    return None

@@ -61,12 +61,15 @@ from repro.core import index_cache
 from repro.core.engine import EngineConfig, ExtensionTables, NMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
+from repro.obs import logs, metrics, tracing
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.trajectory import UncertainTrajectory
 
 #: Prefix of every shared-memory segment this module creates (the leak
 #: check in the tests globs ``/dev/shm`` for it).
 SHM_PREFIX = "repro-shm-"
+
+_log = logs.get_logger("parallel")
 
 
 # -- shared-memory plumbing -----------------------------------------------------
@@ -137,6 +140,19 @@ def shard_dataset(dataset: TrajectoryDataset, n_shards: int) -> list[tuple[int, 
     return [(bounds[i], bounds[i + 1]) for i in range(n_shards)]
 
 
+def _skew(values: Sequence[float]) -> float:
+    """Imbalance ratio ``max / mean`` of per-shard quantities.
+
+    ``1.0`` is perfectly balanced; shards are balanced by *snapshot count*,
+    so skewed cell density shows up here as index-entry (and therefore
+    work) skew even though the spans look fair.
+    """
+    if not len(values):
+        return 1.0
+    mean = sum(values) / len(values)
+    return float(max(values) / mean) if mean > 0 else 1.0
+
+
 # -- the worker process ---------------------------------------------------------------
 
 
@@ -152,6 +168,9 @@ class _WorkerInit:
     row_lo: int  # global row range [row_lo, row_hi) of the shard
     row_hi: int
     index: tuple[ShmArraySpec, ShmArraySpec, ShmArraySpec] | None
+    shard: int = 0  # shard ordinal, stamped on worker spans/logs
+    trace: tracing.SpanContext | None = None  # parent trace propagation
+    metrics_enabled: bool = False  # mirror the parent registry's state
 
 
 def _worker_build_engine(init: _WorkerInit) -> NMEngine:
@@ -191,9 +210,35 @@ def _worker_main(conn, init: _WorkerInit) -> None:
     """Shard worker loop: build once, then serve evaluation requests."""
     from repro.core.wildcards import nm_gap_pattern  # deferred: avoids cycles
 
+    # Fresh per-process observability: forget (never close -- the file
+    # handle is shared under fork) any inherited tracer, trace into a
+    # local buffer the parent drains over the pipe, and reset the metrics
+    # registry so counters are per-shard.
+    tracing.forget_tracer()
+    trace_sink: tracing.BufferSink | None = None
+    if init.trace is not None:
+        trace_sink = tracing.BufferSink()
+        tracing.configure_tracing(
+            sink=trace_sink,
+            trace_id=init.trace.trace_id,
+            ambient_parent=init.trace.span_id,
+            base_attrs={"shard": init.shard},
+        )
+    registry = metrics.get_registry()
+    registry.reset()
+    registry.enabled = init.metrics_enabled
+
     exported: list[shared_memory.SharedMemory] = []
     try:
         engine = _worker_build_engine(init)
+        _log.debug(
+            "shard worker ready",
+            extra={
+                "shard": init.shard,
+                "n_traj": len(engine.dataset),
+                "n_entries": engine.n_index_entries,
+            },
+        )
         conn.send(
             (
                 "ok",
@@ -254,6 +299,17 @@ def _worker_main(conn, init: _WorkerInit) -> None:
                 result = None
             elif op == "stats":
                 result = (engine.n_evaluations, engine.n_batches)
+            elif op == "obs_snapshot":
+                result = {
+                    "shard": init.shard,
+                    "n_traj": len(engine.dataset),
+                    "n_entries": engine.n_index_entries,
+                    "n_evaluations": engine.n_evaluations,
+                    "n_batches": engine.n_batches,
+                    "metrics": metrics.get_registry().snapshot(),
+                }
+            elif op == "obs_drain":
+                result = trace_sink.drain() if trace_sink is not None else []
             else:
                 raise ValueError(f"unknown worker op {op!r}")
             conn.send(("ok", result))
@@ -340,9 +396,15 @@ class ParallelNMEngine:
                 index_specs = tuple(share_array(a, self._own_shm) for a in loaded)
 
         # Workers are plain single-process engines: no recursive pools, no
-        # per-shard cache files (the parent owns the canonical cache).
-        worker_config = replace(self.config, jobs=1, cache_dir=None)
-        for lo, hi in self.shard_bounds:
+        # per-shard cache files (the parent owns the canonical cache), and
+        # no file-writing observability of their own (spans buffer in the
+        # worker and drain through the pipe; see _worker_main).
+        worker_config = replace(
+            self.config, jobs=1, cache_dir=None, trace_out=None, metrics_out=None
+        )
+        self._trace_ctx = tracing.current_context()
+        metrics_enabled = metrics.get_registry().enabled
+        for shard, (lo, hi) in enumerate(self.shard_bounds):
             init = _WorkerInit(
                 grid=self.grid,
                 config=worker_config,
@@ -352,6 +414,9 @@ class ParallelNMEngine:
                 row_lo=int(row_offsets[lo]),
                 row_hi=int(row_offsets[hi]),
                 index=index_specs,
+                shard=shard,
+                trace=self._trace_ctx,
+                metrics_enabled=metrics_enabled,
             )
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -364,11 +429,26 @@ class ParallelNMEngine:
 
         metas = [self._recv(i) for i in range(self.n_shards)]
         self._shard_sizes = [meta["n_traj"] for meta in metas]
-        self.n_index_entries = int(sum(meta["n_entries"] for meta in metas))
+        self._shard_entries = [int(meta["n_entries"]) for meta in metas]
+        self.n_index_entries = int(sum(self._shard_entries))
         cells: set[int] = set()
         for meta in metas:
             cells.update(int(c) for c in meta["active_cells"])
         self._active_cells = sorted(cells)
+
+        self.shard_skew = _skew(self._shard_entries)
+        metrics.gauge("parallel.shard_skew").set(self.shard_skew)
+        metrics.counter("parallel.workers_started").inc(self.n_shards)
+        _log.info(
+            "shard workers ready",
+            extra={
+                "jobs": self.n_shards,
+                "shard_bounds": self.shard_bounds,
+                "shard_entries": self._shard_entries,
+                "shard_skew": self.shard_skew,
+                "index_cache_hit": self.index_cache_hit,
+            },
+        )
 
         if key is not None and not self.index_cache_hit:
             self._persist_cold_index(cache_dir, key, row_offsets)
@@ -439,6 +519,58 @@ class ParallelNMEngine:
     def n_batches(self) -> int:
         """Total batched-evaluation rounds across all shard workers."""
         return sum(b for _, b in self._broadcast(("stats", None)))
+
+    # -- observability ------------------------------------------------------------
+
+    def obs_snapshot(self) -> dict:
+        """Per-shard counters plus imbalance gauges, in one round-trip.
+
+        The aggregate ``n_evaluations`` / ``n_batches`` properties hide
+        *where* the work happened; this snapshot keeps the per-shard
+        numbers (trajectory span, index entries, evaluations, batches and
+        each worker's metric snapshot) so shard imbalance is visible:
+        snapshot-balanced spans over skewed cell density give uneven
+        ``n_entries``, surfaced as the ``shard_skew`` gauge (max/mean of
+        per-shard index entries) and ``eval_skew`` (max/mean of per-shard
+        evaluation counts).
+        """
+        replies = self._broadcast(("obs_snapshot", None))
+        shards = [
+            {**reply, "trajectories": list(self.shard_bounds[i])}
+            for i, reply in enumerate(replies)
+        ]
+        entry_skew = _skew([s["n_entries"] for s in shards])
+        eval_skew = _skew([s["n_evaluations"] for s in shards])
+        metrics.gauge("parallel.shard_skew").set(entry_skew)
+        metrics.gauge("parallel.eval_skew").set(eval_skew)
+        return {
+            "n_shards": self.n_shards,
+            "n_index_entries": self.n_index_entries,
+            "n_evaluations": sum(s["n_evaluations"] for s in shards),
+            "n_batches": sum(s["n_batches"] for s in shards),
+            "shard_skew": entry_skew,
+            "eval_skew": eval_skew,
+            "shards": shards,
+        }
+
+    def drain_trace(self) -> int:
+        """Pull buffered worker span records into the parent's trace sink.
+
+        Workers trace into in-memory buffers (their file handles are the
+        parent's under fork); this drains every buffer over the pipe
+        protocol and writes the records verbatim, so shard-side
+        ``index.build`` / ``engine.nm_batch`` spans land in the parent's
+        JSONL file already parented to the span that was current when the
+        engine was constructed.  Returns the number of records written.
+        Called automatically by :meth:`close`.
+        """
+        if getattr(self, "_trace_ctx", None) is None or tracing.get_tracer() is None:
+            return 0
+        total = 0
+        for records in self._broadcast(("obs_drain", None)):
+            tracing.emit_foreign(records)
+            total += len(records)
+        return total
 
     # -- batched measures --------------------------------------------------------
 
@@ -593,7 +725,14 @@ class ParallelNMEngine:
         """
         if self._closed:
             return
+        try:
+            # Last chance to collect worker spans; tolerate dead workers
+            # or an already-shut tracer (close may run from atexit).
+            self.drain_trace()
+        except Exception:
+            pass
         self._closed = True
+        _log.debug("closing shard workers", extra={"jobs": len(self._workers)})
         for conn in self._conns:
             try:
                 conn.send(("close", None))

@@ -31,8 +31,11 @@ import numpy as np
 from repro.core.engine import EngineConfig, NMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
+from repro.obs import logs, metrics, tracing
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.trajectory import UncertainTrajectory
+
+_log = logs.get_logger("streaming")
 
 
 class StreamingNMEngine:
@@ -107,7 +110,23 @@ class StreamingNMEngine:
         )
         for chunk in self._iter_chunks():
             self.n_chunks_scanned += 1
-            yield NMEngine(chunk, self.grid, config)
+            metrics.counter("streaming.chunks_scanned").inc()
+            with tracing.span(
+                "streaming.chunk",
+                chunk=self.n_chunks_scanned,
+                n_traj=len(chunk),
+            ):
+                engine = NMEngine(chunk, self.grid, config)
+            _log.debug(
+                "streaming chunk ready",
+                extra={
+                    "path": str(self.path),
+                    "chunk": self.n_chunks_scanned,
+                    "n_traj": len(chunk),
+                    "n_entries": engine.n_index_entries,
+                },
+            )
+            yield engine
 
     # -- evaluation -------------------------------------------------------------
 

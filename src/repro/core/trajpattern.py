@@ -49,6 +49,15 @@ candidate.  :class:`MinerStats` records the batch sizes and the evaluation
 wall time (``eval_batches``, ``max_batch_size``, ``eval_time_s``) and
 :class:`IterationTrace` carries the per-iteration ``batch_size`` /
 ``eval_time_s`` so the speedup is observable in the benches.
+
+Observability: :class:`MinerStats` keeps its evaluation bookkeeping on a
+private always-enabled :class:`~repro.obs.metrics.MetricsRegistry`
+(``stats.metrics``) -- ``eval_batches`` / ``max_batch_size`` /
+``eval_time_s`` are thin read-only views over it -- and the run is folded
+into the process-global registry when mining finishes.  Each main-loop
+round runs inside a ``miner.iteration`` span, candidate scoring inside
+``miner.evaluate``, and convergence / pruning decisions are logged on the
+``repro.miner`` logger.
 """
 
 from __future__ import annotations
@@ -63,6 +72,10 @@ from repro.core.groups import PatternGroup, discover_pattern_groups
 from repro.core.pattern import TrajectoryPattern
 from repro.core.pruning import prune_low_patterns, satisfies_one_extension
 from repro.core.topk import Cells, PatternBook, sort_key
+from repro.obs import logs, metrics, tracing
+from repro.obs.metrics import MetricsRegistry
+
+_log = logs.get_logger("miner")
 
 
 @dataclass
@@ -90,10 +103,14 @@ class IterationTrace:
 class MinerStats:
     """Instrumentation collected during a mining run (used by the benches).
 
-    ``eval_batches`` counts calls into the engine's batched evaluation,
-    ``max_batch_size`` the largest candidate batch scored in one call, and
-    ``eval_time_s`` the total wall time spent inside candidate evaluation
-    (a subset of ``wall_time_s``).
+    Evaluation bookkeeping lives on ``metrics``, a private always-enabled
+    :class:`~repro.obs.metrics.MetricsRegistry` owned by the run (the
+    process-global registry stays disabled by default, and a miner must
+    keep exact numbers regardless).  The historical dataclass API is a
+    thin view over it: ``eval_batches`` counts calls into the engine's
+    batched evaluation, ``max_batch_size`` is the largest candidate batch
+    scored in one call, and ``eval_time_s`` the total wall time spent
+    inside candidate evaluation (a subset of ``wall_time_s``).
     """
 
     iterations: int = 0
@@ -104,11 +121,29 @@ class MinerStats:
     candidates_cached: int = 0
     patterns_pruned: int = 0
     final_q_size: int = 0
-    eval_batches: int = 0
-    max_batch_size: int = 0
-    eval_time_s: float = 0.0
     wall_time_s: float = 0.0
     trace: list[IterationTrace] = field(default_factory=list)
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=True),
+        repr=False,
+        compare=False,
+    )
+
+    @property
+    def eval_batches(self) -> int:
+        """Calls into the engine's batched evaluation path."""
+        return self.metrics.counter("miner.eval_batches").value
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest candidate batch scored in one engine call."""
+        histogram = self.metrics.histogram("miner.batch_size")
+        return int(histogram.max) if histogram.count else 0
+
+    @property
+    def eval_time_s(self) -> float:
+        """Total wall time inside candidate evaluation, in seconds."""
+        return self.metrics.histogram("miner.eval_ns", unit="ns").total_seconds
 
 
 @dataclass
@@ -200,6 +235,18 @@ class TrajPatternMiner:
             Maximum similar-pattern distance for grouping; defaults to
             ``3 * max sigma`` per the section 5 discussion.
         """
+        with tracing.span(
+            "miner.mine", k=self.k, min_length=self.min_length
+        ) as root, metrics.timer("miner.mine_ns"):
+            result = self._mine(discover_groups, gamma)
+            root.set_attr("iterations", result.stats.iterations)
+            root.set_attr("omega", result.omega)
+        # Fold the run's private bookkeeping into the process-global
+        # registry (no-op while that stays disabled, the default).
+        metrics.get_registry().merge(result.stats.metrics)
+        return result
+
+    def _mine(self, discover_groups: bool, gamma: float | None) -> MiningResult:
         stats = MinerStats()
         t0 = time.perf_counter()
         book = PatternBook(self.k, self.min_length)
@@ -238,34 +285,62 @@ class TrajPatternMiner:
         # stability would also be correct but ruins termination in the
         # no-pruning ablation modes, where junk lows accumulate forever.)
         prev_partners = self._relevant_partners(book, high)
+        converged = False
         for _ in range(self.max_iterations):
             stats.iterations += 1
             evaluated_before = stats.candidates_evaluated
             pruned_before = stats.patterns_pruned
             eval_time_before = stats.eval_time_s
-            new_high = self._iterate(book, high, stats)
-            stats.trace.append(
-                IterationTrace(
-                    iteration=stats.iterations,
-                    omega=book.omega,
-                    n_high=len(new_high),
-                    n_exact=book.n_exact,
-                    n_bounded=book.n_bounded,
-                    candidates_evaluated=stats.candidates_evaluated - evaluated_before,
-                    patterns_pruned=stats.patterns_pruned - pruned_before,
-                    batch_size=stats.candidates_evaluated - evaluated_before,
-                    eval_time_s=stats.eval_time_s - eval_time_before,
-                )
+            with tracing.span(
+                "miner.iteration", iteration=stats.iterations
+            ) as it_span:
+                new_high = self._iterate(book, high, stats)
+                it_span.set_attr("omega", book.omega)
+                it_span.set_attr("n_high", len(new_high))
+            trace = IterationTrace(
+                iteration=stats.iterations,
+                omega=book.omega,
+                n_high=len(new_high),
+                n_exact=book.n_exact,
+                n_bounded=book.n_bounded,
+                candidates_evaluated=stats.candidates_evaluated - evaluated_before,
+                patterns_pruned=stats.patterns_pruned - pruned_before,
+                batch_size=stats.candidates_evaluated - evaluated_before,
+                eval_time_s=stats.eval_time_s - eval_time_before,
+            )
+            stats.trace.append(trace)
+            _log.debug(
+                "miner iteration",
+                extra={
+                    "iteration": trace.iteration,
+                    "omega": trace.omega,
+                    "n_high": trace.n_high,
+                    "candidates_evaluated": trace.candidates_evaluated,
+                    "patterns_pruned": trace.patterns_pruned,
+                },
             )
             partners = self._relevant_partners(book, new_high)
             if partners == prev_partners and set(new_high) == set(high):
                 high = new_high
+                converged = True
                 break
             prev_partners = partners
             high = new_high
 
         stats.final_q_size = len(book)
         stats.wall_time_s = time.perf_counter() - t0
+        _log.info(
+            "mining finished",
+            extra={
+                "converged": converged,
+                "iterations": stats.iterations,
+                "omega": book.omega,
+                "candidates_evaluated": stats.candidates_evaluated,
+                "candidates_bound_pruned": stats.candidates_bound_pruned,
+                "patterns_pruned": stats.patterns_pruned,
+                "final_q_size": stats.final_q_size,
+            },
+        )
 
         top = book.top_k()
         patterns = [TrajectoryPattern(cells) for cells, _ in top]
@@ -365,13 +440,13 @@ class TrajPatternMiner:
         """Score a candidate list through the engine's batched path."""
         if not to_evaluate:
             return
-        t0 = time.perf_counter()
-        nm_values = self.engine.nm_batch(
-            [TrajectoryPattern(cells) for cells in to_evaluate]
-        )
-        stats.eval_time_s += time.perf_counter() - t0
-        stats.eval_batches += 1
-        stats.max_batch_size = max(stats.max_batch_size, len(to_evaluate))
+        with tracing.span("miner.evaluate", n_candidates=len(to_evaluate)):
+            with stats.metrics.timer("miner.eval_ns"):
+                nm_values = self.engine.nm_batch(
+                    [TrajectoryPattern(cells) for cells in to_evaluate]
+                )
+        stats.metrics.counter("miner.eval_batches").inc()
+        stats.metrics.histogram("miner.batch_size").observe(len(to_evaluate))
         for cells, nm in zip(to_evaluate, nm_values):
             book.insert_exact(cells, float(nm))
             stats.candidates_evaluated += 1

@@ -1,0 +1,92 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every component logs through ``logging.getLogger("repro.<component>")``
+(:func:`get_logger` builds the name).  By default nothing is configured --
+the library stays silent unless the embedding application wires handlers,
+exactly like any stdlib-logging citizen.  :func:`configure_logging`
+(driven by the CLI's ``--log-level``) installs one stream handler on the
+``"repro"`` root with :class:`JsonFormatter`, so each record becomes one
+JSON line::
+
+    {"ts": "2026-08-06T12:00:00.123+00:00", "level": "INFO",
+     "logger": "repro.index_cache", "msg": "index cache hit",
+     "path": "…/index-ab12.npz", "n_entries": 52340}
+
+Fields passed via ``logger.info(..., extra={...})`` land as top-level
+keys, which is what makes the decision-point logs (cache hit/miss,
+shard boundaries, convergence) machine-greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attribute names that are plumbing, not user payload.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as a single JSON object line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(record.created, timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and key not in payload:
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger("miner")``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: int | str = "INFO", stream=None, json_lines: bool = True
+) -> logging.Logger:
+    """Install one handler on the ``repro`` root logger (idempotent).
+
+    Re-invoking replaces the previously installed handler, so repeated
+    CLI commands in one process never double-log.  Records stop at the
+    ``repro`` root (``propagate = False``) to keep application-level
+    root handlers out of the picture.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,300 @@
+"""Process-wide metrics registry: counters, gauges and ns-precision timers.
+
+Zero-dependency instrumentation for the mining stack.  Three instrument
+kinds cover everything the engine, miner and parallel layers need:
+
+* :class:`Counter` -- monotonically increasing event counts (cache hits,
+  evaluations, chunks scanned);
+* :class:`Gauge` -- last-write-wins scalars (shard skew, frontier size);
+* :class:`Histogram` -- streaming summaries (count / total / min / max /
+  last) of observed values; :meth:`MetricsRegistry.timer` feeds one with
+  ``time.perf_counter_ns`` durations, so timing data keeps nanosecond
+  precision without storing individual samples.
+
+Disabled fast path
+------------------
+A disabled registry hands out the shared no-op instruments
+(:data:`NULL_COUNTER` and friends) whose mutators do nothing, and
+:meth:`MetricsRegistry.timer` returns a no-op context manager that never
+reads the clock.  Hot loops therefore pay one attribute check per
+instrumentation point when observability is off -- the default.  The
+process-global registry (:func:`get_registry`) starts disabled; the CLI
+enables it when ``--metrics-out`` / ``--manifest-out`` are given, and
+components that need always-on bookkeeping (the miner's
+:class:`~repro.core.trajpattern.MinerStats`) own a private enabled
+registry instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+NS_PER_S = 1_000_000_000
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (no per-sample storage).
+
+    ``unit`` is a label carried into snapshots so consumers can render
+    values correctly; timers use ``"ns"``.
+    """
+
+    __slots__ = ("name", "unit", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """``total`` converted to seconds for ``ns``-unit histograms."""
+        return self.total / NS_PER_S if self.unit == "ns" else self.total
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by disabled registries."""
+
+    __slots__ = ()
+    name = ""
+    unit = ""
+    value = 0
+    count = 0
+    total = 0.0
+    min = float("inf")
+    max = float("-inf")
+    last = 0.0
+    mean = 0.0
+    total_seconds = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer:
+    """No-op timing context: never touches the clock."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager observing a ``perf_counter_ns`` duration."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter_ns() - self._start)
+
+
+class MetricsRegistry:
+    """Named instrument store with an enabled/disabled fast path.
+
+    Instruments are created on first access and survive until
+    :meth:`reset`.  While disabled, accessors return the shared no-op
+    instruments and never create state, so instrumented code needs no
+    ``if`` of its own.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every instrument (enabled state is unchanged)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- instruments -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, unit)
+        return instrument
+
+    def timer(self, name: str):
+        """Time a ``with`` block into the ``ns``-unit histogram ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self.histogram(name, unit="ns"))
+
+    # -- export / aggregation -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                    "last": h.last,
+                    "unit": h.unit,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram totals add, histogram min/max widen, gauges
+        take the incoming value.  Used to aggregate shard-worker and
+        per-run registries into the process-global one.  No-op while
+        disabled.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, unit=data.get("unit", ""))
+            count = int(data.get("count", 0))
+            if count == 0:
+                continue
+            histogram.count += count
+            histogram.total += float(data.get("total", 0.0))
+            histogram.min = min(histogram.min, float(data.get("min", 0.0)))
+            histogram.max = max(histogram.max, float(data.get("max", 0.0)))
+            histogram.last = float(data.get("last", 0.0))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's current contents into this one."""
+        self.merge_snapshot(other.snapshot())
+
+
+#: Process-global registry; disabled until something opts in.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (shared by engine, miner and CLI)."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, unit: str = "") -> Histogram:
+    return _REGISTRY.histogram(name, unit)
+
+
+def timer(name: str):
+    return _REGISTRY.timer(name)
+
+
+def instruments(registry: MetricsRegistry) -> Iterator[str]:
+    """Names of every instrument in ``registry`` (testing helper)."""
+    yield from registry._counters
+    yield from registry._gauges
+    yield from registry._histograms

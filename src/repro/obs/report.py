@@ -1,0 +1,224 @@
+"""Render trace files and run manifests into human-readable tables.
+
+``trajpattern report <file>`` routes here: a JSONL span trace becomes a
+per-phase timing table (plus a per-shard breakdown when worker spans are
+present), a run manifest becomes a key/metric summary.  The loaders
+validate the schemas strictly and raise ``ValueError`` on malformed
+input -- CI runs ``report`` over the artifacts of a traced mining run, so
+a schema regression fails the build instead of shipping silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.manifest import MANIFEST_FORMAT, load_manifest
+from repro.obs.metrics import NS_PER_S
+from repro.obs.tracing import SPAN_RECORD_KEYS
+
+
+# -- trace loading -----------------------------------------------------------
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse and validate a span JSONL file.
+
+    Every line must be a JSON object carrying all of
+    :data:`~repro.obs.tracing.SPAN_RECORD_KEYS`; anything else raises
+    ``ValueError`` with the offending line number.
+    """
+    path = Path(path)
+    spans: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(record, dict) or record.get("kind") != "span":
+                raise ValueError(f"{path}:{lineno}: not a span record")
+            missing = [k for k in SPAN_RECORD_KEYS if k not in record]
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: span record missing {missing}"
+                )
+            spans.append(record)
+    if not spans:
+        raise ValueError(f"{path}: empty trace")
+    return spans
+
+
+def span_children(spans: list[dict]) -> dict[str | None, list[dict]]:
+    """Parent span id -> child records (roots under ``None``/unknown ids)."""
+    ids = {s["span"] for s in spans}
+    children: dict[str | None, list[dict]] = {}
+    for s in spans:
+        parent = s.get("parent")
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(s)
+    return children
+
+
+# -- formatting helpers -------------------------------------------------------
+
+
+def _fmt_s(ns: float) -> str:
+    return f"{ns / NS_PER_S:.3f}s"
+
+
+def _fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:.1f}ms"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        # First column left-aligned, numbers right-aligned.
+        out = [cells[0].ljust(widths[0])]
+        out += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(out)
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+# -- trace rendering ----------------------------------------------------------
+
+
+def render_trace_report(spans: list[dict]) -> str:
+    """Per-phase timing table (and per-shard breakdown) of one trace."""
+    t_start = min(s["ts_ns"] for s in spans)
+    t_end = max(s["ts_ns"] + s["dur_ns"] for s in spans)
+    wall_ns = max(t_end - t_start, 1)
+
+    by_name: dict[str, list[dict]] = {}
+    for s in spans:
+        by_name.setdefault(s["name"], []).append(s)
+
+    rows = []
+    for name, group in sorted(
+        by_name.items(), key=lambda item: -sum(s["dur_ns"] for s in item[1])
+    ):
+        total = sum(s["dur_ns"] for s in group)
+        rows.append(
+            [
+                name,
+                str(len(group)),
+                _fmt_s(total),
+                _fmt_ms(total / len(group)),
+                _fmt_ms(max(s["dur_ns"] for s in group)),
+                f"{100.0 * total / wall_ns:.1f}%",
+            ]
+        )
+    lines = [
+        f"trace {spans[0]['trace']}: {len(spans)} spans over "
+        f"{wall_ns / NS_PER_S:.3f}s wall "
+        f"({len({s['pid'] for s in spans})} process(es))",
+        "",
+        _table(["phase", "count", "total", "mean", "max", "wall%"], rows),
+    ]
+
+    sharded: dict[tuple[str, object], list[int]] = {}
+    for s in spans:
+        shard = (s.get("attrs") or {}).get("shard")
+        if shard is not None:
+            sharded.setdefault((s["name"], shard), []).append(s["dur_ns"])
+    if sharded:
+        shard_rows = [
+            [name, str(shard), str(len(durs)), _fmt_s(sum(durs))]
+            for (name, shard), durs in sorted(sharded.items())
+        ]
+        lines += [
+            "",
+            "per-shard spans:",
+            _table(["phase", "shard", "count", "total"], shard_rows),
+        ]
+    return "\n".join(lines)
+
+
+# -- manifest rendering -------------------------------------------------------
+
+
+def render_manifest_report(manifest: dict) -> str:
+    """Key facts plus a timing table derived from the metric snapshot."""
+    runtime = manifest.get("runtime") or {}
+    lines = [
+        f"run manifest: {manifest.get('command')}",
+        f"  git sha:     {manifest.get('git_sha')}",
+        f"  dataset:     {manifest.get('dataset_fingerprint', '')[:16]}…",
+        f"  timestamp:   {runtime.get('timestamp')}",
+        f"  wall time:   {runtime.get('wall_time_s'):.3f}s"
+        if runtime.get("wall_time_s") is not None
+        else "  wall time:   n/a",
+        f"  cpu time:    {runtime.get('cpu_time_s'):.3f}s"
+        if runtime.get("cpu_time_s") is not None
+        else "  cpu time:    n/a",
+        f"  peak rss:    {runtime.get('peak_rss_bytes', 0) / 2**20:.1f} MiB",
+    ]
+    arguments = manifest.get("arguments") or {}
+    if arguments:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(arguments.items()))
+        lines.append(f"  arguments:   {rendered}")
+
+    metrics = manifest.get("metrics") or {}
+    histograms = metrics.get("histograms") or {}
+    timer_rows = [
+        [
+            name,
+            str(data.get("count", 0)),
+            _fmt_s(data.get("total", 0.0)),
+            _fmt_ms(data.get("mean", 0.0)),
+            _fmt_ms(data.get("max", 0.0)),
+        ]
+        for name, data in sorted(
+            histograms.items(), key=lambda item: -item[1].get("total", 0.0)
+        )
+        if data.get("unit") == "ns"
+    ]
+    if timer_rows:
+        lines += [
+            "",
+            "phase timings (metric snapshot):",
+            _table(["phase", "count", "total", "mean", "max"], timer_rows),
+        ]
+    counters = metrics.get("counters") or {}
+    if counters:
+        counter_rows = [[n, str(v)] for n, v in sorted(counters.items())]
+        lines += ["", "counters:", _table(["counter", "value"], counter_rows)]
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        gauge_rows = [[n, f"{v:g}"] for n, v in sorted(gauges.items())]
+        lines += ["", "gauges:", _table(["gauge", "value"], gauge_rows)]
+    return "\n".join(lines)
+
+
+# -- dispatch -----------------------------------------------------------------
+
+
+def render_file(path: str | Path) -> str:
+    """Pretty-print a trace JSONL or run-manifest JSON file.
+
+    Dispatches on content: a JSON object with the manifest format tag is
+    rendered as a manifest, anything else is validated as a span trace.
+    Raises ``ValueError`` when the file is neither.
+    """
+    path = Path(path)
+    try:
+        first = json.loads(path.read_text(encoding="utf-8"))
+        is_manifest = (
+            isinstance(first, dict) and first.get("format") == MANIFEST_FORMAT
+        )
+    except ValueError:
+        is_manifest = False  # multi-line JSONL traces fail the single parse
+    except OSError as exc:
+        raise ValueError(f"{path}: unreadable: {exc}") from exc
+    if is_manifest:
+        return render_manifest_report(load_manifest(path))
+    return render_trace_report(load_trace(path))

@@ -1,0 +1,276 @@
+"""Span tracing: context-manager spans emitting a JSONL event log.
+
+A *span* is a named, timed region of the run (``index.build``,
+``miner.iteration``, ``engine.nm_batch``).  Spans nest: the tracer keeps a
+stack, so a span opened inside another records the outer span's id as its
+parent, and a whole run reconstructs into a tree from the flat JSONL file.
+One record is emitted per span when it closes:
+
+.. code-block:: json
+
+    {"kind": "span", "trace": "…", "span": "1a2b.3", "parent": "1a2b.2",
+     "name": "engine.nm_batch", "ts_ns": 1712…, "dur_ns": 48211,
+     "pid": 4711, "attrs": {"n_patterns": 443, "shard": 1}}
+
+``ts_ns`` is wall-clock (``time.time_ns``, comparable across processes);
+``dur_ns`` is measured with ``time.perf_counter_ns``.
+
+Cross-process propagation
+-------------------------
+:class:`~repro.core.parallel.ParallelNMEngine` workers trace into a
+:class:`BufferSink` configured with the parent's trace id and the span
+that was current when the engine was constructed as *ambient parent*
+(:func:`current_context`).  The parent drains the buffers over the
+existing pipe protocol and writes the records into its own sink
+(:func:`emit_foreign`), so shard-side index builds and batch evaluations
+appear in the one trace file as children of the parent run span.
+
+Disabled fast path: with no tracer configured (the default)
+:func:`span` returns a shared no-op context manager -- one global read
+per call, no clock access, no allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import secrets
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Keys every span record carries; ``repro report`` validates against this.
+SPAN_RECORD_KEYS = ("kind", "trace", "span", "name", "ts_ns", "dur_ns", "pid")
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Portable (trace id, parent span id) pair for worker propagation."""
+
+    trace_id: str
+    span_id: str | None
+
+
+class FileSink:
+    """Append-only JSONL writer (one record per line, flushed per emit)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class BufferSink:
+    """In-memory record list; workers drain it over the pipe protocol."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def drain(self) -> list[dict]:
+        records, self.records = self.records, []
+        return records
+
+    def close(self) -> None:
+        # Keep the records: closing must not lose spans that have not been
+        # drained yet (tests and the worker exit path read them afterwards).
+        pass
+
+
+class Span:
+    """One traced region; use as a context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "_tracer", "_ts_ns", "_t0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, parent_id: str | None, attrs: dict
+    ) -> None:
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._tracer = tracer
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._ts_ns = time.time_ns()
+        self._t0 = time.perf_counter_ns()
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_ns = time.perf_counter_ns() - self._t0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._end(self, dur_ns)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is off."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Emits span records to a sink; tracks the current span stack."""
+
+    def __init__(
+        self,
+        sink,
+        trace_id: str | None = None,
+        ambient_parent: str | None = None,
+        base_attrs: dict | None = None,
+    ) -> None:
+        self.sink = sink
+        self.trace_id = trace_id or secrets.token_hex(8)
+        self.ambient_parent = ambient_parent
+        self.base_attrs = dict(base_attrs or {})
+        self._stack: list[Span] = []
+        # pid prefix keeps ids unique across forked shard workers.
+        self._ids = itertools.count(1)
+        self._pid = os.getpid()
+
+    def _next_id(self) -> str:
+        return f"{self._pid:x}.{next(self._ids)}"
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1].span_id if self._stack else self.ambient_parent
+        return Span(self, name, parent, attrs)
+
+    def _end(self, span: Span, dur_ns: int) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - out-of-order exits
+            self._stack.remove(span)
+        record = {
+            "kind": "span",
+            "trace": self.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "ts_ns": span._ts_ns,
+            "dur_ns": int(dur_ns),
+            "pid": self._pid,
+        }
+        attrs = {**self.base_attrs, **span.attrs}
+        if attrs:
+            record["attrs"] = attrs
+        self.sink.emit(record)
+
+    def current_context(self) -> SpanContext:
+        """Propagation handle: the trace id plus the innermost open span."""
+        span_id = self._stack[-1].span_id if self._stack else self.ambient_parent
+        return SpanContext(self.trace_id, span_id)
+
+    def emit_foreign(self, records: list[dict]) -> None:
+        """Write already-formed records (drained worker buffers) verbatim."""
+        for record in records:
+            self.sink.emit(record)
+
+    def close(self) -> None:
+        self._stack.clear()
+        self.sink.close()
+
+
+#: Process-global tracer; ``None`` means tracing is off (the default).
+_TRACER: Tracer | None = None
+
+
+def configure_tracing(
+    path: str | Path | None = None,
+    sink=None,
+    trace_id: str | None = None,
+    ambient_parent: str | None = None,
+    base_attrs: dict | None = None,
+) -> Tracer:
+    """Install the process-global tracer (replacing any previous one).
+
+    Exactly one of ``path`` (JSONL file) or ``sink`` must be given.
+    """
+    global _TRACER
+    if (path is None) == (sink is None):
+        raise ValueError("exactly one of path or sink is required")
+    if _TRACER is not None:
+        _TRACER.close()
+    if sink is None:
+        sink = FileSink(path)
+    _TRACER = Tracer(
+        sink, trace_id=trace_id, ambient_parent=ambient_parent, base_attrs=base_attrs
+    )
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Close and remove the process-global tracer (idempotent)."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+        _TRACER = None
+
+
+def forget_tracer() -> None:
+    """Drop the global tracer WITHOUT closing its sink.
+
+    For forked worker processes that inherit the parent's tracer: the
+    sink's file handle is shared with the parent, so the child must not
+    flush or close it -- it just forgets the object and reconfigures.
+    """
+    global _TRACER
+    _TRACER = None
+
+
+def get_tracer() -> Tracer | None:
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """A span under the global tracer, or the shared no-op when off."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_context() -> SpanContext | None:
+    """Propagation context of the global tracer (``None`` when off)."""
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.current_context()
+
+
+def emit_foreign(records: list[dict]) -> None:
+    """Write drained worker records into the global tracer, if any."""
+    tracer = _TRACER
+    if tracer is not None and records:
+        tracer.emit_foreign(records)

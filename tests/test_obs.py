@@ -1,0 +1,302 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the metrics registry's enabled/disabled contract, span tracing
+(nesting, record schema, cross-process propagation primitives), the JSON
+log formatter and the run-manifest determinism contract.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import logs, manifest, metrics, report, tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SPAN_RECORD_KEYS, BufferSink, SpanContext
+
+
+@pytest.fixture(autouse=True)
+def _obs_default_off():
+    """Every test starts and ends with tracing off and the registry clean."""
+    tracing.disable_tracing()
+    registry = metrics.get_registry()
+    registry.disable()
+    registry.reset()
+    yield
+    tracing.disable_tracing()
+    registry.disable()
+    registry.reset()
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        for v in (1.0, 3.0, 2.0):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["histograms"]["h"]["count"] == 3
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 3.0
+        assert snap["histograms"]["h"]["mean"] == 2.0
+        assert snap["histograms"]["h"]["last"] == 2.0
+
+    def test_timer_observes_nanoseconds(self):
+        reg = MetricsRegistry(enabled=True)
+        with reg.timer("t_ns"):
+            pass
+        h = reg.histogram("t_ns", unit="ns")
+        assert h.count == 1
+        assert h.unit == "ns"
+        assert h.total >= 0
+        assert h.total_seconds == h.total / metrics.NS_PER_S
+
+    def test_disabled_registry_creates_no_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        with reg.timer("t"):
+            pass
+        assert list(metrics.instruments(reg)) == []
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_registry_returns_shared_nulls(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.histogram("a") is reg.histogram("b")
+        assert reg.timer("a") is reg.timer("b")
+
+    def test_global_registry_disabled_by_default(self):
+        metrics.counter("x").inc()
+        metrics.timer("y").__enter__()
+        assert list(metrics.instruments(metrics.get_registry())) == []
+
+    def test_merge_snapshot_folds_counters_and_histograms(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.histogram("h", unit="ns").observe(10)
+        b.histogram("h", unit="ns").observe(30)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 5
+        h = snap["histograms"]["h"]
+        assert h["count"] == 2 and h["total"] == 40.0
+        assert h["min"] == 10.0 and h["max"] == 30.0
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        a = MetricsRegistry(enabled=False)
+        b = MetricsRegistry(enabled=True)
+        b.counter("c").inc()
+        a.merge(b)
+        assert list(metrics.instruments(a)) == []
+
+
+class TestTracing:
+    def test_disabled_span_is_shared_noop(self):
+        s1 = tracing.span("anything", attr=1)
+        s2 = tracing.span("other")
+        assert s1 is s2 is tracing.NOOP_SPAN
+        with s1 as s:
+            s.set_attr("k", "v")  # must not raise
+        assert tracing.current_context() is None
+
+    def test_spans_nest_and_emit_schema_records(self):
+        sink = BufferSink()
+        tracing.configure_tracing(sink=sink, trace_id="t")
+        with tracing.span("outer", a=1):
+            with tracing.span("inner"):
+                pass
+        tracing.disable_tracing()
+        inner, outer = sink.records
+        for record in (inner, outer):
+            for key in SPAN_RECORD_KEYS:
+                assert key in record
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["span"]
+        assert outer["attrs"] == {"a": 1}
+        assert inner["trace"] == outer["trace"] == "t"
+
+    def test_ambient_parent_and_base_attrs(self):
+        """The worker-side configuration: foreign parent + shard stamp."""
+        sink = BufferSink()
+        ctx = SpanContext(trace_id="parent-trace", span_id="dead.1")
+        tracing.configure_tracing(
+            sink=sink,
+            trace_id=ctx.trace_id,
+            ambient_parent=ctx.span_id,
+            base_attrs={"shard": 3},
+        )
+        with tracing.span("index.build"):
+            pass
+        (record,) = sink.records
+        assert record["trace"] == "parent-trace"
+        assert record["parent"] == "dead.1"
+        assert record["attrs"]["shard"] == 3
+
+    def test_error_spans_record_exception_type(self):
+        sink = BufferSink()
+        tracing.configure_tracing(sink=sink)
+        with pytest.raises(ValueError):
+            with tracing.span("boom"):
+                raise ValueError("x")
+        assert sink.records[0]["attrs"]["error"] == "ValueError"
+
+    def test_emit_foreign_writes_drained_records(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        tracing.configure_tracing(path=trace_file)
+        with tracing.span("local"):
+            pass
+        tracing.emit_foreign(
+            [
+                {
+                    "kind": "span",
+                    "trace": "t",
+                    "span": "w.1",
+                    "name": "worker",
+                    "ts_ns": 1,
+                    "dur_ns": 2,
+                    "pid": 9,
+                }
+            ]
+        )
+        tracing.disable_tracing()
+        lines = trace_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "worker"
+
+    def test_forget_tracer_leaves_sink_open(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        tracer = tracing.configure_tracing(path=trace_file)
+        tracing.forget_tracer()
+        assert tracing.get_tracer() is None
+        # The sink must still be usable by the original owner.
+        tracer.sink.emit({"kind": "span"})
+        tracer.close()
+
+
+class TestJsonLogs:
+    def test_formatter_emits_json_with_extras(self):
+        logger = logs.get_logger("unit")
+        record = logger.makeRecord(
+            logger.name, logging.INFO, __file__, 1, "hello", (), None,
+            extra={"cache": "hit", "n": 3},
+        )
+        line = logs.JsonFormatter().format(record)
+        payload = json.loads(line)
+        assert payload["msg"] == "hello"
+        assert payload["logger"] == "repro.unit"
+        assert payload["level"] == "INFO"
+        assert payload["cache"] == "hit" and payload["n"] == 3
+
+    def test_configure_logging_is_idempotent(self):
+        logs.configure_logging("INFO")
+        logs.configure_logging("DEBUG")
+        root = logging.getLogger("repro")
+        own = [h for h in root.handlers if getattr(h, "_repro_obs", False)]
+        assert len(own) == 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            logs.configure_logging("LOUD")
+
+
+class TestManifest:
+    def _build(self):
+        return manifest.build_manifest(
+            command="mine",
+            arguments={"k": 5, "dataset": "d.jsonl"},
+            dataset_fingerprint="abc123",
+            config={"delta": 0.5},
+            metrics={"counters": {"c": 1}},
+            wall_time_s=1.5,
+            cpu_time_s=2.5,
+        )
+
+    def test_round_trip(self, tmp_path):
+        doc = self._build()
+        path = manifest.write_manifest(tmp_path / "m.json", doc)
+        loaded = manifest.load_manifest(path)
+        assert loaded == json.loads(json.dumps(doc))
+
+    def test_deterministic_view_is_stable_across_runs(self):
+        a = manifest.deterministic_view(self._build())
+        b = manifest.deterministic_view(self._build())
+        assert a == b
+        assert "runtime" not in a and "metrics" not in a
+
+    def test_volatile_sections_present(self):
+        doc = self._build()
+        assert doc["runtime"]["wall_time_s"] == 1.5
+        assert doc["runtime"]["cpu_time_s"] == 2.5
+        assert doc["runtime"]["peak_rss_bytes"] > 0
+        assert doc["metrics"] == {"counters": {"c": 1}}
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            manifest.load_manifest(bad)
+
+
+class TestReportRendering:
+    def test_load_trace_validates_schema(self, tmp_path):
+        good = {
+            "kind": "span", "trace": "t", "span": "1.1", "name": "run",
+            "ts_ns": 0, "dur_ns": 5, "pid": 1,
+        }
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json.dumps(good) + "\n")
+        assert report.load_trace(trace) == [good]
+
+        bad = dict(good)
+        del bad["dur_ns"]
+        trace.write_text(json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match="missing"):
+            report.load_trace(trace)
+
+        trace.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            report.load_trace(trace)
+
+    def test_trace_report_renders_phase_and_shard_tables(self, tmp_path):
+        spans = [
+            {"kind": "span", "trace": "t", "span": "1.1", "name": "run",
+             "ts_ns": 0, "dur_ns": 100, "pid": 1},
+            {"kind": "span", "trace": "t", "span": "2.1", "parent": "1.1",
+             "name": "index.build", "ts_ns": 5, "dur_ns": 20, "pid": 2,
+             "attrs": {"shard": 0}},
+        ]
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+        rendered = report.render_file(trace)
+        assert "phase" in rendered and "wall%" in rendered
+        assert "index.build" in rendered
+        assert "per-shard spans:" in rendered
+
+    def test_render_file_dispatches_manifest(self, tmp_path):
+        doc = manifest.build_manifest(
+            command="mine", arguments={}, dataset_fingerprint="f" * 64
+        )
+        path = manifest.write_manifest(tmp_path / "m.json", doc)
+        rendered = report.render_file(path)
+        assert "run manifest: mine" in rendered
+
+    def test_span_children_groups_by_parent(self):
+        spans = [
+            {"kind": "span", "trace": "t", "span": "a", "name": "root",
+             "ts_ns": 0, "dur_ns": 1, "pid": 1},
+            {"kind": "span", "trace": "t", "span": "b", "parent": "a",
+             "name": "child", "ts_ns": 0, "dur_ns": 1, "pid": 1},
+        ]
+        children = report.span_children(spans)
+        assert [s["span"] for s in children[None]] == ["a"]
+        assert [s["span"] for s in children["a"]] == ["b"]

@@ -64,6 +64,12 @@ class TestSubpackages:
             "repro.experiments",
             "repro.viz",
             "repro.cli",
+            "repro.obs",
+            "repro.obs.metrics",
+            "repro.obs.tracing",
+            "repro.obs.logs",
+            "repro.obs.manifest",
+            "repro.obs.report",
         ],
     )
     def test_importable(self, module):
