@@ -1,24 +1,30 @@
-"""Standalone perf-trajectory runner: engine + fig4a mining benches.
+"""Standalone perf-trajectory runner: engine, mining and serving benches.
 
 Runs the engine micro-benchmarks (index construction, candidate
 evaluation), a fig4a-style mining workload, the sharded parallel-scaling
 sweep (1/2/4/8 workers) and the index-cache cold/warm comparison, then
 writes ``BENCH_engine.json`` so subsequent PRs have a recorded perf
-trajectory.  Each run is *appended* to the file's ``history`` list (keyed
-by git SHA + timestamp); the top-level sections always describe the latest
-run.  Unlike the pytest-benchmark modules this script needs no plugins and
-explicitly compares the batched paths against the scalar reference paths
-(per-pattern ``nm`` loop, per-snapshot index collection), reporting
-throughput ratios.
+trajectory.  The ``serve`` section additionally stands up an in-process
+:class:`~repro.serve.PatternServer` and drives it with the load
+generator, comparing micro-batched against per-request evaluation at
+fixed concurrency and recording shedding behaviour under deliberate 2x
+overload; its report goes to ``BENCH_serve.json``.  Each run is
+*appended* to the file's ``history`` list (keyed by git SHA + timestamp);
+the top-level sections always describe the latest run.  Unlike the
+pytest-benchmark modules this script needs no plugins and explicitly
+compares the batched paths against the scalar reference paths
+(per-pattern ``nm`` loop, per-snapshot index collection, one-item
+serving batches), reporting throughput ratios.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benches.py [--output BENCH_engine.json]
+    PYTHONPATH=src python benchmarks/run_benches.py [--sections engine,serve]
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
@@ -76,6 +82,13 @@ MINING_K = 5
 PARALLEL_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
 PARALLEL_JOBS = (1, 2, 4, 8)
 PARALLEL_N_CANDIDATES = 400
+
+#: Serving workload: big enough that per-pattern evaluation dominates the
+#: NDJSON framing, so the batched-vs-naive ratio measures the batcher.
+SERVE_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
+SERVE_CONCURRENCY = 32
+SERVE_REQUESTS = 640
+SERVE_OVERLOAD_FACTOR = 2.0
 
 
 def _best_of(fn, rounds: int) -> tuple[float, object]:
@@ -296,6 +309,128 @@ def bench_obs_overhead(engine, rounds: int, n_candidates: int = 400) -> dict:
     }
 
 
+async def _serve_leg(
+    snapshot, serve_kwargs: dict, loadgen_kwargs: dict
+) -> tuple[dict, dict]:
+    """One server lifetime driven by one loadgen run.
+
+    Returns ``(loadgen_report, server_stats)``; the server is stopped
+    before returning so legs never share an event-loop or a port.
+    """
+    from repro.serve import LoadgenConfig, PatternServer, ServeConfig, SnapshotStore
+    from repro.serve.loadgen import run_loadgen
+
+    server = PatternServer(SnapshotStore(snapshot), ServeConfig(port=0, **serve_kwargs))
+    host, port = await server.start()
+    try:
+        report = await run_loadgen(
+            LoadgenConfig(host=host, port=port, **loadgen_kwargs)
+        )
+        stats = server.stats()
+    finally:
+        await server.stop()
+    return report, stats
+
+
+def bench_serve() -> dict:
+    """Micro-batched vs per-request serving throughput, plus overload.
+
+    Three legs against the same snapshot:
+
+    * ``batched``  -- closed loop at ``SERVE_CONCURRENCY`` with the default
+      micro-batcher (coalesces concurrent requests into one
+      ``nm_batch`` call).
+    * ``naive``    -- identical load, ``max_batch=1``: every request pays
+      its own executor hop and single-pattern evaluation.  The
+      ``batching_speedup`` ratio is the acceptance number.
+    * ``overload`` -- open loop at ``SERVE_OVERLOAD_FACTOR`` x the batched
+      throughput with a small queue and tight deadline: the server must
+      shed explicitly (``overloaded`` responses) while the admitted
+      requests keep a bounded p99.
+    """
+    from repro.serve import ServingSnapshot
+
+    dataset = zebranet_dataset(**SERVE_WORKLOAD)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        snapshot = ServingSnapshot.from_dataset(
+            dataset,
+            min_prob=ENGINE_MIN_PROB,
+            cache_dir=cache_dir,
+            source="bench",
+        )
+        load = dict(
+            requests=SERVE_REQUESTS,
+            concurrency=SERVE_CONCURRENCY,
+            op="score",
+            measure="nm",
+            patterns_per_request=1,
+            seed=0,
+        )
+        batched, batched_stats = asyncio.run(
+            _serve_leg(
+                snapshot,
+                dict(max_batch=64, max_delay_ms=2.0, max_queue=2048,
+                     default_timeout_ms=60_000.0),
+                load,
+            )
+        )
+        naive, _ = asyncio.run(
+            _serve_leg(
+                snapshot,
+                dict(max_batch=1, max_delay_ms=0.0, max_queue=2048,
+                     default_timeout_ms=60_000.0),
+                load,
+            )
+        )
+        overload_qps = SERVE_OVERLOAD_FACTOR * batched["achieved_qps"]
+        overload, overload_stats = asyncio.run(
+            _serve_leg(
+                snapshot,
+                dict(max_batch=64, max_delay_ms=2.0, max_queue=128,
+                     default_timeout_ms=250.0),
+                {**load, "qps": overload_qps,
+                 "requests": max(SERVE_REQUESTS, int(overload_qps * 2.0))},
+            )
+        )
+
+    assert batched["errors"] == 0 and naive["errors"] == 0
+    assert overload["errors"] == 0
+    speedup = (
+        batched["achieved_qps"] / naive["achieved_qps"]
+        if naive["achieved_qps"] > 0
+        else float("inf")
+    )
+    shed_fraction = (
+        overload["overloaded"] / overload["completed"]
+        if overload["completed"]
+        else 0.0
+    )
+    return {
+        "workload": dict(SERVE_WORKLOAD),
+        "snapshot": snapshot.describe(),
+        "concurrency": SERVE_CONCURRENCY,
+        "requests": SERVE_REQUESTS,
+        "batched": {**batched, "batcher": batched_stats.get("batcher")},
+        "naive": naive,
+        "batching_speedup": speedup,
+        "overload": {
+            **overload,
+            "target_qps": overload_qps,
+            "shed_fraction": shed_fraction,
+            "batcher": overload_stats.get("batcher"),
+        },
+    }
+
+
+def run_serve() -> dict:
+    return {
+        "generated_by": "benchmarks/run_benches.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "serve": bench_serve(),
+    }
+
+
 def run(rounds: int = 3) -> dict:
     dataset = zebranet_dataset(**ENGINE_WORKLOAD)
     grid = dataset.make_grid(ENGINE_CELL_SIZE)
@@ -362,21 +497,9 @@ def _load_history(output: Path) -> list:
     return [{"git_sha": "unknown", "timestamp": None, "report": previous}]
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
-        help="where to write the JSON report (default: repo root)",
-    )
-    parser.add_argument(
-        "--rounds", type=int, default=3, help="timing rounds per measurement"
-    )
-    args = parser.parse_args()
-
-    report = run(rounds=args.rounds)
-    history = _load_history(args.output)
+def _write_report(output: Path, report: dict) -> int:
+    """Append ``report`` to ``output``'s history and rewrite the file."""
+    history = _load_history(output)
     history.append(
         {
             "git_sha": _git_sha(),
@@ -384,10 +507,65 @@ def main() -> None:
             "report": report,
         }
     )
-    args.output.write_text(
+    output.write_text(
         json.dumps({**report, "history": history}, indent=2) + "\n",
         encoding="utf-8",
     )
+    return len(history)
+
+
+def _print_serve(sv: dict) -> None:
+    batched, naive, overload = sv["batched"], sv["naive"], sv["overload"]
+    print(f"serve batched:  {batched['achieved_qps']:.0f} req/s "
+          f"p99 {batched['latency']['p99_ms']:.1f}ms  "
+          f"(batches of up to {batched['batcher']['max_batch_size']})")
+    print(f"serve naive:    {naive['achieved_qps']:.0f} req/s "
+          f"p99 {naive['latency']['p99_ms']:.1f}ms  "
+          f"-> batching {sv['batching_speedup']:.1f}x")
+    print(f"serve overload: {overload['target_qps']:.0f} req/s offered, "
+          f"{overload['ok']} ok / {overload['overloaded']} shed "
+          f"({overload['shed_fraction']:.0%}), "
+          f"admitted p99 {overload['latency']['p99_ms']:.1f}ms")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the engine JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--serve-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+        help="where to write the serving JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--sections",
+        default="engine,serve",
+        help="comma-separated sections to run: engine, serve",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per measurement"
+    )
+    args = parser.parse_args()
+    sections = {s.strip() for s in args.sections.split(",") if s.strip()}
+    unknown = sections - {"engine", "serve"}
+    if unknown:
+        parser.error(f"unknown sections: {sorted(unknown)}")
+
+    if "serve" in sections:
+        serve_report = run_serve()
+        n = _write_report(args.serve_output, serve_report)
+        _print_serve(serve_report["serve"])
+        print(f"wrote {args.serve_output} ({n} history entries)")
+    if "engine" not in sections:
+        return
+
+    report = run(rounds=args.rounds)
+    n_entries = _write_report(args.output, report)
 
     ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
     print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
@@ -409,7 +587,7 @@ def main() -> None:
           f"{ps['serial']['build_s']:.2f}s, build/eval per workers: {scaling}")
     print(f"index cache:    cold {ic['cold_build_s']:.3f}s  "
           f"warm {ic['warm_load_s']:.3f}s  ({ic['speedup']:.1f}x)")
-    print(f"wrote {args.output} ({len(history)} history entries)")
+    print(f"wrote {args.output} ({n_entries} history entries)")
 
 
 if __name__ == "__main__":

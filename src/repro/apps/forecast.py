@@ -23,9 +23,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.apps.confirm import ConfirmationIndex
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
-from repro.uncertainty.gaussian import ProbModel, prob_within
+from repro.uncertainty.gaussian import ProbModel
 
 
 @dataclass(frozen=True)
@@ -86,7 +87,8 @@ class LocationForecaster:
         self.patterns = [
             p for p in patterns if len(p) > min_prefix and not p.has_wildcards
         ]
-        self._centers = [p.centers(grid) for p in self.patterns]
+        # Shared vectorised confirmation path (see repro.apps.confirm).
+        self._index = ConfirmationIndex(self.patterns, grid, min_prefix)
         self.max_prefix = max((len(p) - 1 for p in self.patterns), default=0)
 
     def __len__(self) -> int:
@@ -114,24 +116,12 @@ class LocationForecaster:
             return []
 
         delta_eff = max(self.delta, self.confirm_sigma_factor * float(sigma))
-        sigma_arr = np.asarray(sigma, dtype=float)
-        votes: dict[int, float] = {}
-        for pattern, centers in zip(self.patterns, self._centers):
-            max_q = min(len(pattern) - 1, h)
-            for q in range(self.min_prefix, max_q + 1):
-                segment = recent_means[h - q :]
-                probs = prob_within(
-                    segment, sigma_arr, centers[:q], delta_eff, model=self.prob_model
-                )
-                confidence = float(np.prod(probs)) ** (1.0 / q)
-                if confidence < self.confirm_threshold:
-                    continue
-                # Longer confirmed contexts vote more strongly: weight by
-                # confidence compounded over the context length.
-                weight = confidence * q
-                cell = pattern.cells[q]
-                votes[cell] = votes.get(cell, 0.0) + weight
-
+        # One vectorised confirmation pass over every (pattern, prefix)
+        # candidate; longer confirmed contexts vote more strongly (weight =
+        # confidence compounded over the context length).
+        votes = self._index.vote(
+            recent_means, sigma, delta_eff, self.prob_model, self.confirm_threshold
+        )
         total = sum(votes.values())
         if total <= 0:
             return []

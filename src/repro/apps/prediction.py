@@ -19,12 +19,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.apps.confirm import ConfirmationIndex
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
 from repro.mobility.models import MotionModel
 from repro.mobility.objects import GroundTruthPath
 from repro.mobility.reporting import ReportingConfig, dead_reckon
-from repro.uncertainty.gaussian import ProbModel, prob_within
+from repro.uncertainty.gaussian import ProbModel
 
 
 class PatternLibrary:
@@ -93,7 +94,10 @@ class PatternLibrary:
         # Only patterns that can both be confirmed (prefix >= min_prefix)
         # and still predict a next position (length > min_prefix) are usable.
         self.patterns = [p for p in patterns if len(p) > min_prefix and not p.has_wildcards]
-        self._centers = [p.centers(grid) for p in self.patterns]
+        # All (pattern, prefix-length) confirmation candidates, flattened
+        # for one-call vectorised evaluation (shared with the forecaster
+        # and the serving layer; see repro.apps.confirm).
+        self._index = ConfirmationIndex(self.patterns, grid, min_prefix)
         self.max_prefix = max((len(p) - 1 for p in self.patterns), default=0)
 
     def __len__(self) -> int:
@@ -126,37 +130,23 @@ class PatternLibrary:
         # Longest confirmed context wins (ties by confidence): two patterns
         # sharing a short prefix but diverging afterwards are disambiguated
         # by how much history they explain, like a variable-order Markov
-        # predictor.
-        best_key: tuple[int, float] | None = None
-        best_velocity: np.ndarray | None = None
-        sigma_arr = np.asarray(sigma, dtype=float)
-        for pattern, centers in zip(self.patterns, self._centers):
-            max_q = min(len(pattern) - 1, h)
-            for q in range(self.min_prefix, max_q + 1):
-                if (
-                    self.require_nonconstant_prefix
-                    and len(set(pattern.cells[:q])) < 2
-                ):
-                    continue
-                segment = recent_velocities[h - q :]
-                probs = prob_within(
-                    segment, sigma_arr, centers[:q], delta_eff, model=self.prob_model
-                )
-                # Geometric-mean (per-position) confidence: the raw Eq. 2
-                # product shrinks with q, so a fixed threshold would forbid
-                # exactly the long contexts that carry information -- the
-                # same length effect NM itself normalises away (Eq. 3).
-                conf = float(np.prod(probs)) ** (1.0 / q)
-                if conf < self.confirm_threshold:
-                    continue
-                key = (q, conf)
-                if best_key is None or key > best_key:
-                    best_key = key
-                    best_velocity = centers[q]
-        if best_velocity is None:
+        # predictor.  Confidence is the geometric-mean (per-position) Eq. 2
+        # probability: the raw product shrinks with q, so a fixed threshold
+        # would forbid exactly the long contexts that carry information --
+        # the same length effect NM itself normalises away (Eq. 3).  All
+        # candidates are evaluated in one vectorised pass.
+        best = self._index.best_candidate(
+            recent_velocities,
+            sigma,
+            delta_eff,
+            self.prob_model,
+            self.confirm_threshold,
+            require_nonconstant=self.require_nonconstant_prefix,
+        )
+        if best is None:
             return None
         self.n_confirmations += 1
-        return best_velocity.copy()
+        return self._index.next_center[best].copy()
 
 
 def pattern_override(

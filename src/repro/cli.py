@@ -7,7 +7,10 @@ Two families of commands:
   file out-of-core), ``suggest`` (section 5 parameter guidance);
 * **reproduction commands** regenerating the paper's evaluation:
   ``table1``, ``fig3``, ``fig4``, ``ablations``, ``all`` and ``report``
-  (everything into one markdown file).
+  (everything into one markdown file);
+* **serving commands**: ``serve`` (long-running NDJSON/TCP query server
+  over a snapshot, :mod:`repro.serve`) and ``loadgen`` (drive load
+  against it, report latency percentiles).
 
 ``mine`` and ``score`` accept the observability flags ``--log-level``,
 ``--trace-out``, ``--metrics-out`` and ``--manifest-out`` (see
@@ -332,6 +335,102 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serving commands ---------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.serve import PatternServer, ServeConfig, ServingSnapshot, SnapshotStore
+
+    obs.configure(
+        log_level=args.log_level,
+        trace_out=args.trace_out,
+        enable_metrics=args.metrics_out is not None,
+    )
+    snapshot = ServingSnapshot.load(args.snapshot, cache_dir=args.cache_dir)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        default_timeout_ms=args.timeout_ms,
+        fallback_model=args.fallback_model,
+        allow_shutdown=not args.no_shutdown,
+        cache_dir=args.cache_dir,
+    )
+
+    async def run() -> None:
+        server = PatternServer(SnapshotStore(snapshot), config)
+        host, port = await server.start()
+        print(
+            f"serving snapshot {snapshot.version} on {host}:{port} "
+            f"(batch<={config.max_batch}, window {config.max_delay_ms}ms, "
+            f"queue<={config.max_queue})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.metrics_out:
+            import json
+            from pathlib import Path
+
+            from repro.obs import metrics
+
+            Path(args.metrics_out).write_text(
+                json.dumps(metrics.get_registry().snapshot(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+        obs.shutdown()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        qps=args.qps,
+        op=args.op,
+        measure=args.measure,
+        patterns_per_request=args.patterns_per_request,
+        timeout_ms=args.timeout_ms,
+        seed=args.seed,
+    )
+    report = asyncio.run(run_loadgen(config))
+    if args.json_out:
+        from pathlib import Path
+
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    latency = report["latency"]
+    print(
+        f"{report['mode']}-loop {report['op']}: {report['ok']}/{report['sent']} ok, "
+        f"{report['overloaded']} overloaded, {report['errors']} errors, "
+        f"{report['achieved_qps']:.0f} req/s"
+    )
+    if latency["p50_ms"] is not None:
+        print(
+            f"latency ms: p50 {latency['p50_ms']:.2f}  p95 {latency['p95_ms']:.2f}  "
+            f"p99 {latency['p99_ms']:.2f}  max {latency['max_ms']:.2f}"
+        )
+    return 0 if report["errors"] == 0 else 1
+
+
 # -- entry point -------------------------------------------------------------------
 
 
@@ -456,6 +555,89 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     suggest.add_argument("dataset", help="trajectory JSONL file")
     suggest.set_defaults(func=_cmd_suggest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve pattern scoring / prediction queries over NDJSON TCP",
+    )
+    serve.add_argument(
+        "snapshot",
+        help="snapshot directory (dataset.jsonl [+ patterns.json, serve.json]) "
+        "or a bare trajectory JSONL file",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7706)
+    serve.add_argument("--max-batch", type=int, default=64, dest="max_batch")
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        dest="max_delay_ms",
+        help="micro-batching window: the most latency an isolated request "
+        "pays waiting for company",
+    )
+    serve.add_argument("--max-queue", type=int, default=512, dest="max_queue")
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=1000.0,
+        dest="timeout_ms",
+        help="default per-request deadline (clients may override)",
+    )
+    serve.add_argument(
+        "--fallback-model",
+        choices=["lm", "lkf", "rmf"],
+        default="lm",
+        dest="fallback_model",
+        help="dead-reckoning model answering degraded predictions",
+    )
+    serve.add_argument(
+        "--no-shutdown",
+        action="store_true",
+        dest="no_shutdown",
+        help="refuse the remote 'shutdown' op",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent index cache; makes snapshot loads/swaps warm-start",
+    )
+    serve.add_argument("--log-level", default=None, dest="log_level")
+    serve.add_argument("--trace-out", default=None, dest="trace_out")
+    serve.add_argument("--metrics-out", default=None, dest="metrics_out")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive load against a running 'repro serve' instance"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7706)
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument(
+        "--qps",
+        type=float,
+        default=None,
+        help="open-loop target rate (omitted: closed loop at --concurrency)",
+    )
+    loadgen.add_argument("--op", choices=["score", "predict", "mixed"], default="score")
+    loadgen.add_argument("--measure", choices=["nm", "match"], default="nm")
+    loadgen.add_argument(
+        "--patterns-per-request",
+        type=int,
+        default=1,
+        dest="patterns_per_request",
+    )
+    loadgen.add_argument("--timeout-ms", type=float, default=None, dest="timeout_ms")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--json-out",
+        default=None,
+        dest="json_out",
+        help="also write the full report as JSON to this file",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -13,8 +13,10 @@ prediction with ``sigma = U / c``.
 * :mod:`~repro.mobility.reporting` -- the dead-reckoning channel: protocol
   simulation for one object, including lossy uplinks and mis-prediction
   accounting.
-* :mod:`~repro.mobility.server` -- tracking a whole fleet into a
-  :class:`~repro.trajectory.dataset.TrajectoryDataset`.
+* :mod:`~repro.mobility.server` -- :class:`FleetTracker`, tracking a
+  whole fleet into a :class:`~repro.trajectory.dataset.TrajectoryDataset`
+  (a simulation component -- the *network* server lives in
+  :mod:`repro.serve`).
 * :mod:`~repro.mobility.objects` -- ground-truth path containers produced
   by the data generators.
 """
@@ -28,7 +30,7 @@ from repro.mobility.models import (
 )
 from repro.mobility.objects import GroundTruthPath
 from repro.mobility.reporting import ReportingConfig, TrackingLog, dead_reckon
-from repro.mobility.server import TrackingServer, track_fleet
+from repro.mobility.server import FleetTracker, TrackingServer, track_fleet
 
 __all__ = [
     "MotionModel",
@@ -40,6 +42,7 @@ __all__ = [
     "ReportingConfig",
     "TrackingLog",
     "dead_reckon",
-    "TrackingServer",
+    "FleetTracker",
+    "TrackingServer",  # deprecated alias of FleetTracker
     "track_fleet",
 ]

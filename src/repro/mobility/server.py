@@ -1,10 +1,17 @@
 """Fleet-level tracking: ground-truth paths -> uncertain trajectory dataset.
 
-:class:`TrackingServer` runs the dead-reckoning protocol of
+:class:`FleetTracker` runs the dead-reckoning protocol of
 :mod:`repro.mobility.reporting` for every object of a fleet and assembles
 the server-side view into the :class:`~repro.trajectory.dataset.TrajectoryDataset`
 that the miner consumes, together with the per-object mis-prediction
 accounting the Fig. 3 experiment needs.
+
+Naming note: this is the *paper's* "server" -- the simulated tracking
+party of the section 3.1 reporting scheme, a batch simulation component
+with no network surface.  It was historically exported as
+``TrackingServer``, which collides conceptually with the actual network
+service in :mod:`repro.serve`; ``FleetTracker`` is the primary name now
+and ``TrackingServer`` remains as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -59,8 +66,11 @@ class FleetTrackingResult:
         )
 
 
-class TrackingServer:
+class FleetTracker:
     """Tracks a fleet of objects with one motion-model family.
+
+    This simulates the paper's tracking server over a whole fleet; it is
+    not a network server (that is :class:`repro.serve.PatternServer`).
 
     Parameters
     ----------
@@ -103,5 +113,10 @@ def track_fleet(
     config: ReportingConfig,
     rng: np.random.Generator | None = None,
 ) -> FleetTrackingResult:
-    """One-call convenience wrapper around :class:`TrackingServer`."""
-    return TrackingServer(model_factory, config).track(paths, rng=rng)
+    """One-call convenience wrapper around :class:`FleetTracker`."""
+    return FleetTracker(model_factory, config).track(paths, rng=rng)
+
+
+#: Deprecated alias -- the class predates the network serving layer
+#: (:mod:`repro.serve`); "server" now means that, not this simulator.
+TrackingServer = FleetTracker

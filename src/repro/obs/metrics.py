@@ -9,7 +9,12 @@ kinds cover everything the engine, miner and parallel layers need:
 * :class:`Histogram` -- streaming summaries (count / total / min / max /
   last) of observed values; :meth:`MetricsRegistry.timer` feeds one with
   ``time.perf_counter_ns`` durations, so timing data keeps nanosecond
-  precision without storing individual samples.
+  precision without storing individual samples;
+* :class:`QuantileHistogram` -- a :class:`Histogram` that additionally
+  keeps log-scale bucket counts so snapshots can report approximate
+  p50/p95/p99.  The serving layer (:mod:`repro.serve`) uses these for its
+  per-endpoint latency distributions (``serve.<op>.latency_ns``), where a
+  mean alone hides exactly the tail that overload protection is about.
 
 Disabled fast path
 ------------------
@@ -27,6 +32,7 @@ registry instead.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Iterator
 
@@ -97,6 +103,70 @@ class Histogram:
         return self.total / NS_PER_S if self.unit == "ns" else self.total
 
 
+#: Geometric bucket growth factor of :class:`QuantileHistogram`: each
+#: bucket spans a 1.2x value range, bounding the quantile estimation error
+#: to about +/-10% while keeping the bucket table tiny.
+_QUANTILE_BUCKET_BASE = 1.2
+_LOG_BUCKET_BASE = math.log(_QUANTILE_BUCKET_BASE)
+
+
+class QuantileHistogram(Histogram):
+    """Histogram with log-scale buckets for approximate quantiles.
+
+    Values are counted into geometric buckets (factor
+    :data:`_QUANTILE_BUCKET_BASE` wide); :meth:`quantile` walks the
+    cumulative counts and returns the geometric midpoint of the bucket the
+    requested rank falls in.  Memory stays bounded (one int per occupied
+    bucket) no matter how many values are observed, which is what a
+    long-running server needs.  Non-positive values land in a dedicated
+    underflow bucket reported as 0.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        super().__init__(name, unit)
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        value = float(value)
+        if value > 0.0:
+            bucket = int(math.floor(math.log(value) / _LOG_BUCKET_BASE))
+        else:
+            bucket = -(1 << 62)  # underflow: zero / negative observations
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 < q <= 1``) of everything observed."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= rank:
+                if bucket <= -(1 << 62):
+                    return 0.0
+                # Geometric midpoint of [base^b, base^(b+1)), clamped to the
+                # exactly-tracked extremes.
+                mid = math.exp((bucket + 0.5) * _LOG_BUCKET_BASE)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """JSON-ready ``{"p50": ..., ...}`` view of several quantiles."""
+        return {f"p{round(q * 100)}": self.quantile(q) for q in qs}
+
+    def merge_buckets(self, buckets: dict) -> None:
+        """Fold another quantile histogram's bucket counts into this one."""
+        for bucket, count in buckets.items():
+            bucket = int(bucket)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + int(count)
+
+
 class _NullInstrument:
     """Shared do-nothing stand-in handed out by disabled registries."""
 
@@ -119,6 +189,15 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        return {f"p{round(q * 100)}": 0.0 for q in qs}
+
+    def merge_buckets(self, buckets: dict) -> None:
         pass
 
 
@@ -211,6 +290,20 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, unit)
         return instrument
 
+    def quantile_histogram(self, name: str, unit: str = "") -> QuantileHistogram:
+        """A histogram that additionally tracks approximate quantiles.
+
+        Shares the ``_histograms`` namespace with :meth:`histogram`; the
+        first accessor to create an instrument decides its kind, so use
+        one accessor consistently per name.
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if not isinstance(instrument, QuantileHistogram):
+            instrument = self._histograms[name] = QuantileHistogram(name, unit)
+        return instrument
+
     def timer(self, name: str):
         """Time a ``with`` block into the ``ns``-unit histogram ``name``."""
         if not self.enabled:
@@ -225,18 +318,26 @@ class MetricsRegistry:
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "histograms": {
-                n: {
-                    "count": h.count,
-                    "total": h.total,
-                    "min": h.min if h.count else 0.0,
-                    "max": h.max if h.count else 0.0,
-                    "mean": h.mean,
-                    "last": h.last,
-                    "unit": h.unit,
-                }
+                n: self._histogram_snapshot(h)
                 for n, h in sorted(self._histograms.items())
             },
         }
+
+    @staticmethod
+    def _histogram_snapshot(h: Histogram) -> dict:
+        data = {
+            "count": h.count,
+            "total": h.total,
+            "min": h.min if h.count else 0.0,
+            "max": h.max if h.count else 0.0,
+            "mean": h.mean,
+            "last": h.last,
+            "unit": h.unit,
+        }
+        if isinstance(h, QuantileHistogram):
+            data["quantiles"] = h.quantiles()
+            data["buckets"] = {str(b): c for b, c in sorted(h._buckets.items())}
+        return data
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -253,7 +354,11 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, data in snapshot.get("histograms", {}).items():
-            histogram = self.histogram(name, unit=data.get("unit", ""))
+            if "buckets" in data:
+                histogram = self.quantile_histogram(name, unit=data.get("unit", ""))
+                histogram.merge_buckets(data["buckets"])
+            else:
+                histogram = self.histogram(name, unit=data.get("unit", ""))
             count = int(data.get("count", 0))
             if count == 0:
                 continue
@@ -287,6 +392,10 @@ def gauge(name: str) -> Gauge:
 
 def histogram(name: str, unit: str = "") -> Histogram:
     return _REGISTRY.histogram(name, unit)
+
+
+def quantile_histogram(name: str, unit: str = "") -> QuantileHistogram:
+    return _REGISTRY.quantile_histogram(name, unit)
 
 
 def timer(name: str):

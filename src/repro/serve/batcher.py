@@ -1,0 +1,306 @@
+"""Adaptive micro-batching with admission control and load shedding.
+
+The engine's batched evaluation (:meth:`~repro.core.engine.NMEngine.nm_batch`)
+amortises a large fixed per-call cost over a whole candidate frontier -- but
+online requests arrive one at a time.  :class:`MicroBatcher` recreates the
+frontier at the serving layer (continuous-batching style): concurrent
+requests land in one bounded queue and a single worker coroutine drains
+them into batches, closing each batch on whichever comes first --
+
+* **size**: ``max_batch`` items collected;
+* **delay**: ``max_delay`` elapsed since the *lead* item was enqueued (a
+  backlogged queue therefore closes batches back-to-back with zero added
+  latency -- the delay bound only ever waits when the queue is empty);
+* **boundary**: the next queued item has a different *key* (batches are
+  homogeneous in key; the server keys by (snapshot, operation), which is
+  what lets a hot snapshot swap proceed without mixing generations).
+
+Overload protection happens at two points, both producing *explicit*
+:class:`OverloadedError` results rather than unbounded queueing:
+
+* **admission** -- a full queue sheds immediately (``queue_full``), and a
+  request whose deadline cannot plausibly be met given the current queue
+  depth and the EMA batch service time is shed up-front (``deadline``) --
+  better to refuse in microseconds than to time out after the fact;
+* **dispatch** -- items whose deadline expired while queued are dropped
+  from the batch before evaluation (``deadline_expired``).
+
+Everything runs on one event loop; the handler itself is ``async`` and
+typically hops to a worker thread for the numpy-heavy evaluation, keeping
+the loop responsive for admission decisions while a batch is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Hashable
+
+from repro.obs import logs, metrics
+
+_log = logs.get_logger("serve.batcher")
+
+#: EMA smoothing for the batch service-time estimate used at admission.
+_EMA_ALPHA = 0.2
+
+
+class OverloadedError(Exception):
+    """Explicit load-shed: the request was refused, not processed.
+
+    ``reason`` is one of ``queue_full``, ``deadline``, ``deadline_expired``
+    or ``shutdown``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class BatchStats:
+    """Counters exposed through the admin ``stats`` op."""
+
+    batches: int = 0
+    items: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    shed_expired: int = 0
+    closed_size: int = 0
+    closed_delay: int = 0
+    closed_boundary: int = 0
+    max_batch_size: int = 0
+    ema_batch_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "mean_batch_size": self.items / self.batches if self.batches else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "shed": {
+                "queue_full": self.shed_queue_full,
+                "deadline": self.shed_deadline,
+                "deadline_expired": self.shed_expired,
+            },
+            "closed_on": {
+                "size": self.closed_size,
+                "delay": self.closed_delay,
+                "boundary": self.closed_boundary,
+            },
+            "ema_batch_s": self.ema_batch_s,
+        }
+
+
+class _Item:
+    __slots__ = ("key", "payload", "deadline", "enqueued", "future")
+
+    def __init__(self, key, payload, deadline, enqueued, future) -> None:
+        self.key = key
+        self.payload = payload
+        self.deadline = deadline
+        self.enqueued = enqueued
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesces awaitable submissions into handler calls (see module docs).
+
+    Parameters
+    ----------
+    handler:
+        ``async (key, payloads) -> results`` with ``len(results) ==
+        len(payloads)``; called once per closed batch.  An exception fails
+        every item of the batch with that exception.
+    max_batch:
+        Size bound per batch.
+    max_delay:
+        Seconds the lead item of a batch may wait for company.
+    max_queue:
+        Bound on queued (admitted, not yet dispatched) items; admission
+        beyond it sheds.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Hashable, list[Any]], Awaitable[list[Any]]],
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        max_queue: int = 512,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.max_queue = max_queue
+        self._clock = clock
+        self._queue: deque[_Item] = deque()
+        self._event = asyncio.Event()
+        self._worker: asyncio.Task | None = None
+        self._closed = False
+        self.stats = BatchStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker coroutine (idempotent)."""
+        if self._worker is None:
+            self._closed = False
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run(), name="micro-batcher"
+            )
+
+    async def close(self) -> None:
+        """Stop the worker and shed everything still queued."""
+        self._closed = True
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        while self._queue:
+            item = self._queue.popleft()
+            if not item.future.done():
+                item.future.set_exception(OverloadedError("shutdown"))
+        metrics.gauge("serve.queue_depth").set(0)
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def estimated_wait_s(self) -> float:
+        """Rough queueing delay a new submission would see right now."""
+        if self.stats.ema_batch_s <= 0.0:
+            return 0.0
+        batches_ahead = len(self._queue) / self.max_batch + 1.0
+        return self.stats.ema_batch_s * batches_ahead
+
+    async def submit(
+        self, key: Hashable, payload: Any, deadline: float | None = None
+    ) -> Any:
+        """Enqueue one payload and await its result.
+
+        ``deadline`` is an absolute clock() time; raises
+        :class:`OverloadedError` instead of queueing when the queue is full
+        or the deadline is hopeless.
+        """
+        if self._closed or self._worker is None:
+            raise OverloadedError("shutdown")
+        if len(self._queue) >= self.max_queue:
+            self.stats.shed_queue_full += 1
+            metrics.counter("serve.shed.queue_full").inc()
+            raise OverloadedError("queue_full")
+        now = self._clock()
+        if deadline is not None:
+            if deadline <= now or now + self.estimated_wait_s() > deadline:
+                self.stats.shed_deadline += 1
+                metrics.counter("serve.shed.deadline").inc()
+                raise OverloadedError("deadline")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append(_Item(key, payload, deadline, now, future))
+        metrics.gauge("serve.queue_depth").set(len(self._queue))
+        self._event.set()
+        return await future
+
+    # -- the worker --------------------------------------------------------
+
+    async def _next_item(self) -> _Item:
+        while not self._queue:
+            self._event.clear()
+            await self._event.wait()
+        return self._queue.popleft()
+
+    async def _run(self) -> None:
+        while True:
+            lead = await self._next_item()
+            batch = [lead]
+            close_on = "size"
+            deadline_close = lead.enqueued + self.max_delay
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    if self._queue[0].key != lead.key:
+                        close_on = "boundary"
+                        break
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline_close - self._clock()
+                if remaining <= 0:
+                    close_on = "delay"
+                    break
+                self._event.clear()
+                try:
+                    await asyncio.wait_for(self._event.wait(), remaining)
+                except asyncio.TimeoutError:
+                    close_on = "delay"
+                    break
+            metrics.gauge("serve.queue_depth").set(len(self._queue))
+            await self._dispatch(lead.key, batch, close_on)
+
+    async def _dispatch(self, key, batch: list[_Item], close_on: str) -> None:
+        now = self._clock()
+        live: list[_Item] = []
+        for item in batch:
+            if item.future.cancelled():
+                continue
+            if item.deadline is not None and item.deadline <= now:
+                self.stats.shed_expired += 1
+                metrics.counter("serve.shed.deadline_expired").inc()
+                item.future.set_exception(OverloadedError("deadline_expired"))
+                continue
+            live.append(item)
+        if not live:
+            return
+        setattr(self.stats, f"closed_{close_on}", getattr(self.stats, f"closed_{close_on}") + 1)
+        self.stats.batches += 1
+        self.stats.items += len(live)
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(live))
+        metrics.histogram("serve.batch_size").observe(len(live))
+        metrics.counter(f"serve.batch.closed_{close_on}").inc()
+        t0 = self._clock()
+        try:
+            results = await self._handler(key, [item.payload for item in live])
+        except asyncio.CancelledError:
+            # close() cancelled the worker mid-handler: the batch's waiters
+            # would otherwise hang forever on futures nobody resolves.
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(OverloadedError("shutdown"))
+            raise
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            _log.warning(
+                "batch handler failed",
+                extra={"error": type(exc).__name__, "n_items": len(live)},
+            )
+            for item in live:
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            return
+        elapsed = self._clock() - t0
+        ema = self.stats.ema_batch_s
+        self.stats.ema_batch_s = (
+            elapsed if ema == 0.0 else (1 - _EMA_ALPHA) * ema + _EMA_ALPHA * elapsed
+        )
+        metrics.histogram("serve.batch.eval_ns", unit="ns").observe(elapsed * 1e9)
+        if len(results) != len(live):  # pragma: no cover - handler contract
+            error = RuntimeError("batch handler returned wrong result count")
+            for item in live:
+                if not item.future.cancelled():
+                    item.future.set_exception(error)
+            return
+        for item, result in zip(live, results):
+            if not item.future.cancelled():
+                item.future.set_result(result)

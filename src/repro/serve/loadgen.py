@@ -1,0 +1,283 @@
+"""Load generator for the serving layer (``repro loadgen``).
+
+Two modes sharing one report shape:
+
+* **closed loop** (default): ``concurrency`` workers, each with its own
+  connection, each holding exactly one request in flight -- measures the
+  server's throughput at a fixed concurrency level, which is what the
+  micro-batching benchmark compares (batched vs per-request evaluation at
+  concurrency 32).
+* **open loop** (``qps`` set): requests are *scheduled* at the target
+  rate regardless of completions, pipelined round-robin over the worker
+  connections -- the honest way to measure overload behaviour, because a
+  closed loop self-throttles exactly when the server slows down
+  (coordinated omission).  Under deliberate over-driving, the report
+  separates explicit ``overloaded`` responses from completed work and the
+  latency percentiles cover the *admitted* requests only.
+
+The generator first issues ``describe`` and synthesizes requests from the
+answer (active cells for ``score``, grid geometry for ``predict``), so it
+needs nothing but the address.  All randomness is seeded -- two runs
+against the same snapshot issue the same request stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.serve import protocol
+
+
+@dataclass
+class LoadgenConfig:
+    """What to send, where, and how hard."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    requests: int = 200
+    concurrency: int = 8
+    qps: float | None = None  # None = closed loop
+    op: str = "score"  # "score", "predict" or "mixed"
+    measure: str = "nm"
+    patterns_per_request: int = 1
+    pattern_length: int = 3
+    recent_points: int = 6
+    timeout_ms: float | None = None
+    seed: int = 0
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be at least 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.qps is not None and self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.op not in ("score", "predict", "mixed"):
+            raise ValueError("op must be score, predict or mixed")
+
+
+@dataclass
+class _Tally:
+    """Mutable counters shared by the workers."""
+
+    completed: int = 0
+    ok: int = 0
+    overloaded: int = 0
+    degraded: int = 0
+    errors: int = 0
+    latencies_ns: list[int] = field(default_factory=list)
+
+    def record(self, response: dict, latency_ns: int) -> None:
+        self.completed += 1
+        if response.get("ok"):
+            self.ok += 1
+            if response.get("degraded"):
+                self.degraded += 1
+            self.latencies_ns.append(latency_ns)
+        elif response.get("error") == "overloaded":
+            self.overloaded += 1
+        else:
+            self.errors += 1
+
+
+async def _request_once(reader, writer, request: dict) -> dict:
+    writer.write(protocol.encode(request))
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return protocol.decode_line(line)
+
+
+def _make_requests(config: LoadgenConfig, describe: dict) -> list[dict]:
+    """The full (deterministic) request stream, ids assigned 0..n-1."""
+    rng = np.random.default_rng(config.seed)
+    cells = describe.get("sample_active_cells") or [0]
+    grid = describe["grid"]
+    sigma = float(describe.get("sigma_typical") or 0.01) or 0.01
+    span_x = grid["max_x"] - grid["min_x"]
+    span_y = grid["max_y"] - grid["min_y"]
+    requests: list[dict] = []
+    for i in range(config.requests):
+        op = config.op
+        if op == "mixed":
+            op = "score" if i % 2 == 0 else "predict"
+        if op == "score":
+            request: dict[str, Any] = {
+                "op": "score",
+                "id": i,
+                "measure": config.measure,
+                "patterns": [
+                    [int(c) for c in rng.choice(cells, size=config.pattern_length)]
+                    for _ in range(config.patterns_per_request)
+                ],
+            }
+        else:
+            start = np.array(
+                [
+                    grid["min_x"] + rng.random() * span_x,
+                    grid["min_y"] + rng.random() * span_y,
+                ]
+            )
+            step = rng.normal(scale=2.0 * sigma, size=(config.recent_points, 2))
+            recent = start + np.cumsum(step, axis=0)
+            request = {
+                "op": "predict",
+                "id": i,
+                "recent": [[float(x), float(y)] for x, y in recent],
+                "sigma": sigma,
+            }
+        if config.timeout_ms is not None:
+            request["timeout_ms"] = config.timeout_ms
+        requests.append(request)
+    return requests
+
+
+async def _closed_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
+    tally = _Tally()
+    queue: asyncio.Queue = asyncio.Queue()
+    for request in requests:
+        queue.put_nowait(request)
+
+    async def worker() -> None:
+        reader, writer = await asyncio.open_connection(
+            config.host, config.port, limit=protocol.MAX_LINE_BYTES
+        )
+        try:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t0 = time.monotonic_ns()
+                response = await _request_once(reader, writer, request)
+                tally.record(response, time.monotonic_ns() - t0)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    await asyncio.gather(*(worker() for _ in range(config.concurrency)))
+    return tally
+
+
+async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
+    """Fire at the target rate, pipelined; correlate responses by id."""
+    tally = _Tally()
+    connections = []
+    for _ in range(config.concurrency):
+        connections.append(
+            await asyncio.open_connection(
+                config.host, config.port, limit=protocol.MAX_LINE_BYTES
+            )
+        )
+    pending: dict[int, int] = {}  # id -> send time (monotonic_ns)
+    done = asyncio.Event()
+
+    async def read_responses(reader) -> None:
+        while tally.completed < len(requests):
+            line = await reader.readline()
+            if not line:
+                return
+            response = protocol.decode_line(line)
+            sent_at = pending.pop(response.get("id"), None)
+            if sent_at is None:
+                continue
+            tally.record(response, time.monotonic_ns() - sent_at)
+            if tally.completed == len(requests):
+                done.set()
+                return
+
+    readers = [
+        asyncio.get_running_loop().create_task(read_responses(reader))
+        for reader, _ in connections
+    ]
+    interval = 1.0 / config.qps
+    start = time.monotonic()
+    for i, request in enumerate(requests):
+        target = start + i * interval
+        delay = target - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        _, writer = connections[i % len(connections)]
+        pending[request["id"]] = time.monotonic_ns()
+        writer.write(protocol.encode(request))
+        await writer.drain()
+    try:
+        await asyncio.wait_for(done.wait(), timeout=config.drain_timeout_s)
+    except asyncio.TimeoutError:
+        pass
+    for task in readers:
+        task.cancel()
+    await asyncio.gather(*readers, return_exceptions=True)
+    for _, writer in connections:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return tally
+
+
+def _percentiles(latencies_ns: list[int]) -> dict:
+    if not latencies_ns:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+    arr = np.asarray(latencies_ns, dtype=float) / 1e6
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+async def run_loadgen(config: LoadgenConfig) -> dict:
+    """Run the configured load against a live server; returns the report."""
+    reader, writer = await asyncio.open_connection(
+        config.host, config.port, limit=protocol.MAX_LINE_BYTES
+    )
+    try:
+        describe = await _request_once(reader, writer, {"op": "describe"})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    if not describe.get("ok"):
+        raise RuntimeError(f"describe failed: {describe}")
+
+    requests = _make_requests(config, describe)
+    t0 = time.monotonic()
+    if config.qps is None:
+        tally = await _closed_loop(config, requests)
+    else:
+        tally = await _open_loop(config, requests)
+    duration = time.monotonic() - t0
+
+    report = {
+        "mode": "closed" if config.qps is None else "open",
+        "op": config.op,
+        "target_qps": config.qps,
+        "concurrency": config.concurrency,
+        "sent": len(requests),
+        "completed": tally.completed,
+        "ok": tally.ok,
+        "overloaded": tally.overloaded,
+        "degraded": tally.degraded,
+        "errors": tally.errors,
+        "duration_s": duration,
+        "achieved_qps": tally.completed / duration if duration > 0 else 0.0,
+        "latency": _percentiles(tally.latencies_ns),
+        "server_version": describe.get("version"),
+    }
+    return report

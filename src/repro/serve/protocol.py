@@ -1,0 +1,194 @@
+"""The serving wire protocol: newline-delimited JSON over TCP.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+Responses carry the request's ``id`` (when one was sent) and are *not*
+guaranteed to arrive in request order -- the server processes pipelined
+requests concurrently so the micro-batcher can coalesce them; clients that
+pipeline must correlate by ``id``.
+
+Requests
+--------
+``{"op": ..., "id": ...?, "timeout_ms": ...?}`` plus per-op fields:
+
+* ``score`` -- ``patterns`` (list of cell-id lists; ``-1`` is the wildcard),
+  ``measure`` (``"nm"`` default, or ``"match"``);
+* ``predict`` -- ``recent`` (list of ``[x, y]`` position reports, oldest
+  first), ``sigma`` (per-report standard deviation);
+* ``health`` / ``stats`` / ``describe`` -- no fields;
+* ``swap`` -- ``path`` (snapshot directory or dataset file on the server's
+  filesystem);
+* ``shutdown`` -- no fields (honoured only when the server allows it).
+
+Responses
+---------
+``{"ok": true, "id": ...?, ...}`` on success.  On failure
+``{"ok": false, "error": <code>, "detail": ...?}`` where ``error`` is one
+of ``bad_request``, ``unknown_op``, ``overloaded`` (explicit load-shed;
+``reason`` says why: ``queue_full``, ``deadline``, ``deadline_expired`` or
+``shutdown``), ``forbidden`` or ``internal``.
+
+Untrusted input: every field is validated here before it reaches the
+engine; oversized lines are bounded by :data:`MAX_LINE_BYTES` at the
+socket layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.pattern import WILDCARD, TrajectoryPattern
+
+#: Upper bound on one request/response line (enforced by the stream reader).
+MAX_LINE_BYTES = 4 << 20
+
+#: Hard caps keeping one request's work bounded no matter what arrives.
+MAX_PATTERNS_PER_REQUEST = 1024
+MAX_PATTERN_LENGTH = 64
+MAX_RECENT_POINTS = 4096
+
+#: The ops a client may send.
+OPS = ("score", "predict", "health", "stats", "describe", "swap", "shutdown")
+
+MEASURES = ("nm", "match")
+
+
+class ProtocolError(Exception):
+    """A malformed or disallowed request; maps onto an error response."""
+
+    def __init__(self, detail: str, code: str = "bad_request") -> None:
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on any garbage."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not a JSON object: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj
+
+
+def ok_response(request_id: Any = None, **fields: Any) -> dict:
+    response: dict = {"ok": True}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id: Any = None, code: str = "bad_request", detail: str | None = None, **fields: Any
+) -> dict:
+    response: dict = {"ok": False, "error": code}
+    if request_id is not None:
+        response["id"] = request_id
+    if detail is not None:
+        response["detail"] = detail
+    response.update(fields)
+    return response
+
+
+def request_id(request: dict) -> Any:
+    """The correlation id of a request, if the client sent one (JSON scalar)."""
+    rid = request.get("id")
+    if rid is None or isinstance(rid, (str, int, float, bool)):
+        return rid
+    raise ProtocolError("id must be a JSON scalar")
+
+
+def parse_timeout_ms(request: dict, default_ms: float | None) -> float | None:
+    """Per-request deadline budget in milliseconds (``None`` = no deadline)."""
+    raw = request.get("timeout_ms", default_ms)
+    if raw is None:
+        return None
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+        raise ProtocolError("timeout_ms must be a positive number")
+    return float(raw)
+
+
+def parse_score(request: dict, n_cells: int) -> tuple[list[TrajectoryPattern], str]:
+    """Validate a ``score`` request against the current grid's alphabet."""
+    measure = request.get("measure", "nm")
+    if measure not in MEASURES:
+        raise ProtocolError(f"measure must be one of {MEASURES}")
+    raw = request.get("patterns")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("patterns must be a non-empty list of cell-id lists")
+    if len(raw) > MAX_PATTERNS_PER_REQUEST:
+        raise ProtocolError(
+            f"at most {MAX_PATTERNS_PER_REQUEST} patterns per request"
+        )
+    patterns: list[TrajectoryPattern] = []
+    for i, cells in enumerate(raw):
+        if not isinstance(cells, list) or not cells:
+            raise ProtocolError(f"patterns[{i}] must be a non-empty list")
+        if len(cells) > MAX_PATTERN_LENGTH:
+            raise ProtocolError(
+                f"patterns[{i}]: at most {MAX_PATTERN_LENGTH} positions"
+            )
+        checked: list[int] = []
+        for c in cells:
+            if not isinstance(c, int) or isinstance(c, bool):
+                raise ProtocolError(f"patterns[{i}]: cell ids must be integers")
+            if c != WILDCARD and not 0 <= c < n_cells:
+                raise ProtocolError(
+                    f"patterns[{i}]: cell {c} outside grid (0..{n_cells - 1})"
+                )
+            checked.append(c)
+        patterns.append(TrajectoryPattern(tuple(checked)))
+    return patterns, measure
+
+
+def parse_predict(request: dict) -> tuple[np.ndarray, float]:
+    """Validate a ``predict`` request: recent position reports + sigma."""
+    raw = request.get("recent")
+    if not isinstance(raw, list) or len(raw) < 2:
+        raise ProtocolError("recent must be a list of at least 2 [x, y] points")
+    if len(raw) > MAX_RECENT_POINTS:
+        raise ProtocolError(f"at most {MAX_RECENT_POINTS} recent points")
+    for i, point in enumerate(raw):
+        if (
+            not isinstance(point, list)
+            or len(point) != 2
+            or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in point
+            )
+        ):
+            raise ProtocolError(f"recent[{i}] must be [x, y] numbers")
+    recent = np.asarray(raw, dtype=float)
+    if not np.all(np.isfinite(recent)):
+        raise ProtocolError("recent contains non-finite coordinates")
+    sigma = request.get("sigma")
+    if (
+        not isinstance(sigma, (int, float))
+        or isinstance(sigma, bool)
+        or not np.isfinite(sigma)
+        or sigma <= 0
+    ):
+        raise ProtocolError("sigma must be a positive finite number")
+    return recent, float(sigma)
+
+
+def parse_swap(request: dict) -> str:
+    path = request.get("path")
+    if not isinstance(path, str) or not path:
+        raise ProtocolError("path must be a non-empty string")
+    return path
+
+
+def values_field(values: Sequence[float]) -> list[float]:
+    """JSON-safe measure values (floats, never numpy scalars)."""
+    return [float(v) for v in values]

@@ -1,0 +1,458 @@
+"""The asyncio pattern-serving server (``repro serve``).
+
+One process, one event loop, one evaluation thread.  Connections speak
+the NDJSON protocol of :mod:`repro.serve.protocol`; every request line
+becomes a task, so pipelined requests on one connection are processed
+concurrently and the :class:`~repro.serve.batcher.MicroBatcher` can
+coalesce them (responses correlate by ``id``, not order).
+
+Threading model: all admission, batching and socket work stays on the
+event loop; the numpy-heavy engine/library evaluation runs on a dedicated
+single-worker thread pool.  One worker is deliberate -- the engine is
+CPU-bound (more threads would just contend on the GIL between numpy
+calls) and a single evaluation lane makes the batch service time that the
+admission controller estimates actually meaningful.
+
+Requests capture the current :class:`~repro.serve.snapshot.ServingSnapshot`
+at admission and batches are keyed by *that object*, so an admin ``swap``
+is atomic from the clients' perspective: in-flight requests finish against
+the generation that admitted them, later requests see the new one, and no
+batch ever mixes generations.
+
+Overload behaviour differs by op on purpose: ``score`` sheds with an
+explicit ``overloaded`` error (the client owns the retry policy), while
+``predict`` *degrades* -- it answers from the dead-reckoning motion model
+alone (``"degraded": true``), because a tracking client needs some answer
+every tick and the motion model is exactly the paper's fallback when no
+pattern confirms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.mobility.models import make_model
+from repro.obs import logs, metrics, tracing
+from repro.serve import protocol
+from repro.serve.batcher import MicroBatcher, OverloadedError
+from repro.serve.snapshot import ServingSnapshot, SnapshotStore
+
+_log = logs.get_logger("serve.server")
+
+
+@dataclass
+class ServeConfig:
+    """Server tuning knobs (defaults are sane for small datasets).
+
+    ``port = 0`` asks the OS for a free port (the bound port is available
+    as ``PatternServer.port`` after ``start()``).  ``max_delay_ms`` is the
+    micro-batching window: the most latency an isolated request pays to
+    wait for company.  ``default_timeout_ms`` is the per-request deadline
+    when the client does not send ``timeout_ms``; ``None`` disables
+    deadlines by default.  ``fallback_model`` names the dead-reckoning
+    model (``lm`` / ``lkf`` / ``rmf``) answering degraded predictions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    max_delay_ms: float = 2.0
+    max_queue: int = 512
+    default_timeout_ms: float | None = 1000.0
+    max_inflight_per_conn: int = 128
+    fallback_model: str = "lm"
+    allow_shutdown: bool = True
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.max_inflight_per_conn < 1:
+            raise ValueError("max_inflight_per_conn must be at least 1")
+
+
+class PatternServer:
+    """Serve scoring / prediction / admin queries for a snapshot store."""
+
+    def __init__(self, store: SnapshotStore, config: ServeConfig | None = None) -> None:
+        self.store = store
+        self.config = config or ServeConfig()
+        self._server: asyncio.base_events.Server | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-eval"
+        )
+        self._batcher = MicroBatcher(
+            self._evaluate_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay_ms / 1000.0,
+            max_queue=self.config.max_queue,
+        )
+        self._shutdown = asyncio.Event()
+        self._started_at: float | None = None
+        self._run_span = None
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, spawn the batcher worker and accept connections."""
+        self._run_span = tracing.span(
+            "serve.run",
+            version=self.store.current.version,
+            host=self.config.host,
+        )
+        self._run_span.__enter__()
+        self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._started_at = time.monotonic()
+        host, port = self._server.sockets[0].getsockname()[:2]
+        _log.info(
+            "serving",
+            extra={"host": host, "port": port, "version": self.store.current.version},
+        )
+        return host, port
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._batcher.close()
+        self._executor.shutdown(wait=False)
+        if self._run_span is not None:
+            self._run_span.__exit__(None, None, None)
+            self._run_span = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics.counter("serve.connections").inc()
+        write_lock = asyncio.Lock()
+        inflight = asyncio.Semaphore(self.config.max_inflight_per_conn)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            code="bad_request", detail="request line too long"
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await inflight.acquire()
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock, inflight)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Server teardown cancels handler tasks blocked in readline;
+            # swallow so the cancellation is a clean close, not log noise.
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        inflight: asyncio.Semaphore,
+    ) -> None:
+        t0 = time.monotonic_ns()
+        rid = None
+        op = "unknown"
+        try:
+            try:
+                request = protocol.decode_line(line)
+                rid = protocol.request_id(request)
+                op = request.get("op")
+                response = await self._dispatch(op, request, rid)
+            except protocol.ProtocolError as exc:
+                metrics.counter("serve.errors.bad_request").inc()
+                response = protocol.error_response(rid, exc.code, exc.detail)
+            except OverloadedError as exc:
+                metrics.counter("serve.errors.overloaded").inc()
+                response = protocol.error_response(
+                    rid, "overloaded", reason=exc.reason
+                )
+            except Exception as exc:  # noqa: BLE001 - must answer the client
+                _log.warning(
+                    "internal error",
+                    extra={"op": op, "error": type(exc).__name__},
+                )
+                metrics.counter("serve.errors.internal").inc()
+                response = protocol.error_response(
+                    rid, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            self.requests_served += 1
+            await self._send(writer, write_lock, response)
+        finally:
+            inflight.release()
+            if isinstance(op, str) and op in protocol.OPS:
+                metrics.quantile_histogram(f"serve.{op}.latency_ns", unit="ns").observe(
+                    time.monotonic_ns() - t0
+                )
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, response: dict
+    ) -> None:
+        async with write_lock:
+            try:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, op: Any, request: dict, rid: Any) -> dict:
+        if op not in protocol.OPS:
+            raise protocol.ProtocolError(f"unknown op {op!r}", code="unknown_op")
+        metrics.counter(f"serve.{op}.requests").inc()
+        with tracing.span(f"serve.{op}"):
+            if op == "score":
+                return await self._handle_score(request, rid)
+            if op == "predict":
+                return await self._handle_predict(request, rid)
+            if op == "health":
+                return protocol.ok_response(
+                    rid,
+                    status="ok",
+                    version=self.store.current.version,
+                    uptime_s=(
+                        time.monotonic() - self._started_at
+                        if self._started_at is not None
+                        else 0.0
+                    ),
+                )
+            if op == "stats":
+                return protocol.ok_response(rid, stats=self.stats())
+            if op == "describe":
+                return protocol.ok_response(rid, **self.store.current.describe())
+            if op == "swap":
+                return await self._handle_swap(request, rid)
+            # op == "shutdown"
+            if not self.config.allow_shutdown:
+                raise protocol.ProtocolError(
+                    "shutdown is disabled on this server", code="forbidden"
+                )
+            self._shutdown.set()
+            return protocol.ok_response(rid, stopping=True)
+
+    def _deadline(self, request: dict) -> float | None:
+        timeout_ms = protocol.parse_timeout_ms(
+            request, self.config.default_timeout_ms
+        )
+        if timeout_ms is None:
+            return None
+        return time.monotonic() + timeout_ms / 1000.0
+
+    async def _handle_score(self, request: dict, rid: Any) -> dict:
+        snapshot = self.store.current
+        patterns, measure = protocol.parse_score(request, snapshot.grid.n_cells)
+        values = await self._batcher.submit(
+            (id(snapshot), measure),
+            _ScoreWork(snapshot, measure, patterns),
+            deadline=self._deadline(request),
+        )
+        return protocol.ok_response(
+            rid,
+            measure=measure,
+            values=protocol.values_field(values),
+            version=snapshot.version,
+        )
+
+    async def _handle_predict(self, request: dict, rid: Any) -> dict:
+        snapshot = self.store.current
+        recent, sigma = protocol.parse_predict(request)
+        try:
+            result = await self._batcher.submit(
+                (id(snapshot), "predict"),
+                _PredictWork(snapshot, recent, sigma),
+                deadline=self._deadline(request),
+            )
+        except OverloadedError as exc:
+            # Degrade, don't refuse: a tracking client needs an answer every
+            # tick, and the motion model is the paper's own fallback.
+            metrics.counter("serve.predict.degraded").inc()
+            position = _motion_model_position(recent, self.config.fallback_model)
+            return protocol.ok_response(
+                rid,
+                position=[float(position[0]), float(position[1])],
+                source="model",
+                degraded=True,
+                reason=exc.reason,
+                version=snapshot.version,
+            )
+        position, source = result
+        return protocol.ok_response(
+            rid,
+            position=[float(position[0]), float(position[1])],
+            source=source,
+            degraded=False,
+            version=snapshot.version,
+        )
+
+    async def _handle_swap(self, request: dict, rid: Any) -> dict:
+        path = protocol.parse_swap(request)
+        loop = asyncio.get_running_loop()
+        try:
+            snapshot = await loop.run_in_executor(
+                None, lambda: ServingSnapshot.load(path, cache_dir=self.config.cache_dir)
+            )
+        except (OSError, ValueError) as exc:
+            raise protocol.ProtocolError(f"cannot load snapshot: {exc}") from exc
+        previous = self.store.swap(snapshot)
+        metrics.counter("serve.swaps").inc()
+        return protocol.ok_response(
+            rid, version=snapshot.version, previous=previous.version
+        )
+
+    # -- evaluation --------------------------------------------------------
+
+    async def _evaluate_batch(self, key: Any, payloads: list[Any]) -> list[Any]:
+        loop = asyncio.get_running_loop()
+        if isinstance(payloads[0], _ScoreWork):
+            return await loop.run_in_executor(
+                self._executor, _evaluate_score_batch, payloads
+            )
+        return await loop.run_in_executor(
+            self._executor, _evaluate_predict_batch, payloads, self.config.fallback_model
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        current = self.store.current
+        return {
+            "version": current.version,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "requests_served": self.requests_served,
+            "swaps": self.store.swaps,
+            "queue_depth": self._batcher.queue_depth,
+            "batcher": self._batcher.stats.as_dict(),
+        }
+
+
+class _ScoreWork:
+    __slots__ = ("snapshot", "measure", "patterns")
+
+    def __init__(self, snapshot, measure, patterns) -> None:
+        self.snapshot = snapshot
+        self.measure = measure
+        self.patterns = patterns
+
+
+class _PredictWork:
+    __slots__ = ("snapshot", "recent", "sigma")
+
+    def __init__(self, snapshot, recent, sigma) -> None:
+        self.snapshot = snapshot
+        self.recent = recent
+        self.sigma = sigma
+
+
+def _evaluate_score_batch(works: list[_ScoreWork]) -> list[np.ndarray]:
+    """One engine call for a whole batch: concatenate, evaluate, split.
+
+    Every work item shares the batch key, hence the same snapshot and
+    measure -- this is where micro-batching pays, because
+    ``nm_batch(m patterns)`` costs far less than ``m`` calls of 1.
+    """
+    snapshot = works[0].snapshot
+    engine = snapshot.engine
+    flat = [p for work in works for p in work.patterns]
+    with tracing.span(
+        "serve.eval.score", n_requests=len(works), n_patterns=len(flat)
+    ):
+        if works[0].measure == "nm":
+            values = engine.nm_batch(flat)
+        else:
+            values = engine.match_batch(flat)
+    out: list[np.ndarray] = []
+    offset = 0
+    for work in works:
+        out.append(values[offset : offset + len(work.patterns)])
+        offset += len(work.patterns)
+    return out
+
+
+def _evaluate_predict_batch(
+    works: list[_PredictWork], fallback_model: str
+) -> list[tuple[np.ndarray, str]]:
+    """Pattern-confirmed next positions, motion-model fallback otherwise."""
+    out: list[tuple[np.ndarray, str]] = []
+    with tracing.span("serve.eval.predict", n_requests=len(works)):
+        for work in works:
+            library = work.snapshot.library
+            position = None
+            if library is not None:
+                # Velocity patterns confirm against the velocity history;
+                # differencing doubles the variance, hence sqrt(2) sigma.
+                velocities = np.diff(work.recent, axis=0)
+                v_next = library.predict_next_velocity(
+                    velocities, float(np.sqrt(2.0)) * work.sigma
+                )
+                if v_next is not None:
+                    position = work.recent[-1] + v_next
+            if position is not None:
+                out.append((position, "pattern"))
+            else:
+                out.append(
+                    (_motion_model_position(work.recent, fallback_model), "model")
+                )
+    return out
+
+
+def _motion_model_position(recent: np.ndarray, model_name: str) -> np.ndarray:
+    """Dead-reckoning prediction from the recent reports alone."""
+    model = make_model(model_name)
+    for t, point in enumerate(recent):
+        model.observe(float(t), point)
+    return np.asarray(model.predict(float(len(recent))), dtype=float)

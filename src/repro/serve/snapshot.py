@@ -1,0 +1,263 @@
+"""Immutable versioned serving state and its hot-swappable store.
+
+A :class:`ServingSnapshot` bundles everything one generation of the server
+needs to answer queries: the dataset, the grid, a fully built
+:class:`~repro.core.engine.NMEngine` and (optionally) a
+:class:`~repro.apps.prediction.PatternLibrary` for the ``predict`` op.
+Snapshots are immutable once constructed -- the server never mutates one,
+it *replaces* the store's current reference atomically.  Requests capture
+the snapshot reference at admission, so an in-flight batch always
+evaluates against the generation that admitted it even if a ``swap``
+lands mid-batch; the old generation is garbage-collected once its last
+in-flight request drains.
+
+Loading goes through :mod:`repro.core.index_cache` when a ``cache_dir``
+is configured: the first boot of a snapshot persists its built index, so
+swapping back to a previously served dataset (or restarting the server)
+skips the probability enumeration entirely.  Offline mining runs pointed
+at the same cache directory share the files in both directions.
+
+On disk a snapshot is either a bare dataset JSONL file or a directory:
+
+``dataset.jsonl``
+    required -- the uncertain trajectories to serve (:mod:`repro.trajectory.io`).
+``patterns.json``
+    optional -- a mining result (:mod:`repro.core.results_io`); enables
+    the ``predict`` op and pins the pattern grid.
+``serve.json``
+    optional -- overrides: ``{"version": ..., "cell_size": ...,
+    "delta": ..., "min_prob": ..., "confirm_threshold": ...,
+    "min_prefix": ...}``.  Anything absent falls back to the section 5
+    parameter suggestions derived from the dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.apps.prediction import PatternLibrary
+from repro.core import index_cache
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.parameters import suggest_parameters
+from repro.core.results_io import load_mining_result
+from repro.geometry.grid import Grid
+from repro.obs import logs
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.io import load_dataset_jsonl
+
+_log = logs.get_logger("serve.snapshot")
+
+#: serve.json keys accepted by :meth:`ServingSnapshot.load`.
+_CONFIG_KEYS = (
+    "version",
+    "cell_size",
+    "delta",
+    "min_prob",
+    "confirm_threshold",
+    "min_prefix",
+)
+
+
+class ServingSnapshot:
+    """One immutable generation of serving state.
+
+    Build via :meth:`load` (from disk) or :meth:`from_dataset` (in
+    process); the constructor itself just pins the already-built pieces.
+    """
+
+    __slots__ = (
+        "version",
+        "source",
+        "dataset",
+        "grid",
+        "engine",
+        "library",
+        "delta",
+    )
+
+    def __init__(
+        self,
+        version: str,
+        dataset: TrajectoryDataset,
+        grid: Grid,
+        engine: NMEngine,
+        library: PatternLibrary | None = None,
+        source: str = "<memory>",
+    ) -> None:
+        self.version = version
+        self.dataset = dataset
+        self.grid = grid
+        self.engine = engine
+        self.library = library
+        self.delta = engine.config.delta
+        self.source = source
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: TrajectoryDataset,
+        *,
+        patterns_path: str | Path | None = None,
+        cell_size: float | None = None,
+        delta: float | None = None,
+        min_prob: float = 1e-6,
+        cache_dir: str | Path | None = None,
+        confirm_threshold: float = 0.9,
+        min_prefix: int = 2,
+        version: str | None = None,
+        source: str = "<memory>",
+    ) -> "ServingSnapshot":
+        """Build a snapshot from an in-memory dataset.
+
+        ``cell_size`` / ``delta`` default to the section 5 suggestions
+        derived from the dataset; ``version`` defaults to the index cache
+        key (a content hash -- identical inputs get identical versions).
+        """
+        if cell_size is None or delta is None:
+            suggested = suggest_parameters(dataset)
+            cell_size = cell_size if cell_size is not None else suggested.cell_size
+            delta = delta if delta is not None else suggested.delta
+        grid = dataset.make_grid(cell_size)
+        config = EngineConfig(delta=delta, min_prob=min_prob, cache_dir=cache_dir)
+        key = index_cache.cache_key(dataset, grid, config)
+        if version is None:
+            version = key[:12]
+        # ensure_index goes through the on-disk cache when cache_dir is
+        # set; the prebuilt arrays then make NMEngine construction cheap.
+        prebuilt = index_cache.ensure_index(dataset, grid, config)
+        engine = NMEngine(dataset, grid, config, prebuilt=prebuilt)
+        library = None
+        if patterns_path is not None:
+            result, pattern_grid = load_mining_result(patterns_path)
+            library = PatternLibrary(
+                result.patterns,
+                pattern_grid,
+                delta=delta,
+                confirm_threshold=confirm_threshold,
+                min_prefix=min_prefix,
+            )
+        snapshot = cls(
+            version, dataset, grid, engine, library=library, source=source
+        )
+        _log.info(
+            "snapshot built",
+            extra={
+                "version": version,
+                "n_trajectories": len(dataset),
+                "n_cells": grid.n_cells,
+                "n_patterns": len(library) if library is not None else 0,
+                "source": source,
+            },
+        )
+        return snapshot
+
+    @classmethod
+    def load(
+        cls, path: str | Path, *, cache_dir: str | Path | None = None
+    ) -> "ServingSnapshot":
+        """Load a snapshot from ``path`` (dataset file or snapshot directory)."""
+        path = Path(path)
+        overrides: dict[str, Any] = {}
+        patterns_path: Path | None = None
+        if path.is_dir():
+            dataset_path = path / "dataset.jsonl"
+            if not dataset_path.is_file():
+                raise ValueError(f"{path}: snapshot directory has no dataset.jsonl")
+            candidate = path / "patterns.json"
+            if candidate.is_file():
+                patterns_path = candidate
+            config_path = path / "serve.json"
+            if config_path.is_file():
+                raw = json.loads(config_path.read_text(encoding="utf-8"))
+                if not isinstance(raw, dict):
+                    raise ValueError(f"{config_path}: must be a JSON object")
+                unknown = set(raw) - set(_CONFIG_KEYS)
+                if unknown:
+                    raise ValueError(
+                        f"{config_path}: unknown keys {sorted(unknown)}"
+                    )
+                overrides = raw
+        else:
+            dataset_path = path
+        dataset = load_dataset_jsonl(dataset_path)
+        kwargs: dict[str, Any] = {}
+        for numeric in ("cell_size", "delta", "min_prob", "confirm_threshold"):
+            if overrides.get(numeric) is not None:
+                kwargs[numeric] = float(overrides[numeric])
+        if overrides.get("min_prefix") is not None:
+            kwargs["min_prefix"] = int(overrides["min_prefix"])
+        if overrides.get("version") is not None:
+            kwargs["version"] = str(overrides["version"])
+        return cls.from_dataset(
+            dataset,
+            patterns_path=patterns_path,
+            cache_dir=cache_dir,
+            source=str(path),
+            **kwargs,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict:
+        """The ``describe`` op payload: enough for a client to form queries."""
+        active = self.engine.active_cells
+        sample = active[:: max(1, len(active) // 64)][:64]
+        return {
+            "version": self.version,
+            "source": self.source,
+            "n_trajectories": len(self.dataset),
+            "total_snapshots": self.dataset.total_snapshots(),
+            "grid": {
+                "nx": self.grid.nx,
+                "ny": self.grid.ny,
+                "n_cells": self.grid.n_cells,
+                "min_x": self.grid.bbox.min_x,
+                "min_y": self.grid.bbox.min_y,
+                "max_x": self.grid.bbox.max_x,
+                "max_y": self.grid.bbox.max_y,
+            },
+            "delta": self.delta,
+            "n_active_cells": len(active),
+            "sample_active_cells": [int(c) for c in sample],
+            "has_patterns": self.library is not None,
+            "n_patterns": len(self.library) if self.library is not None else 0,
+            "sigma_typical": float(np.median(np.concatenate([t.sigmas for t in self.dataset]))),
+        }
+
+
+class SnapshotStore:
+    """Atomic holder of the current :class:`ServingSnapshot`.
+
+    ``swap`` replaces the reference under a lock and returns the previous
+    generation; readers grab :attr:`current` without locking (attribute
+    reads are atomic in CPython) and keep their reference for the life of
+    the request, which is what makes swaps invisible to in-flight work.
+    """
+
+    def __init__(self, snapshot: ServingSnapshot) -> None:
+        self._current = snapshot
+        self._lock = threading.Lock()
+        self.swaps = 0
+
+    @property
+    def current(self) -> ServingSnapshot:
+        return self._current
+
+    def swap(self, snapshot: ServingSnapshot) -> ServingSnapshot:
+        """Install ``snapshot``; returns the generation it replaced."""
+        with self._lock:
+            previous = self._current
+            self._current = snapshot
+            self.swaps += 1
+        _log.info(
+            "snapshot swapped",
+            extra={"from": previous.version, "to": snapshot.version},
+        )
+        return previous

@@ -56,9 +56,14 @@ def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
     metadata: dict = {}
     with path.open("r", encoding="utf-8") as fh:
         first = fh.readline()
-        if not first:
+        if not first or not first.strip():
             raise ValueError(f"{path}: empty file")
-        header = json.loads(first)
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:1: header is not JSON: {exc}") from exc
+        if not isinstance(header, dict):
+            raise ValueError(f"{path}:1: header must be a JSON object")
         if header.get("format") != "repro.trajectory":
             raise ValueError(f"{path}: not a repro trajectory file")
         if header.get("version") != _FORMAT_VERSION:
@@ -66,11 +71,20 @@ def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
                 f"{path}: unsupported format version {header.get('version')!r}"
             )
         metadata = header.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise ValueError(f"{path}:1: metadata must be a JSON object")
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{line_no}: trajectory record must be a JSON object"
+                )
             try:
                 trajectories.append(
                     UncertainTrajectory(
@@ -81,7 +95,7 @@ def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
                         dt=record.get("dt", 1.0),
                     )
                 )
-            except (KeyError, ValueError) as exc:
+            except (KeyError, TypeError, ValueError) as exc:
                 raise ValueError(f"{path}:{line_no}: bad trajectory record: {exc}") from exc
     return TrajectoryDataset(trajectories, metadata=metadata)
 

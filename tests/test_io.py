@@ -72,6 +72,68 @@ class TestJsonl:
         with pytest.raises(ValueError, match=":3:"):
             load_dataset_jsonl(path)
 
+    def test_whitespace_only_file_rejected(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("   \n")
+        with pytest.raises(ValueError, match="empty file"):
+            load_dataset_jsonl(path)
+
+    def test_unparseable_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match=":1: header is not JSON"):
+            load_dataset_jsonl(path)
+
+    @pytest.mark.parametrize("header", ['["repro.trajectory"]', '"repro.trajectory"', "42"])
+    def test_non_object_header_rejected(self, tmp_path, header):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(header + "\n")
+        with pytest.raises(ValueError, match="header must be a JSON object"):
+            load_dataset_jsonl(path)
+
+    def test_non_object_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro.trajectory", "version": 1, "metadata": [1, 2]}\n'
+        )
+        with pytest.raises(ValueError, match="metadata must be a JSON object"):
+            load_dataset_jsonl(path)
+
+    def test_unparseable_record_rejected_with_line_number(self, tmp_path, dataset):
+        path = tmp_path / "bad.jsonl"
+        save_dataset_jsonl(dataset, path)
+        with path.open("a") as fh:
+            fh.write("{truncated\n")
+        with pytest.raises(ValueError, match=rf":{len(dataset) + 2}: not JSON"):
+            load_dataset_jsonl(path)
+
+    @pytest.mark.parametrize("record", ["[1, 2, 3]", '"a string"', "3.5", "null"])
+    def test_non_object_record_rejected(self, tmp_path, record):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro.trajectory", "version": 1}\n' + record + "\n"
+        )
+        with pytest.raises(ValueError, match=":2: trajectory record must be"):
+            load_dataset_jsonl(path)
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            '{"sigmas": [0.1]}',  # missing means
+            '{"means": [[0, 0]]}',  # missing sigmas
+            '{"means": [[0, 0], [1]], "sigmas": [0.1, 0.1]}',  # ragged means
+            '{"means": [[0, 0], [1, 1]], "sigmas": [0.1]}',  # length mismatch
+            '{"means": "nope", "sigmas": [0.1]}',  # non-numeric means
+        ],
+    )
+    def test_malformed_record_fields_rejected(self, tmp_path, record):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro.trajectory", "version": 1}\n' + record + "\n"
+        )
+        with pytest.raises(ValueError, match=":2: bad trajectory record"):
+            load_dataset_jsonl(path)
+
 
 class TestCsv:
     def test_roundtrip_values(self, dataset, tmp_path):
@@ -94,6 +156,28 @@ class TestCsv:
         path = tmp_path / "bad.csv"
         path.write_text(
             "object_id,snapshot,x,y,sigma\no,0,0.0,0.0,0.1\no,oops,1.0,1.0,0.1\n"
+        )
+        with pytest.raises(ValueError, match=":3:"):
+            load_dataset_csv(path)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="expected columns"):
+            load_dataset_csv(path)
+
+    def test_short_row_rejected_with_line(self, tmp_path):
+        # A row with fewer fields than the header: DictReader fills the
+        # missing columns with None, which must be rejected, not crash.
+        path = tmp_path / "short.csv"
+        path.write_text("object_id,snapshot,x,y,sigma\no,0\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_dataset_csv(path)
+
+    def test_non_numeric_coordinates_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "object_id,snapshot,x,y,sigma\no,0,0.0,0.0,0.1\no,1,east,1.0,0.1\n"
         )
         with pytest.raises(ValueError, match=":3:"):
             load_dataset_csv(path)

@@ -1,0 +1,184 @@
+"""Unit tests for the adaptive micro-batcher (no sockets involved)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, OverloadedError
+
+
+class _Recorder:
+    """A batch handler that records every call it receives."""
+
+    def __init__(self, delay: float = 0.0, fail: Exception | None = None):
+        self.calls: list[tuple[object, list]] = []
+        self.delay = delay
+        self.fail = fail
+
+    async def __call__(self, key, payloads):
+        self.calls.append((key, list(payloads)))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail is not None:
+            raise self.fail
+        return [(key, p) for p in payloads]
+
+
+def test_concurrent_submissions_coalesce():
+    handler = _Recorder()
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=64, max_delay=0.05)
+        batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(16))
+        )
+        await batcher.close()
+        return results
+
+    results = asyncio.run(scenario())
+    assert results == [("k", i) for i in range(16)]
+    # 16 concurrent submissions must land in far fewer handler calls; with
+    # everything enqueued before the worker wakes, typically exactly one.
+    assert len(handler.calls) < 16
+    assert sum(len(p) for _, p in handler.calls) == 16
+
+
+def test_max_batch_bounds_each_call():
+    handler = _Recorder()
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=4, max_delay=0.05)
+        batcher.start()
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(10)))
+        await batcher.close()
+
+    asyncio.run(scenario())
+    assert all(len(payloads) <= 4 for _, payloads in handler.calls)
+    assert handler.calls, "handler never ran"
+
+
+def test_batches_never_mix_keys():
+    handler = _Recorder()
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=64, max_delay=0.02)
+        batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit(f"key-{i % 3}", i) for i in range(12))
+        )
+        await batcher.close()
+        return results
+
+    results = asyncio.run(scenario())
+    assert results == [(f"key-{i % 3}", i) for i in range(12)]
+    for key, payloads in handler.calls:
+        assert all(f"key-{p % 3}" == key for p in payloads)
+
+
+def test_lone_request_closes_on_delay():
+    handler = _Recorder()
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=64, max_delay=0.005)
+        batcher.start()
+        result = await asyncio.wait_for(batcher.submit("k", 7), timeout=2.0)
+        await batcher.close()
+        return result
+
+    assert asyncio.run(scenario()) == ("k", 7)
+
+
+def test_queue_full_sheds_explicitly():
+    handler = _Recorder(delay=0.2)
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=1, max_delay=0.0, max_queue=2)
+        batcher.start()
+        # Saturate: one batch in flight (slow), two queued, then overflow.
+        first = asyncio.ensure_future(batcher.submit("k", 0))
+        await asyncio.sleep(0.02)  # let the worker pick it up
+        queued = [asyncio.ensure_future(batcher.submit("k", i)) for i in (1, 2)]
+        await asyncio.sleep(0)
+        with pytest.raises(OverloadedError) as excinfo:
+            await batcher.submit("k", 3)
+        reason = excinfo.value.reason
+        await asyncio.gather(first, *queued)
+        await batcher.close()
+        return reason
+
+    assert asyncio.run(scenario()) == "queue_full"
+    assert handler.calls  # admitted work still ran
+
+
+def test_hopeless_deadline_sheds_at_admission():
+    async def scenario():
+        batcher = MicroBatcher(_Recorder(), max_batch=4, max_delay=0.0)
+        batcher.start()
+        with pytest.raises(OverloadedError) as excinfo:
+            # A deadline already in the past can never be met.
+            await batcher.submit("k", 0, deadline=-1.0)
+        await batcher.close()
+        return excinfo.value.reason
+
+    assert asyncio.run(scenario()) == "deadline"
+
+
+def test_handler_exception_reaches_every_waiter():
+    boom = RuntimeError("engine exploded")
+    handler = _Recorder(fail=boom)
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=8, max_delay=0.01)
+        batcher.start()
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(4)), return_exceptions=True
+        )
+        await batcher.close()
+        return results
+
+    results = asyncio.run(scenario())
+    assert all(r is boom for r in results)
+
+
+def test_close_sheds_pending_with_shutdown():
+    handler = _Recorder(delay=0.5)
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=1, max_delay=0.0, max_queue=8)
+        batcher.start()
+        inflight = asyncio.ensure_future(batcher.submit("k", 0))
+        await asyncio.sleep(0.02)
+        queued = asyncio.ensure_future(batcher.submit("k", 1))
+        await asyncio.sleep(0)
+        await batcher.close()
+        results = await asyncio.gather(inflight, queued, return_exceptions=True)
+        # Submitting after close is refused outright.
+        with pytest.raises(OverloadedError):
+            await batcher.submit("k", 2)
+        return results
+
+    results = asyncio.run(scenario())
+    assert any(
+        isinstance(r, OverloadedError) and r.reason == "shutdown" for r in results
+    )
+
+
+def test_stats_track_batches_and_sheds():
+    handler = _Recorder()
+
+    async def scenario():
+        batcher = MicroBatcher(handler, max_batch=8, max_delay=0.01)
+        batcher.start()
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(6)))
+        stats = batcher.stats.as_dict()
+        await batcher.close()
+        return stats
+
+    stats = asyncio.run(scenario())
+    assert stats["items"] == 6
+    assert 1 <= stats["batches"] <= 6
+    assert stats["max_batch_size"] >= 1
+    assert stats["ema_batch_s"] > 0.0

@@ -6,7 +6,7 @@ import pytest
 from repro.mobility.models import KalmanModel, LinearModel
 from repro.mobility.objects import GroundTruthPath
 from repro.mobility.reporting import ReportingConfig
-from repro.mobility.server import TrackingServer, track_fleet
+from repro.mobility.server import FleetTracker, TrackingServer, track_fleet
 
 
 @pytest.fixture
@@ -66,7 +66,11 @@ class TestTrackFleet:
         assert result.total_mispredictions == 0
         assert result.misprediction_rate() == 0.0
 
-    def test_server_class_equivalent(self, paths):
-        a = TrackingServer(LinearModel, CONFIG).track(paths)
+    def test_tracker_class_equivalent(self, paths):
+        a = FleetTracker(LinearModel, CONFIG).track(paths)
         b = track_fleet(paths, LinearModel, CONFIG)
         assert a.total_mispredictions == b.total_mispredictions
+
+    def test_deprecated_alias(self):
+        # The old name stays importable and is the same class.
+        assert TrackingServer is FleetTracker
