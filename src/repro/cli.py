@@ -431,6 +431,34 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report["errors"] == 0 else 1
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.testkit.oracle import DEFAULT_SEEDS, run_oracle
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else list(DEFAULT_SEEDS)
+    )
+    jobs_grid = [int(j) for j in args.jobs_grid.split(",") if j.strip()]
+    failures = 0
+    for seed in seeds:
+        report = run_oracle(
+            seed,
+            quick=args.quick,
+            jobs_grid=jobs_grid,
+            include_serve=not args.no_serve,
+        )
+        print(report.describe())
+        if not report.ok:
+            failures += 1
+    mode = "quick" if args.quick else "full"
+    print(
+        f"selfcheck ({mode}): {len(seeds) - failures}/{len(seeds)} seeds agree "
+        f"across all execution paths"
+    )
+    return 0 if failures == 0 else 1
+
+
 # -- entry point -------------------------------------------------------------------
 
 
@@ -638,6 +666,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON to this file",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help=(
+            "differential oracle: check that every execution path (scalar, "
+            "batched, parallel shards, cold/warm cache, streaming, live "
+            "server) agrees on NM/match scores for seeded datasets"
+        ),
+    )
+    selfcheck.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated dataset seeds (default: the built-in trio)",
+    )
+    selfcheck.add_argument(
+        "--jobs-grid",
+        default="1,2,4",
+        dest="jobs_grid",
+        help="comma-separated parallel worker counts to check (default 1,2,4)",
+    )
+    selfcheck.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller datasets and frontiers (CI-sized; same path coverage)",
+    )
+    selfcheck.add_argument(
+        "--no-serve",
+        action="store_true",
+        dest="no_serve",
+        help="skip the live-server round-trip path",
+    )
+    selfcheck.set_defaults(func=_cmd_selfcheck)
 
     return parser
 

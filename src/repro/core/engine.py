@@ -389,7 +389,9 @@ class NMEngine:
         key = None
         if cache_dir is not None:
             key = index_cache.cache_key(self.dataset, self.grid, self.config)
-            loaded = index_cache.load_index(cache_dir, key)
+            loaded = index_cache.load_index(
+                cache_dir, key, n_rows=self._total_rows, n_cells=self.grid.n_cells
+            )
             if loaded is not None:
                 self.index_cache_hit = True
                 self._install_index(*loaded)

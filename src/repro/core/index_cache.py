@@ -49,6 +49,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import logs, metrics
+from repro.testkit import faults
 
 _log = logs.get_logger("index_cache")
 
@@ -112,8 +113,12 @@ def save_index(
 ) -> Path:
     """Atomically persist the flat index arrays under ``cache_dir``.
 
-    The write goes to a temp file in the same directory first so a crash
-    mid-write can never leave a half-written file under the final name.
+    The write goes to a temp file *inside the cache directory* first --
+    same filesystem by construction, so ``os.replace`` is an atomic rename
+    (never the cross-device ``EXDEV`` a ``TMPDIR`` temp file could hit) and
+    a crash mid-write can never leave a half-written file under the final
+    name.  A crash between write and rename leaves only a ``*.tmp`` file,
+    which no reader ever opens.
     """
     target = cache_path(cache_dir, key)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -128,6 +133,7 @@ def save_index(
                 rows=np.ascontiguousarray(rows, dtype=np.int64),
                 vals=np.ascontiguousarray(vals, dtype=np.float64),
             )
+        faults.fire("index_cache.save", tmp=tmp_name, target=str(target))
         os.replace(tmp_name, target)
     except BaseException:
         try:
@@ -144,12 +150,22 @@ def save_index(
 
 
 def load_index(
-    cache_dir: str | Path, key: str
+    cache_dir: str | Path,
+    key: str,
+    *,
+    n_rows: int | None = None,
+    n_cells: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
     """Load the flat index arrays for ``key``, or ``None`` on any failure.
 
     Missing, truncated, corrupted or wrong-shape files are all treated as
-    cache misses; the caller rebuilds and overwrites.
+    cache misses; the caller rebuilds and overwrites.  ``n_rows`` /
+    ``n_cells`` optionally bound the valid row / cell ranges: a file whose
+    payload parses but points outside the dataset or grid (a key collision
+    or bit rot that survived the zip CRC) is rejected as corrupt rather
+    than handed to the engine, where an out-of-range row would raise an
+    ``IndexError`` deep inside index installation -- or worse, silently
+    score against the wrong trajectories.
     """
     target = cache_path(cache_dir, key)
     try:
@@ -168,6 +184,13 @@ def load_index(
         return _corrupt(target, "array lengths disagree")
     if cells.dtype.kind != "i" or rows.dtype.kind != "i" or vals.dtype.kind != "f":
         return _corrupt(target, "unexpected array dtypes")
+    if len(cells):
+        if cells.min() < 0 or (n_cells is not None and cells.max() >= n_cells):
+            return _corrupt(target, "cell ids out of range")
+        if rows.min() < 0 or (n_rows is not None and rows.max() >= n_rows):
+            return _corrupt(target, "row indices out of range")
+        if not np.isfinite(vals).all():
+            return _corrupt(target, "non-finite log-probabilities")
     metrics.counter("index.cache.hit").inc()
     _log.info(
         "index cache hit",

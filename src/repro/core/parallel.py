@@ -62,6 +62,7 @@ from repro.core.engine import EngineConfig, ExtensionTables, NMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
 from repro.obs import logs, metrics, tracing
+from repro.testkit import faults
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.trajectory import UncertainTrajectory
 
@@ -70,6 +71,18 @@ from repro.trajectory.trajectory import UncertainTrajectory
 SHM_PREFIX = "repro-shm-"
 
 _log = logs.get_logger("parallel")
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died mid-conversation (crash, OOM-kill, SIGKILL).
+
+    Raised instead of a bare ``EOFError``/``BrokenPipeError`` whenever the
+    pipe to a worker breaks.  By the time the caller sees it the engine has
+    torn itself down: remaining workers are stopped, every parent-owned
+    shared-memory segment is unlinked, and the engine is closed -- a dead
+    shard means every subsequent reduction would be silently wrong, so the
+    only safe state is "loudly unusable".
+    """
 
 
 # -- shared-memory plumbing -----------------------------------------------------
@@ -230,6 +243,7 @@ def _worker_main(conn, init: _WorkerInit) -> None:
 
     exported: list[shared_memory.SharedMemory] = []
     try:
+        faults.fire("parallel.worker.start", shard=init.shard)
         engine = _worker_build_engine(init)
         _log.debug(
             "shard worker ready",
@@ -250,7 +264,10 @@ def _worker_main(conn, init: _WorkerInit) -> None:
             )
         )
     except BaseException:
-        conn.send(("error", traceback.format_exc()))
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass  # parent already gone; exit quietly
         conn.close()
         return
 
@@ -258,70 +275,85 @@ def _worker_main(conn, init: _WorkerInit) -> None:
         return [TrajectoryPattern(cells) for cells in cells_list]
 
     running = True
-    while running:
+    try:
+        while running:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, payload = msg
+            try:
+                faults.fire("parallel.worker.op", shard=init.shard, op=op)
+                if op == "close":
+                    result, running = None, False
+                elif op == "nm_batch":
+                    result = engine.nm_batch(patterns_of(payload))
+                elif op == "match_batch":
+                    result = engine.match_batch(patterns_of(payload))
+                elif op == "nm_per_traj":
+                    result = engine.nm_per_trajectory(TrajectoryPattern(payload))
+                elif op == "match_per_traj":
+                    result = engine.match_per_trajectory(TrajectoryPattern(payload))
+                elif op == "singular_nm":
+                    result = engine.singular_nm_table()
+                elif op == "singular_match":
+                    result = engine.singular_match_table()
+                elif op == "ext_tables":
+                    result = engine.extension_tables_many(patterns_of(payload))
+                elif op == "gap_nm":
+                    result = nm_gap_pattern(engine, payload)
+                elif op == "best_window":
+                    cells, local_index = payload
+                    result = engine.best_window(TrajectoryPattern(cells), local_index)
+                elif op == "export_index":
+                    specs = tuple(
+                        share_array(a, exported) for a in engine.index_arrays()
+                    )
+                    result = specs
+                elif op == "release_index":
+                    for shm in exported:
+                        shm.close()
+                        shm.unlink()
+                    exported.clear()
+                    result = None
+                elif op == "stats":
+                    result = (engine.n_evaluations, engine.n_batches)
+                elif op == "obs_snapshot":
+                    result = {
+                        "shard": init.shard,
+                        "n_traj": len(engine.dataset),
+                        "n_entries": engine.n_index_entries,
+                        "n_evaluations": engine.n_evaluations,
+                        "n_batches": engine.n_batches,
+                        "metrics": metrics.get_registry().snapshot(),
+                    }
+                elif op == "obs_drain":
+                    result = trace_sink.drain() if trace_sink is not None else []
+                else:
+                    raise ValueError(f"unknown worker op {op!r}")
+                conn.send(("ok", result))
+            except BaseException:
+                try:
+                    conn.send(("error", traceback.format_exc()))
+                except (OSError, ValueError):
+                    # Parent is gone: nothing to report to; the finally
+                    # below still releases any exported segments.
+                    break
+    finally:
+        # Runs on every exit path -- clean shutdown, broken pipe, crash in
+        # a result send -- so a worker never leaks an export segment it
+        # created.  FileNotFoundError (the parent reclaimed the segment by
+        # name first) is an OSError and ignored like any double-unlink.
+        for shm in exported:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
         try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break
-        op, payload = msg
-        try:
-            if op == "close":
-                result, running = None, False
-            elif op == "nm_batch":
-                result = engine.nm_batch(patterns_of(payload))
-            elif op == "match_batch":
-                result = engine.match_batch(patterns_of(payload))
-            elif op == "nm_per_traj":
-                result = engine.nm_per_trajectory(TrajectoryPattern(payload))
-            elif op == "match_per_traj":
-                result = engine.match_per_trajectory(TrajectoryPattern(payload))
-            elif op == "singular_nm":
-                result = engine.singular_nm_table()
-            elif op == "singular_match":
-                result = engine.singular_match_table()
-            elif op == "ext_tables":
-                result = engine.extension_tables_many(patterns_of(payload))
-            elif op == "gap_nm":
-                result = nm_gap_pattern(engine, payload)
-            elif op == "best_window":
-                cells, local_index = payload
-                result = engine.best_window(TrajectoryPattern(cells), local_index)
-            elif op == "export_index":
-                specs = tuple(
-                    share_array(a, exported) for a in engine.index_arrays()
-                )
-                result = specs
-            elif op == "release_index":
-                for shm in exported:
-                    shm.close()
-                    shm.unlink()
-                exported.clear()
-                result = None
-            elif op == "stats":
-                result = (engine.n_evaluations, engine.n_batches)
-            elif op == "obs_snapshot":
-                result = {
-                    "shard": init.shard,
-                    "n_traj": len(engine.dataset),
-                    "n_entries": engine.n_index_entries,
-                    "n_evaluations": engine.n_evaluations,
-                    "n_batches": engine.n_batches,
-                    "metrics": metrics.get_registry().snapshot(),
-                }
-            elif op == "obs_drain":
-                result = trace_sink.drain() if trace_sink is not None else []
-            else:
-                raise ValueError(f"unknown worker op {op!r}")
-            conn.send(("ok", result))
-        except BaseException:
-            conn.send(("error", traceback.format_exc()))
-    for shm in exported:  # belt and braces: never leak an export segment
-        try:
-            shm.close()
-            shm.unlink()
+            conn.close()
         except OSError:
             pass
-    conn.close()
 
 
 # -- the parent-side engine ---------------------------------------------------------
@@ -390,7 +422,12 @@ class ParallelNMEngine:
         cache_dir, key, index_specs = self.config.cache_dir, None, None
         if cache_dir is not None:
             key = index_cache.cache_key(self.dataset, self.grid, self.config)
-            loaded = index_cache.load_index(cache_dir, key)
+            loaded = index_cache.load_index(
+                cache_dir,
+                key,
+                n_rows=int(row_offsets[-1]),
+                n_cells=self.grid.n_cells,
+            )
             if loaded is not None:
                 self.index_cache_hit = True
                 index_specs = tuple(share_array(a, self._own_shm) for a in loaded)
@@ -460,16 +497,34 @@ class ParallelNMEngine:
         pickling); rows are shifted to global coordinates, concatenated and
         (cell, row)-sorted -- byte-identical to what a serial engine would
         persist, so either path can warm-start the other.
+
+        The export segments belong to the *workers* (creator-unlinks), so
+        a worker killed between exporting and releasing would orphan them.
+        Until the release round-trip confirms, the parent keeps the segment
+        names and reclaims any survivor by name on the way out -- a segment
+        already unlinked by its worker is simply skipped.
         """
         specs_per_shard = self._broadcast(("export_index", None))
-        parts = []
-        for (lo, _hi), specs in zip(self.shard_bounds, specs_per_shard):
-            attachments = [attach_array(spec) for spec in specs]
-            cells, rows, vals = (view for view, _ in attachments)
-            parts.append((cells.copy(), rows + int(row_offsets[lo]), vals.copy()))
-            for _, shm in attachments:
-                shm.close()
-        self._broadcast(("release_index", None))
+        handoff = [spec.name for specs in specs_per_shard for spec in specs]
+        try:
+            faults.fire("parallel.parent.merge", key=key)
+            parts = []
+            for (lo, _hi), specs in zip(self.shard_bounds, specs_per_shard):
+                attachments = [attach_array(spec) for spec in specs]
+                cells, rows, vals = (view for view, _ in attachments)
+                parts.append((cells.copy(), rows + int(row_offsets[lo]), vals.copy()))
+                for _, shm in attachments:
+                    shm.close()
+            self._broadcast(("release_index", None))
+            handoff = []  # every worker confirmed its own unlink
+        finally:
+            for name in handoff:
+                try:
+                    orphan = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                orphan.close()
+                orphan.unlink()
         all_cells = np.concatenate([p[0] for p in parts])
         all_rows = np.concatenate([p[1] for p in parts])
         all_vals = np.concatenate([p[2] for p in parts])
@@ -480,8 +535,33 @@ class ParallelNMEngine:
 
     # -- messaging -------------------------------------------------------------
 
+    def _worker_crashed(self, i: int, cause: BaseException) -> WorkerCrashError:
+        """Tear the engine down after worker ``i``'s pipe broke.
+
+        A broken pipe means the worker is dead (crash, OOM-kill, SIGKILL):
+        no further reduction over the shards can be trusted, so the engine
+        closes itself -- stopping the surviving workers and unlinking every
+        parent-owned segment -- before surfacing a :class:`WorkerCrashError`.
+        """
+        exitcode = None
+        if i < len(self._workers):
+            self._workers[i].join(timeout=5)
+            exitcode = self._workers[i].exitcode
+        metrics.counter("parallel.worker_crash").inc()
+        _log.error(
+            "shard worker died; closing engine",
+            extra={"shard": i, "exitcode": exitcode},
+        )
+        self._abort()
+        return WorkerCrashError(
+            f"shard worker {i} died (exitcode {exitcode}); engine closed"
+        )
+
     def _recv(self, i: int):
-        status, payload = self._conns[i].recv()
+        try:
+            status, payload = self._conns[i].recv()
+        except (EOFError, OSError) as exc:
+            raise self._worker_crashed(i, exc) from exc
         if status == "error":
             raise RuntimeError(f"shard worker {i} failed:\n{payload}")
         return payload
@@ -490,12 +570,17 @@ class ParallelNMEngine:
         """Send one request to every worker, then gather all replies.
 
         Requests are sent before any reply is read so the workers compute
-        concurrently.
+        concurrently.  A worker whose pipe breaks at either step raises
+        :class:`WorkerCrashError` after closing the engine (see
+        :meth:`_worker_crashed`).
         """
         if self._closed:
             raise RuntimeError("ParallelNMEngine is closed")
-        for conn in self._conns:
-            conn.send(msg)
+        for i, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (OSError, ValueError) as exc:
+                raise self._worker_crashed(i, exc) from exc
         return [self._recv(i) for i in range(len(self._conns))]
 
     # -- metadata --------------------------------------------------------------
@@ -566,8 +651,26 @@ class ParallelNMEngine:
         """
         if getattr(self, "_trace_ctx", None) is None or tracing.get_tracer() is None:
             return 0
+        if self._closed:
+            return 0
+        # Per-connection, not _broadcast: draining is best-effort (it runs
+        # from close(), possibly with dead workers) and must never trigger
+        # the crash teardown itself.  Spans from live workers still land.
+        pending = []
+        for conn in self._conns:
+            try:
+                conn.send(("obs_drain", None))
+            except (OSError, ValueError):
+                continue
+            pending.append(conn)
         total = 0
-        for records in self._broadcast(("obs_drain", None)):
+        for conn in pending:
+            try:
+                status, records = conn.recv()
+            except (EOFError, OSError):
+                continue
+            if status != "ok":
+                continue
             tracing.emit_foreign(records)
             total += len(records)
         return total
@@ -731,6 +834,19 @@ class ParallelNMEngine:
             self.drain_trace()
         except Exception:
             pass
+        self._abort()
+
+    def _abort(self) -> None:
+        """Unconditional teardown: stop workers, unlink segments, mark closed.
+
+        The no-courtesies half of :meth:`close` -- no trace drain, nothing
+        that needs a live worker conversation -- so it is safe to call from
+        :meth:`_worker_crashed` while a pipe is broken.  Sets ``_closed``
+        *first*: any teardown step that indirectly re-enters messaging hits
+        the closed guard instead of recursing.
+        """
+        if self._closed:
+            return
         self._closed = True
         _log.debug("closing shard workers", extra={"jobs": len(self._workers)})
         for conn in self._conns:

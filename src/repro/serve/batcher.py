@@ -45,6 +45,13 @@ _log = logs.get_logger("serve.batcher")
 #: EMA smoothing for the batch service-time estimate used at admission.
 _EMA_ALPHA = 0.2
 
+#: Idle gap, in units of max(max_delay, ema), after which the service-time
+#: estimate starts decaying.  An EMA learned under load says nothing about
+#: an idle server (caches cool, but queues are empty), so after a gap the
+#: estimate halves once per further grace period instead of shedding the
+#: first request of a quiet morning against last night's rush hour.
+_EMA_IDLE_GRACE = 10.0
+
 
 class OverloadedError(Exception):
     """Explicit load-shed: the request was refused, not processed.
@@ -148,6 +155,7 @@ class MicroBatcher:
         self._event = asyncio.Event()
         self._worker: asyncio.Task | None = None
         self._closed = False
+        self._last_batch_done: float | None = None
         self.stats = BatchStats()
 
     # -- lifecycle ---------------------------------------------------------
@@ -189,6 +197,26 @@ class MicroBatcher:
         batches_ahead = len(self._queue) / self.max_batch + 1.0
         return self.stats.ema_batch_s * batches_ahead
 
+    def _decay_stale_ema(self, now: float) -> None:
+        """Halve the service-time EMA once per grace period of idleness.
+
+        The EMA is only updated when batches complete, so after an idle gap
+        it describes a load regime that no longer exists; left alone it
+        would shed the first requests after the gap (the cold-start bug).
+        Decay is applied lazily at admission time and the idle anchor is
+        advanced, so a long gap decays once by the whole elapsed multiple
+        rather than compounding per call.
+        """
+        ema = self.stats.ema_batch_s
+        if ema <= 0.0 or self._last_batch_done is None:
+            return
+        grace = _EMA_IDLE_GRACE * max(self.max_delay, ema)
+        idle = now - self._last_batch_done
+        if idle <= grace:
+            return
+        self.stats.ema_batch_s = ema * 0.5 ** (idle / grace)
+        self._last_batch_done = now
+
     async def submit(
         self, key: Hashable, payload: Any, deadline: float | None = None
     ) -> Any:
@@ -196,7 +224,10 @@ class MicroBatcher:
 
         ``deadline`` is an absolute clock() time; raises
         :class:`OverloadedError` instead of queueing when the queue is full
-        or the deadline is hopeless.
+        or the deadline is hopeless.  Predictive shedding only applies when
+        work is actually queued: an empty queue admits any live deadline,
+        because the estimate is the only evidence of overload and an
+        estimate (however stale) is not a queue.
         """
         if self._closed or self._worker is None:
             raise OverloadedError("shutdown")
@@ -205,8 +236,10 @@ class MicroBatcher:
             metrics.counter("serve.shed.queue_full").inc()
             raise OverloadedError("queue_full")
         now = self._clock()
+        self._decay_stale_ema(now)
         if deadline is not None:
-            if deadline <= now or now + self.estimated_wait_s() > deadline:
+            hopeless = self._queue and now + self.estimated_wait_s() > deadline
+            if deadline <= now or hopeless:
                 self.stats.shed_deadline += 1
                 metrics.counter("serve.shed.deadline").inc()
                 raise OverloadedError("deadline")
@@ -289,11 +322,13 @@ class MicroBatcher:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
-        elapsed = self._clock() - t0
+        done = self._clock()
+        elapsed = done - t0
         ema = self.stats.ema_batch_s
         self.stats.ema_batch_s = (
             elapsed if ema == 0.0 else (1 - _EMA_ALPHA) * ema + _EMA_ALPHA * elapsed
         )
+        self._last_batch_done = done
         metrics.histogram("serve.batch.eval_ns", unit="ns").observe(elapsed * 1e9)
         if len(results) != len(live):  # pragma: no cover - handler contract
             error = RuntimeError("batch handler returned wrong result count")

@@ -42,6 +42,7 @@ from repro.obs import logs, metrics, tracing
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, OverloadedError
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
+from repro.testkit import faults
 
 _log = logs.get_logger("serve.server")
 
@@ -170,6 +171,15 @@ class PatternServer:
                     break
                 if not line:
                     break
+                if not line.endswith(b"\n"):
+                    # EOF mid-frame: the peer died (or was cut off) part-way
+                    # through writing a request.  A torn frame is not a
+                    # request -- executing it would act on a truncated JSON
+                    # document that happens to parse (e.g. a shutdown whose
+                    # arguments were lost), so it is dropped.
+                    metrics.counter("serve.torn_frames").inc()
+                    _log.debug("dropping torn frame at EOF", extra={"bytes": len(line)})
+                    break
                 if not line.strip():
                     continue
                 await inflight.acquire()
@@ -242,8 +252,16 @@ class PatternServer:
             try:
                 writer.write(protocol.encode(response))
                 await writer.drain()
-            except ConnectionError:
-                pass
+            except (OSError, RuntimeError):
+                # The client hung up with this response in flight.  Responses
+                # are awaited by per-request tasks that share the batcher
+                # pipeline with *other* connections, so a write failure here
+                # must stay here: raising would poison the gather in
+                # _on_connection and count as an internal error for work
+                # that actually completed.  RuntimeError covers writes
+                # racing transport/event-loop teardown; ConnectionError is
+                # an OSError subclass.
+                metrics.counter("serve.dropped_responses").inc()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -353,6 +371,7 @@ class PatternServer:
     # -- evaluation --------------------------------------------------------
 
     async def _evaluate_batch(self, key: Any, payloads: list[Any]) -> list[Any]:
+        faults.fire("serve.batch.handler", key=key, n_items=len(payloads))
         loop = asyncio.get_running_loop()
         if isinstance(payloads[0], _ScoreWork):
             return await loop.run_in_executor(

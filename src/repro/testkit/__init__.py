@@ -1,0 +1,43 @@
+"""Correctness tooling: the differential oracle and fault injection.
+
+``repro.testkit`` is the standing regression net for the scaling layers:
+
+* :mod:`repro.testkit.faults` -- a registry of named injection points
+  threaded through ``core/parallel``, ``core/index_cache`` and ``serve``
+  so tests can crash workers, tear cache writes and drop connections on
+  purpose;
+* :mod:`repro.testkit.oracle` -- the differential oracle that evaluates
+  one candidate frontier through every execution path (scalar reference,
+  batched engine, parallel shards, cold/warm cache, streaming chunks,
+  live server round-trip) and pins their agreement in ULPs;
+* :mod:`repro.testkit.datasets` -- the seeded datasets the oracle (and
+  ``repro selfcheck``) runs over.
+
+``faults`` is imported eagerly because production modules call its
+:func:`~repro.testkit.faults.fire` on hot paths and it has no
+dependencies of its own.  ``oracle``/``datasets`` load lazily (PEP 562):
+they import the serve stack, which imports the core modules, which
+import ``faults`` -- eager loading here would be a cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.testkit import faults
+
+__all__ = ["faults", "oracle", "datasets"]
+
+_LAZY = ("oracle", "datasets")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        module = importlib.import_module(f"repro.testkit.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,274 @@
+"""Serving-layer failure modes: torn frames, vanished clients, stale EMA.
+
+Three client-hostile scenarios against a real server on a real socket --
+
+* a peer that dies mid-frame (the torn bytes must never execute as a
+  request, even when they parse as one);
+* a peer that pipelines requests and vanishes without reading (in-flight
+  responses hit a dead transport; nothing may leak into the batcher
+  pipeline other connections share);
+* a batch handler blowing up (one internal-error response, not a wedged
+  batcher)
+
+-- plus unit tests for the admission controller's EMA cold-start fix:
+an idle gap decays the service-time estimate, and a stale estimate alone
+(empty queue) never sheds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import zebranet_dataset
+from repro.serve import PatternServer, ServeConfig, ServingSnapshot, SnapshotStore, protocol
+from repro.serve.batcher import MicroBatcher, OverloadedError, _EMA_IDLE_GRACE
+from repro.testkit import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    dataset = zebranet_dataset(n_trajectories=10, n_ticks=15, seed=23)
+    return ServingSnapshot.from_dataset(dataset, version="v-faults")
+
+
+@pytest.fixture(scope="module")
+def patterns(snapshot):
+    cells = snapshot.engine.active_cells
+    return [[int(cells[0]), int(cells[1])], [int(cells[2])]]
+
+
+def _server(snapshot) -> PatternServer:
+    return PatternServer(
+        SnapshotStore(snapshot), ServeConfig(default_timeout_ms=None)
+    )
+
+
+async def _request(host, port, payload: dict) -> dict:
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=protocol.MAX_LINE_BYTES
+    )
+    writer.write(protocol.encode(payload))
+    await writer.drain()
+    response = protocol.decode_line(await reader.readline())
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    return response
+
+
+class TestTornFrames:
+    def test_torn_shutdown_frame_is_dropped_not_executed(self, snapshot):
+        # The dangerous case: the torn bytes are *valid JSON* for a
+        # shutdown request, only the trailing newline is missing because
+        # the peer died mid-write.  Pre-fix, readline() returned the
+        # partial line at EOF and the server executed it -- one crashing
+        # client could take the whole server down.
+        async def scenario():
+            server = _server(snapshot)
+            host, port = await server.start()
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op": "shutdown"}')  # no newline: torn frame
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)  # let the server observe the EOF
+            shut = server._shutdown.is_set()
+            health = await _request(host, port, {"op": "health", "id": "h"})
+            await server.stop()
+            return shut, health
+
+        shut, health = asyncio.run(scenario())
+        assert not shut  # the torn shutdown never executed
+        assert health["ok"] and health["status"] == "ok"
+
+    def test_torn_garbage_frame_is_dropped(self, snapshot):
+        async def scenario():
+            server = _server(snapshot)
+            host, port = await server.start()
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op": "score", "patt')  # mid-key cutoff
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            health = await _request(host, port, {"op": "health", "id": "h"})
+            await server.stop()
+            return health
+
+        assert asyncio.run(scenario())["ok"]
+
+
+class TestAbruptDisconnect:
+    def test_vanished_client_with_inflight_requests(self, snapshot, patterns):
+        # Pipeline several scores, then RST the connection without reading
+        # a single response.  Every response write hits a dead transport;
+        # none of those failures may surface as an unhandled task error or
+        # disturb a concurrent well-behaved client.
+        async def scenario():
+            unhandled = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, ctx: unhandled.append(ctx)
+            )
+            server = _server(snapshot)
+            host, port = await server.start()
+
+            _, writer = await asyncio.open_connection(host, port)
+            for i in range(6):
+                writer.write(
+                    protocol.encode({"op": "score", "id": i, "patterns": patterns})
+                )
+            await writer.drain()
+            writer.transport.abort()  # RST: no FIN handshake, no reads
+
+            score = await _request(
+                host, port, {"op": "score", "id": "ok", "patterns": patterns}
+            )
+            await asyncio.sleep(0.1)  # let the doomed responses hit the socket
+            health = await _request(host, port, {"op": "health", "id": "h"})
+            await server.stop()
+            return unhandled, score, health
+
+        unhandled, score, health = asyncio.run(scenario())
+        assert unhandled == []
+        assert score["ok"] and len(score["values"]) == len(patterns)
+        assert health["ok"]
+
+
+class TestHandlerFailure:
+    def test_handler_fault_answers_internal_and_recovers(self, snapshot, patterns):
+        # A blown-up batch fails its own requests with an internal error;
+        # the batcher worker survives and the next request evaluates.
+        faults.arm("serve.batch.handler")
+
+        async def scenario():
+            server = _server(snapshot)
+            host, port = await server.start()
+            bad = await _request(
+                host, port, {"op": "score", "id": 1, "patterns": patterns}
+            )
+            good = await _request(
+                host, port, {"op": "score", "id": 2, "patterns": patterns}
+            )
+            await server.stop()
+            return bad, good
+
+        bad, good = asyncio.run(scenario())
+        assert bad["ok"] is False
+        assert bad["error"] == "internal"
+        assert "FaultInjected" in bad["detail"]
+        assert good["ok"]
+        expected = snapshot.engine.nm_batch(
+            [protocol_pattern(p) for p in patterns]
+        )
+        np.testing.assert_allclose(good["values"], expected, rtol=1e-12)
+
+
+def protocol_pattern(cells):
+    from repro.core.pattern import TrajectoryPattern
+
+    return TrajectoryPattern(tuple(cells))
+
+
+class TestEMAColdStart:
+    """The admission controller must not shed on yesterday's load estimate."""
+
+    @staticmethod
+    async def _echo(key, payloads):
+        return payloads
+
+    def test_stale_ema_with_empty_queue_admits(self):
+        # Regression: EMA says 5 s per batch, queue is empty, deadline is
+        # 500 ms out.  Pre-fix, predictive shedding refused this request
+        # ("deadline") purely on the stale estimate; post-fix an empty
+        # queue admits any live deadline.
+        async def scenario():
+            batcher = MicroBatcher(self._echo, max_batch=4, max_delay=0.001)
+            batcher.start()
+            batcher.stats.ema_batch_s = 5.0
+            batcher._last_batch_done = time.monotonic()  # fresh: no decay
+            result = await batcher.submit(
+                "k", 42, deadline=time.monotonic() + 0.5
+            )
+            await batcher.close()
+            return result
+
+        assert asyncio.run(scenario()) == 42
+
+    def test_stale_ema_with_queued_work_still_sheds(self):
+        # The fix must not disable predictive shedding where it is right:
+        # actual queued work behind a slow handler plus a hopeless
+        # deadline is refused up-front.
+        async def scenario():
+            release = asyncio.Event()
+
+            async def slow(key, payloads):
+                await release.wait()
+                return payloads
+
+            batcher = MicroBatcher(slow, max_batch=1, max_delay=0.0)
+            batcher.start()
+            first = asyncio.get_running_loop().create_task(batcher.submit("k", 1))
+            await asyncio.sleep(0.02)  # worker now blocked inside the handler
+            batcher.stats.ema_batch_s = 5.0
+            batcher._last_batch_done = time.monotonic()
+            second = asyncio.get_running_loop().create_task(batcher.submit("k", 2))
+            await asyncio.sleep(0.02)  # second is *queued*, not dispatched
+            assert batcher.queue_depth == 1
+            try:
+                await batcher.submit("k", 3, deadline=time.monotonic() + 0.1)
+                reason = None
+            except OverloadedError as exc:
+                reason = exc.reason
+            release.set()
+            await asyncio.gather(first, second)
+            await batcher.close()
+            return reason
+
+        assert asyncio.run(scenario()) == "deadline"
+
+    def test_idle_decay_halves_per_grace_period(self):
+        clock_now = [0.0]
+        batcher = MicroBatcher(self._echo, max_delay=0.001, clock=lambda: clock_now[0])
+        batcher.stats.ema_batch_s = 2.0
+        batcher._last_batch_done = 0.0
+        grace = _EMA_IDLE_GRACE * 2.0  # max(max_delay, ema) == ema here
+
+        batcher._decay_stale_ema(grace)  # exactly at the grace bound
+        assert batcher.stats.ema_batch_s == 2.0  # within grace: untouched
+        assert batcher._last_batch_done == 0.0
+
+        batcher._decay_stale_ema(2 * grace)  # one full grace period idle
+        assert batcher.stats.ema_batch_s == pytest.approx(2.0 * 0.5**2)
+        assert batcher._last_batch_done == 2 * grace  # anchor advanced
+
+    def test_long_idle_decays_once_not_per_call(self):
+        clock_now = 0.0
+        batcher = MicroBatcher(self._echo, max_delay=0.001, clock=lambda: clock_now)
+        batcher.stats.ema_batch_s = 4.0
+        batcher._last_batch_done = 0.0
+        grace = _EMA_IDLE_GRACE * 4.0
+        batcher._decay_stale_ema(10 * grace)
+        after_first = batcher.stats.ema_batch_s
+        assert after_first == pytest.approx(4.0 * 0.5**10)
+        # Immediately repeated calls see idle == 0 against the advanced
+        # anchor and leave the estimate alone.
+        batcher._decay_stale_ema(10 * grace)
+        assert batcher.stats.ema_batch_s == after_first
+
+    def test_zero_ema_is_untouched(self):
+        batcher = MicroBatcher(self._echo, max_delay=0.001)
+        batcher._last_batch_done = 0.0
+        batcher._decay_stale_ema(1e9)
+        assert batcher.stats.ema_batch_s == 0.0

@@ -1,0 +1,144 @@
+"""Unit tests for the fault-injection registry itself.
+
+The injection points in production code are only as trustworthy as the
+registry's semantics: exact-once firing, context matching, clean disarm.
+The process-killing actions (``exit``/``sigkill``) are exercised end to
+end in ``test_parallel_faults.py`` where there is a worker process to
+kill; here we cover everything that can be observed in-process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestFire:
+    def test_noop_when_nothing_armed(self):
+        faults.fire("some.point", shard=3)  # must not raise
+
+    def test_noop_at_unarmed_point(self):
+        faults.arm("other.point")
+        faults.fire("some.point")
+
+    def test_raises_fault_injected_once_by_default(self):
+        faults.arm("p")
+        with pytest.raises(faults.FaultInjected) as excinfo:
+            faults.fire("p")
+        assert excinfo.value.point == "p"
+        faults.fire("p")  # count exhausted: no-op again
+        assert faults.fired("p") == 1
+
+    def test_count_bounds_firing(self):
+        faults.arm("p", count=2)
+        for _ in range(2):
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("p")
+        faults.fire("p")
+        assert faults.fired("p") == 2
+
+    def test_unlimited_count(self):
+        faults.arm("p", count=None)
+        for _ in range(5):
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("p")
+        assert faults.fired("p") == 5
+
+    def test_custom_exception_instance(self):
+        faults.arm("p", exc=TimeoutError("injected timeout"))
+        with pytest.raises(TimeoutError, match="injected timeout"):
+            faults.fire("p")
+
+
+class TestMatching:
+    def test_match_selects_by_context(self):
+        faults.arm("p", match={"shard": 1})
+        faults.fire("p", shard=0)  # wrong shard: no-op, count untouched
+        assert faults.fired("p") == 0
+        with pytest.raises(faults.FaultInjected):
+            faults.fire("p", shard=1)
+
+    def test_match_requires_every_key(self):
+        faults.arm("p", match={"shard": 1, "op": "nm_batch"})
+        faults.fire("p", shard=1)  # op missing from context
+        faults.fire("p", shard=1, op="match_batch")
+        assert faults.fired("p") == 0
+        with pytest.raises(faults.FaultInjected):
+            faults.fire("p", shard=1, op="nm_batch")
+
+
+class TestCallback:
+    def test_callback_receives_point_and_context(self):
+        seen = []
+        faults.arm("p", "callback", callback=lambda pt, ctx: seen.append((pt, ctx)))
+        faults.fire("p", path="/tmp/x", n=3)
+        assert seen == [("p", {"path": "/tmp/x", "n": 3})]
+
+    def test_callback_may_raise(self):
+        def boom(point, ctx):
+            raise OSError("disk on fire")
+
+        faults.arm("p", "callback", callback=boom)
+        with pytest.raises(OSError, match="disk on fire"):
+            faults.fire("p")
+
+    def test_callback_action_requires_callback(self):
+        with pytest.raises(ValueError, match="requires a callback"):
+            faults.arm("p", "callback")
+
+
+class TestLifecycle:
+    def test_arm_replaces_existing_fault(self):
+        faults.arm("p", count=1)
+        with pytest.raises(faults.FaultInjected):
+            faults.fire("p")
+        faults.arm("p", count=1)  # re-arm resets the fired count
+        with pytest.raises(faults.FaultInjected):
+            faults.fire("p")
+
+    def test_disarm_single_point(self):
+        faults.arm("a")
+        faults.arm("b")
+        faults.disarm("a")
+        assert faults.active() == ["b"]
+        faults.fire("a")
+
+    def test_disarm_all(self):
+        faults.arm("a")
+        faults.arm("b")
+        faults.disarm()
+        assert faults.active() == []
+
+    def test_injected_context_manager_disarms_on_exit(self):
+        with faults.injected("p", count=None):
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("p")
+        assert faults.active() == []
+        faults.fire("p")
+
+    def test_injected_disarms_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with faults.injected("p"):
+                raise RuntimeError("boom")
+        assert faults.active() == []
+
+    def test_fired_of_unarmed_point_is_zero(self):
+        assert faults.fired("nope") == 0
+
+
+class TestValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            faults.arm("p", "explode")
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            faults.arm("p", count=0)
