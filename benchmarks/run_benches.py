@@ -1,594 +1,30 @@
-"""Standalone perf-trajectory runner: engine, mining and serving benches.
+"""Thin shim: the bench suite now lives in :mod:`repro.bench`.
 
-Runs the engine micro-benchmarks (index construction, candidate
-evaluation), a fig4a-style mining workload, the sharded parallel-scaling
-sweep (1/2/4/8 workers) and the index-cache cold/warm comparison, then
-writes ``BENCH_engine.json`` so subsequent PRs have a recorded perf
-trajectory.  The ``serve`` section additionally stands up an in-process
-:class:`~repro.serve.PatternServer` and drives it with the load
-generator, comparing micro-batched against per-request evaluation at
-fixed concurrency and recording shedding behaviour under deliberate 2x
-overload; its report goes to ``BENCH_serve.json``.  Each run is
-*appended* to the file's ``history`` list (keyed by git SHA + timestamp);
-the top-level sections always describe the latest run.  Unlike the
-pytest-benchmark modules this script needs no plugins and explicitly
-compares the batched paths against the scalar reference paths
-(per-pattern ``nm`` loop, per-snapshot index collection, one-item
-serving batches), reporting throughput ratios.
-
-Usage::
+Kept so the historical invocation keeps working::
 
     PYTHONPATH=src python benchmarks/run_benches.py [--sections engine,serve]
+
+New code should prefer ``repro bench`` (see ``repro bench --help``) or
+``python -m repro.bench``; both drive the same suite and append to the
+same ``BENCH_engine.json`` / ``BENCH_serve.json`` history files.
 """
 
 from __future__ import annotations
 
-import argparse
-import asyncio
-import json
-import os
-import platform
-import subprocess
-import tempfile
-import time
-from dataclasses import replace
-from datetime import datetime, timezone
-from pathlib import Path
-
-import numpy as np
-
-from repro.core.engine import EngineConfig, NMEngine
-from repro.core.parallel import ParallelNMEngine
-from repro.core.pattern import TrajectoryPattern
-from repro.core.trajpattern import TrajPatternMiner
-from repro.experiments.datasets import grid_with_cells, zebranet_dataset
-from repro.obs import metrics as obs_metrics
-from repro.obs import tracing
-
-
-class _capture_metrics:
-    """Enable the global registry for a block and keep its final snapshot.
-
-    The benches report instrument values (index-build time, cache hit/miss
-    counts, batch sizes) straight from the observability layer instead of
-    duplicating hand-rolled timers; the registry is returned to its
-    default-off state afterwards so the timed default-path sections stay
-    uninstrumented.
-    """
-
-    def __enter__(self) -> "_capture_metrics":
-        registry = obs_metrics.get_registry()
-        registry.reset()
-        registry.enable()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        registry = obs_metrics.get_registry()
-        self.snapshot = registry.snapshot()
-        registry.disable()
-        registry.reset()
-
-#: Engine micro-bench workload (mirrors benchmarks/test_bench_engine.py).
-ENGINE_WORKLOAD = dict(n_trajectories=50, n_ticks=60, sigma=0.01, seed=7)
-ENGINE_CELL_SIZE = 0.02
-ENGINE_MIN_PROB = 1e-4
-
-#: Mining workload (mirrors the fig4a bench baseline in conftest.py).
-MINING_WORKLOAD = dict(n_trajectories=30, n_ticks=40, sigma=0.01, seed=7)
-MINING_TARGET_CELLS = 1024
-MINING_K = 5
-
-#: Parallel-scaling workload: larger so the build amortises pool startup.
-PARALLEL_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
-PARALLEL_JOBS = (1, 2, 4, 8)
-PARALLEL_N_CANDIDATES = 400
-
-#: Serving workload: big enough that per-pattern evaluation dominates the
-#: NDJSON framing, so the batched-vs-naive ratio measures the batcher.
-SERVE_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
-SERVE_CONCURRENCY = 32
-SERVE_REQUESTS = 640
-SERVE_OVERLOAD_FACTOR = 2.0
-
-
-def _best_of(fn, rounds: int) -> tuple[float, object]:
-    """Best wall time over ``rounds`` calls, plus the last return value."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def bench_index_build(dataset, grid, config, rounds: int) -> dict:
-    """Vectorised vs scalar (reference) index entry collection."""
-    with _capture_metrics() as captured:
-        engine = NMEngine(dataset, grid, config)
-    vec_s, _ = _best_of(engine._collect_index_entries, rounds)
-    scalar_s, _ = _best_of(engine._collect_index_entries_scalar, rounds)
-    return {
-        "n_snapshots": dataset.total_snapshots(),
-        "n_entries": engine.n_index_entries,
-        "scalar_s": scalar_s,
-        "vectorised_s": vec_s,
-        "speedup": scalar_s / vec_s if vec_s > 0 else float("inf"),
-        # engine.index_build_ns as observed by the metrics registry.
-        "metrics": captured.snapshot["histograms"],
-    }
-
-
-def bench_candidate_eval(engine, rounds: int, n_candidates: int = 400) -> dict:
-    """Batched vs scalar evaluation of one mixed-length candidate frontier."""
-    rng = np.random.default_rng(11)
-    cells = engine.active_cells
-    candidates = [
-        TrajectoryPattern(
-            tuple(int(c) for c in rng.choice(cells, size=rng.integers(2, 6)))
-        )
-        for _ in range(n_candidates)
-    ]
-    batched_s, batched_values = _best_of(
-        lambda: engine.nm_batch(candidates), rounds
-    )
-    scalar_s, scalar_values = _best_of(
-        lambda: np.array([engine.nm(p) for p in candidates]), rounds
-    )
-    assert np.allclose(batched_values, scalar_values, atol=1e-9)
-    return {
-        "n_candidates": n_candidates,
-        "scalar_s": scalar_s,
-        "scalar_candidates_per_s": n_candidates / scalar_s,
-        "batched_s": batched_s,
-        "batched_candidates_per_s": n_candidates / batched_s,
-        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
-    }
-
-
-def bench_mining() -> dict:
-    """Fig. 4(a)-style mining wall time with batch instrumentation."""
-    dataset = zebranet_dataset(**MINING_WORKLOAD)
-    grid = grid_with_cells(dataset, MINING_TARGET_CELLS)
-    cell = min(grid.gx, grid.gy)
-    engine = NMEngine(
-        dataset, grid, EngineConfig(delta=cell, min_prob=ENGINE_MIN_PROB)
-    )
-    result = TrajPatternMiner(engine, k=MINING_K).mine()
-    stats = result.stats
-    return {
-        "k": MINING_K,
-        "wall_time_s": stats.wall_time_s,
-        "eval_time_s": stats.eval_time_s,
-        "candidates_evaluated": stats.candidates_evaluated,
-        "candidates_per_s": (
-            stats.candidates_evaluated / stats.eval_time_s
-            if stats.eval_time_s > 0
-            else float("inf")
-        ),
-        "eval_batches": stats.eval_batches,
-        "max_batch_size": stats.max_batch_size,
-        "iterations": stats.iterations,
-        # The run's own registry: miner.eval_ns / miner.batch_size are the
-        # source of truth behind the fields above.
-        "metrics": stats.metrics.snapshot(),
-    }
-
-
-def _random_candidates(engine, n: int, seed: int = 11) -> list[TrajectoryPattern]:
-    rng = np.random.default_rng(seed)
-    cells = engine.active_cells
-    return [
-        TrajectoryPattern(
-            tuple(int(c) for c in rng.choice(cells, size=rng.integers(2, 6)))
-        )
-        for _ in range(n)
-    ]
-
-
-def bench_parallel_scaling(rounds: int) -> dict:
-    """Sharded build + frontier eval at 1/2/4/8 workers vs the serial engine.
-
-    Times are honest wall-clock on this machine; ``cpu_count`` is recorded
-    because multi-worker speedups are only physically possible with
-    multiple cores (on a 1-core box the sharded paths measure pure
-    orchestration overhead).
-    """
-    dataset = zebranet_dataset(**PARALLEL_WORKLOAD)
-    grid = dataset.make_grid(ENGINE_CELL_SIZE)
-    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
-
-    t0 = time.perf_counter()
-    serial = NMEngine(dataset, grid, config)
-    serial_build_s = time.perf_counter() - t0
-    candidates = _random_candidates(serial, PARALLEL_N_CANDIDATES)
-    serial_eval_s, reference = _best_of(lambda: serial.nm_batch(candidates), rounds)
-
-    workers = {}
-    for jobs in PARALLEL_JOBS:
-        t0 = time.perf_counter()
-        engine = ParallelNMEngine(dataset, grid, config, jobs=jobs)
-        build_s = time.perf_counter() - t0
-        try:
-            eval_s, values = _best_of(lambda: engine.nm_batch(candidates), rounds)
-            assert np.allclose(values, reference, atol=1e-9)
-            assert engine.n_index_entries == serial.n_index_entries
-        finally:
-            engine.close()
-        workers[str(jobs)] = {"build_s": build_s, "eval_s": eval_s}
-    base = workers[str(PARALLEL_JOBS[0])]
-    for entry in workers.values():
-        entry["build_speedup_vs_1worker"] = base["build_s"] / entry["build_s"]
-        entry["eval_speedup_vs_1worker"] = base["eval_s"] / entry["eval_s"]
-    return {
-        "cpu_count": os.cpu_count(),
-        "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
-        "n_candidates": PARALLEL_N_CANDIDATES,
-        "serial": {"build_s": serial_build_s, "eval_s": serial_eval_s},
-        "workers": workers,
-    }
-
-
-def bench_index_cache(rounds: int) -> dict:
-    """Cold index build vs warm start from the on-disk cache.
-
-    Uses the larger parallel workload: the cache pays off proportionally to
-    the probability enumeration it skips, so a trivially small index would
-    mostly measure ``.npz`` open overhead.
-    """
-    dataset = zebranet_dataset(**PARALLEL_WORKLOAD)
-    grid = dataset.make_grid(ENGINE_CELL_SIZE)
-    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
-    cold_s = float("inf")
-    with _capture_metrics() as captured:
-        with tempfile.TemporaryDirectory() as tmp:
-            cached = replace(config, cache_dir=tmp)
-            for i in range(rounds):
-                with tempfile.TemporaryDirectory() as cold_dir:
-                    t0 = time.perf_counter()
-                    NMEngine(dataset, grid, replace(config, cache_dir=cold_dir))
-                    cold_s = min(cold_s, time.perf_counter() - t0)
-            NMEngine(dataset, grid, cached)  # populate the warm cache
-            warm_s, engine = _best_of(
-                lambda: NMEngine(dataset, grid, cached), rounds
-            )
-            assert engine.index_cache_hit
-    counters = captured.snapshot["counters"]
-    assert counters.get("index.cache.hit", 0) >= rounds
-    return {
-        "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
-        "n_entries": engine.n_index_entries,
-        "cold_build_s": cold_s,
-        "warm_load_s": warm_s,
-        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
-        # Cache hit/miss/write counts and per-build timings straight from
-        # the observability layer.
-        "metrics": {
-            "counters": counters,
-            "index_build_ns": captured.snapshot["histograms"].get(
-                "engine.index_build_ns"
-            ),
-        },
-    }
-
-
-def bench_obs_overhead(engine, rounds: int, n_candidates: int = 400) -> dict:
-    """Batched-evaluation throughput with observability off vs fully on.
-
-    ``disabled`` is the default state every other bench runs in (no
-    registry, no tracer: hot paths pay one global read per instrumentation
-    point); ``enabled`` turns on both the metrics registry and an
-    in-memory tracer.  The acceptance bar for the instrumentation layer is
-    that ``disabled`` throughput stays within a few percent of the
-    pre-instrumentation history entries.
-    """
-    candidates = _random_candidates(engine, n_candidates)
-    disabled_s, _ = _best_of(lambda: engine.nm_batch(candidates), rounds)
-
-    registry = obs_metrics.get_registry()
-    sink = tracing.BufferSink()
-    tracing.configure_tracing(sink=sink)
-    registry.reset()
-    registry.enable()
-    try:
-        enabled_s, _ = _best_of(lambda: engine.nm_batch(candidates), rounds)
-    finally:
-        tracing.disable_tracing()
-        registry.disable()
-        registry.reset()
-    return {
-        "n_candidates": n_candidates,
-        "disabled_s": disabled_s,
-        "disabled_candidates_per_s": n_candidates / disabled_s,
-        "enabled_s": enabled_s,
-        "enabled_candidates_per_s": n_candidates / enabled_s,
-        "enabled_overhead_pct": (
-            (enabled_s / disabled_s - 1.0) * 100.0 if disabled_s > 0 else 0.0
-        ),
-        "spans_emitted": len(sink.records),
-    }
-
-
-async def _serve_leg(
-    snapshot, serve_kwargs: dict, loadgen_kwargs: dict
-) -> tuple[dict, dict]:
-    """One server lifetime driven by one loadgen run.
-
-    Returns ``(loadgen_report, server_stats)``; the server is stopped
-    before returning so legs never share an event-loop or a port.
-    """
-    from repro.serve import LoadgenConfig, PatternServer, ServeConfig, SnapshotStore
-    from repro.serve.loadgen import run_loadgen
-
-    server = PatternServer(SnapshotStore(snapshot), ServeConfig(port=0, **serve_kwargs))
-    host, port = await server.start()
-    try:
-        report = await run_loadgen(
-            LoadgenConfig(host=host, port=port, **loadgen_kwargs)
-        )
-        stats = server.stats()
-    finally:
-        await server.stop()
-    return report, stats
-
-
-def bench_serve() -> dict:
-    """Micro-batched vs per-request serving throughput, plus overload.
-
-    Three legs against the same snapshot:
-
-    * ``batched``  -- closed loop at ``SERVE_CONCURRENCY`` with the default
-      micro-batcher (coalesces concurrent requests into one
-      ``nm_batch`` call).
-    * ``naive``    -- identical load, ``max_batch=1``: every request pays
-      its own executor hop and single-pattern evaluation.  The
-      ``batching_speedup`` ratio is the acceptance number.
-    * ``overload`` -- open loop at ``SERVE_OVERLOAD_FACTOR`` x the batched
-      throughput with a small queue and tight deadline: the server must
-      shed explicitly (``overloaded`` responses) while the admitted
-      requests keep a bounded p99.
-    """
-    from repro.serve import ServingSnapshot
-
-    dataset = zebranet_dataset(**SERVE_WORKLOAD)
-    with tempfile.TemporaryDirectory() as cache_dir:
-        snapshot = ServingSnapshot.from_dataset(
-            dataset,
-            min_prob=ENGINE_MIN_PROB,
-            cache_dir=cache_dir,
-            source="bench",
-        )
-        load = dict(
-            requests=SERVE_REQUESTS,
-            concurrency=SERVE_CONCURRENCY,
-            op="score",
-            measure="nm",
-            patterns_per_request=1,
-            seed=0,
-        )
-        batched, batched_stats = asyncio.run(
-            _serve_leg(
-                snapshot,
-                dict(max_batch=64, max_delay_ms=2.0, max_queue=2048,
-                     default_timeout_ms=60_000.0),
-                load,
-            )
-        )
-        naive, _ = asyncio.run(
-            _serve_leg(
-                snapshot,
-                dict(max_batch=1, max_delay_ms=0.0, max_queue=2048,
-                     default_timeout_ms=60_000.0),
-                load,
-            )
-        )
-        overload_qps = SERVE_OVERLOAD_FACTOR * batched["achieved_qps"]
-        overload, overload_stats = asyncio.run(
-            _serve_leg(
-                snapshot,
-                dict(max_batch=64, max_delay_ms=2.0, max_queue=128,
-                     default_timeout_ms=250.0),
-                {**load, "qps": overload_qps,
-                 "requests": max(SERVE_REQUESTS, int(overload_qps * 2.0))},
-            )
-        )
-
-    assert batched["errors"] == 0 and naive["errors"] == 0
-    assert overload["errors"] == 0
-    speedup = (
-        batched["achieved_qps"] / naive["achieved_qps"]
-        if naive["achieved_qps"] > 0
-        else float("inf")
-    )
-    shed_fraction = (
-        overload["overloaded"] / overload["completed"]
-        if overload["completed"]
-        else 0.0
-    )
-    return {
-        "workload": dict(SERVE_WORKLOAD),
-        "snapshot": snapshot.describe(),
-        "concurrency": SERVE_CONCURRENCY,
-        "requests": SERVE_REQUESTS,
-        "batched": {**batched, "batcher": batched_stats.get("batcher")},
-        "naive": naive,
-        "batching_speedup": speedup,
-        "overload": {
-            **overload,
-            "target_qps": overload_qps,
-            "shed_fraction": shed_fraction,
-            "batcher": overload_stats.get("batcher"),
-        },
-    }
-
-
-def run_serve() -> dict:
-    return {
-        "generated_by": "benchmarks/run_benches.py",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "serve": bench_serve(),
-    }
-
-
-def run(rounds: int = 3) -> dict:
-    dataset = zebranet_dataset(**ENGINE_WORKLOAD)
-    grid = dataset.make_grid(ENGINE_CELL_SIZE)
-    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
-
-    index_build = bench_index_build(dataset, grid, config, rounds)
-    engine = NMEngine(dataset, grid, config)
-    candidate_eval = bench_candidate_eval(engine, rounds)
-    obs_overhead = bench_obs_overhead(engine, rounds)
-    mining = bench_mining()
-    parallel_scaling = bench_parallel_scaling(rounds)
-    index_cache = bench_index_cache(rounds)
-
-    return {
-        "generated_by": "benchmarks/run_benches.py",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "rounds": rounds,
-        "engine_workload": {
-            **ENGINE_WORKLOAD,
-            "cell_size": ENGINE_CELL_SIZE,
-            "min_prob": ENGINE_MIN_PROB,
-        },
-        "mining_workload": {
-            **MINING_WORKLOAD,
-            "target_cells": MINING_TARGET_CELLS,
-            "k": MINING_K,
-        },
-        "index_build": index_build,
-        "candidate_eval": candidate_eval,
-        "obs_overhead": obs_overhead,
-        "mining": mining,
-        "parallel_scaling": parallel_scaling,
-        "index_cache": index_cache,
-    }
-
-
-def _git_sha() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            cwd=Path(__file__).resolve().parent,
-        )
-        return out.stdout.strip() or "unknown"
-    except OSError:
-        return "unknown"
-
-
-def _load_history(output: Path) -> list:
-    """History entries from a previous report file, tolerating old formats."""
-    if not output.exists():
-        return []
-    try:
-        previous = json.loads(output.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
-        return []
-    history = previous.get("history")
-    if isinstance(history, list):
-        return history
-    # Pre-history report: preserve it as the first entry rather than drop it.
-    previous.pop("history", None)
-    return [{"git_sha": "unknown", "timestamp": None, "report": previous}]
-
-
-def _write_report(output: Path, report: dict) -> int:
-    """Append ``report`` to ``output``'s history and rewrite the file."""
-    history = _load_history(output)
-    history.append(
-        {
-            "git_sha": _git_sha(),
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "report": report,
-        }
-    )
-    output.write_text(
-        json.dumps({**report, "history": history}, indent=2) + "\n",
-        encoding="utf-8",
-    )
-    return len(history)
-
-
-def _print_serve(sv: dict) -> None:
-    batched, naive, overload = sv["batched"], sv["naive"], sv["overload"]
-    print(f"serve batched:  {batched['achieved_qps']:.0f} req/s "
-          f"p99 {batched['latency']['p99_ms']:.1f}ms  "
-          f"(batches of up to {batched['batcher']['max_batch_size']})")
-    print(f"serve naive:    {naive['achieved_qps']:.0f} req/s "
-          f"p99 {naive['latency']['p99_ms']:.1f}ms  "
-          f"-> batching {sv['batching_speedup']:.1f}x")
-    print(f"serve overload: {overload['target_qps']:.0f} req/s offered, "
-          f"{overload['ok']} ok / {overload['overloaded']} shed "
-          f"({overload['shed_fraction']:.0%}), "
-          f"admitted p99 {overload['latency']['p99_ms']:.1f}ms")
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
-        help="where to write the engine JSON report (default: repo root)",
-    )
-    parser.add_argument(
-        "--serve-output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
-        help="where to write the serving JSON report (default: repo root)",
-    )
-    parser.add_argument(
-        "--sections",
-        default="engine,serve",
-        help="comma-separated sections to run: engine, serve",
-    )
-    parser.add_argument(
-        "--rounds", type=int, default=3, help="timing rounds per measurement"
-    )
-    args = parser.parse_args()
-    sections = {s.strip() for s in args.sections.split(",") if s.strip()}
-    unknown = sections - {"engine", "serve"}
-    if unknown:
-        parser.error(f"unknown sections: {sorted(unknown)}")
-
-    if "serve" in sections:
-        serve_report = run_serve()
-        n = _write_report(args.serve_output, serve_report)
-        _print_serve(serve_report["serve"])
-        print(f"wrote {args.serve_output} ({n} history entries)")
-    if "engine" not in sections:
-        return
-
-    report = run(rounds=args.rounds)
-    n_entries = _write_report(args.output, report)
-
-    ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
-    print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
-          f"vectorised {ib['vectorised_s']:.3f}s  ({ib['speedup']:.1f}x)")
-    print(f"candidate eval: scalar {ce['scalar_candidates_per_s']:.0f}/s  "
-          f"batched {ce['batched_candidates_per_s']:.0f}/s  ({ce['speedup']:.1f}x)")
-    print(f"mining:         {mi['wall_time_s']:.3f}s wall, "
-          f"{mi['candidates_evaluated']} candidates in {mi['eval_batches']} batches")
-    oo = report["obs_overhead"]
-    print(f"obs overhead:   off {oo['disabled_candidates_per_s']:.0f}/s  "
-          f"on {oo['enabled_candidates_per_s']:.0f}/s  "
-          f"({oo['enabled_overhead_pct']:+.1f}%)")
-    ps, ic = report["parallel_scaling"], report["index_cache"]
-    scaling = "  ".join(
-        f"{jobs}w {entry['build_s']:.2f}s/{entry['eval_s'] * 1e3:.0f}ms"
-        for jobs, entry in ps["workers"].items()
-    )
-    print(f"parallel:       cpus {ps['cpu_count']}, serial build "
-          f"{ps['serial']['build_s']:.2f}s, build/eval per workers: {scaling}")
-    print(f"index cache:    cold {ic['cold_build_s']:.3f}s  "
-          f"warm {ic['warm_load_s']:.3f}s  ({ic['speedup']:.1f}x)")
-    print(f"wrote {args.output} ({n_entries} history entries)")
-
+from repro.bench import (  # noqa: F401  (re-exported for older scripts)
+    ENGINE_WORKLOAD,
+    bench_candidate_eval,
+    bench_index_build,
+    bench_index_cache,
+    bench_kernel_backends,
+    bench_mining,
+    bench_obs_overhead,
+    bench_parallel_scaling,
+    bench_serve,
+    main,
+    run,
+    run_serve,
+)
 
 if __name__ == "__main__":
     main()

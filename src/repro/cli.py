@@ -208,7 +208,7 @@ def _obs_finish(
 def _cmd_mine(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
-    from repro.core import index_cache
+    from repro.core import index_cache, kernels
     from repro.core.engine import EngineConfig, NMEngine
     from repro.core.parameters import suggest_parameters
     from repro.core.results_io import save_mining_result
@@ -230,6 +230,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_prob=args.min_prob,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        backend=args.backend,
+        dtype=args.dtype,
         log_level=args.log_level,
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
@@ -248,7 +250,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                     engine = NMEngine(dataset, grid, engine_config)
                 print(
                     f"dataset: {len(dataset)} trajectories, grid {grid.nx}x{grid.ny}, "
-                    f"delta {delta:.6g}, jobs {engine_config.jobs}"
+                    f"delta {delta:.6g}, jobs {engine_config.jobs}, "
+                    f"backend {engine.backend_name}/{engine.backend_dtype}"
                     + (", index cache hit" if engine.index_cache_hit else "")
                 )
                 result = TrajPatternMiner(
@@ -273,9 +276,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         dataset_fingerprint=index_cache.dataset_fingerprint(dataset),
         config=engine_config,
         timer=timer,
-        extra_metrics=(
-            {"parallel": parallel_snapshot} if parallel_snapshot else None
-        ),
+        extra_metrics={
+            "kernel_backend": kernels.backend_summary(engine_config),
+            **({"parallel": parallel_snapshot} if parallel_snapshot else {}),
+        },
     )
     return 0
 
@@ -284,6 +288,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
     import hashlib
     from pathlib import Path
 
+    from repro.core import kernels
     from repro.core.engine import EngineConfig
     from repro.core.results_io import load_mining_result
     from repro.core.streaming import StreamingNMEngine
@@ -298,6 +303,8 @@ def _cmd_score(args: argparse.Namespace) -> int:
         delta=args.delta,
         min_prob=args.min_prob,
         cache_dir=args.cache_dir,
+        backend=args.backend,
+        dtype=args.dtype,
         log_level=args.log_level,
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
@@ -322,6 +329,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
         ).hexdigest(),
         config=engine_config,
         timer=timer,
+        extra_metrics={"kernel_backend": kernels.backend_summary(engine_config)},
     )
     return 0
 
@@ -349,7 +357,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         enable_metrics=args.metrics_out is not None,
     )
-    snapshot = ServingSnapshot.load(args.snapshot, cache_dir=args.cache_dir)
+    snapshot = ServingSnapshot.load(
+        args.snapshot,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        dtype=args.dtype,
+    )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -368,7 +381,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving snapshot {snapshot.version} on {host}:{port} "
             f"(batch<={config.max_batch}, window {config.max_delay_ms}ms, "
-            f"queue<={config.max_queue})",
+            f"queue<={config.max_queue}, backend "
+            f"{snapshot.engine.backend_name}/{snapshot.engine.backend_dtype})",
             flush=True,
         )
         await server.serve_until_shutdown()
@@ -431,6 +445,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report["errors"] == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    return bench.run_suites(
+        suite=args.suite, output_dir=args.output_dir, rounds=args.rounds
+    )
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.testkit.oracle import DEFAULT_SEEDS, run_oracle
 
@@ -447,6 +469,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
             quick=args.quick,
             jobs_grid=jobs_grid,
             include_serve=not args.no_serve,
+            backends=args.backends,
         )
         print(report.describe())
         if not report.ok:
@@ -460,6 +483,27 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 
 
 # -- entry point -------------------------------------------------------------------
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Kernel-backend flags shared by the engine-building commands."""
+    group = parser.add_argument_group("kernel backend")
+    group.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "auto"],
+        default="auto",
+        help=(
+            "numeric kernel backend: 'compiled' (native loops; falls back to "
+            "numpy with a warning when no toolchain is available), 'numpy' "
+            "(the reference), or 'auto' (compiled when available; default)"
+        ),
+    )
+    group.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="value dtype the evaluation kernels run in (default float64)",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -557,6 +601,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the persistent index cache (off when omitted)",
     )
     mine.add_argument("--show", type=int, default=10)
+    _add_backend_arguments(mine)
     _add_obs_arguments(mine)
     mine.set_defaults(func=_cmd_mine)
 
@@ -575,6 +620,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for per-chunk index caches (off when omitted)",
     )
     score.add_argument("--show", type=int, default=10)
+    _add_backend_arguments(score)
     _add_obs_arguments(score)
     score.set_defaults(func=_cmd_score)
 
@@ -631,6 +677,7 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="cache_dir",
         help="persistent index cache; makes snapshot loads/swaps warm-start",
     )
+    _add_backend_arguments(serve)
     serve.add_argument("--log-level", default=None, dest="log_level")
     serve.add_argument("--trace-out", default=None, dest="trace_out")
     serve.add_argument("--metrics-out", default=None, dest="metrics_out")
@@ -697,7 +744,46 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="no_serve",
         help="skip the live-server round-trip path",
     )
+    selfcheck.add_argument(
+        "--backends",
+        choices=["default", "all"],
+        default="default",
+        help=(
+            "'all': additionally score every kernel backend x dtype "
+            "combination (unavailable ones are reported as explicit skips)"
+        ),
+    )
     selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run the performance benchmark suite (engine, scaling, kernel "
+            "backends, serving) and append to the BENCH_*.json history files"
+        ),
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["all", "engine", "kernels", "serve"],
+        default="all",
+        help=(
+            "which benchmark family to run (default all = engine + serve; "
+            "'kernels' is the fast backend-comparison loop)"
+        ),
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=None,
+        dest="output_dir",
+        help="where the BENCH_*.json history files live (default: repo root)",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="timing rounds per measurement (default 3)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -54,7 +54,8 @@ from typing import Sequence
 import numpy as np
 from scipy import special
 
-from repro.core import index_cache
+from repro.core import index_cache, kernels
+from repro.core.kernels import ScratchArena
 from repro.obs import logs, metrics, tracing
 from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.geometry.grid import Grid
@@ -64,7 +65,9 @@ from repro.uncertainty.gaussian import ProbModel, prob_within
 #: Snapshots enumerated per vectorised index-build round (bounds the size of
 #: the in-flight (snapshot, cell) pair arrays).
 _INDEX_ROW_CHUNK = 8192
-#: (snapshot, cell) pairs evaluated per ``prob_within`` call.
+#: Default (snapshot, cell) pairs evaluated per ``prob_within`` call; the
+#: live value is the ``EngineConfig.prob_chunk_size`` knob (see
+#: :func:`autotune_prob_chunk`).
 _INDEX_PAIR_CHUNK = 1 << 20
 #: Matrix cells per batched-evaluation round: nm/match batches are split so
 #: the per-round ``n_patterns * n_trajectories`` maxima matrix, and dense
@@ -100,6 +103,28 @@ class EngineConfig:
         Number of materialised per-cell dense columns kept in an LRU cache;
         candidate patterns reuse cells heavily, so this trades memory for a
         large constant-factor win during mining.
+    backend:
+        Kernel backend for the hot loops (:mod:`repro.core.kernels`):
+        ``"numpy"`` (default -- the reference implementation), ``"compiled"``
+        (numba or the native C library; falls back to numpy with a warning
+        when no toolchain is available) or ``"auto"`` (compiled when
+        available, else numpy, silently).  Excluded from the index cache
+        key except through the Prob-kernel tag: compiled box-``Prob``
+        builds use libm ``erf`` and are keyed separately (see
+        :func:`repro.core.kernels.prob_kernel_tag`).
+    dtype:
+        Value dtype of the evaluation kernels: ``"float64"`` (default) or
+        ``"float32"``.  The index is always *built* and cached in float64;
+        float32 mode casts the stored values once at install time and runs
+        the batched kernels in float32 (API outputs stay float64).
+        Excluded from the cache key.
+    prob_chunk_size:
+        (snapshot, cell) pairs evaluated per ``prob_within`` call during
+        index construction.  Bounds peak memory of the build; the default
+        (2^20) is a good fit for most machines and
+        :func:`autotune_prob_chunk` measures the best value empirically.
+        Chunking never changes results (each pair is evaluated
+        independently), which the test suite pins at 0 ULPs.
     jobs:
         Worker processes for sharded evaluation.  The engine itself ignores
         this (one :class:`NMEngine` is always single-process); it is read by
@@ -129,6 +154,9 @@ class EngineConfig:
     radius_sigmas: float | None = None
     max_cells_per_snapshot: int = 4096
     column_cache_size: int = 256
+    backend: str = "numpy"
+    dtype: str = "float64"
+    prob_chunk_size: int = _INDEX_PAIR_CHUNK
     jobs: int = 1
     cache_dir: str | Path | None = None
     log_level: str | None = None
@@ -146,6 +174,17 @@ class EngineConfig:
             raise ValueError("max_cells_per_snapshot must be positive")
         if self.column_cache_size <= 0:
             raise ValueError("column_cache_size must be positive")
+        if self.backend not in kernels.BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {kernels.BACKEND_CHOICES}, "
+                f"got {self.backend!r}"
+            )
+        if self.dtype not in kernels.DTYPE_CHOICES:
+            raise ValueError(
+                f"dtype must be one of {kernels.DTYPE_CHOICES}, got {self.dtype!r}"
+            )
+        if self.prob_chunk_size < 1:
+            raise ValueError("prob_chunk_size must be positive")
         if self.jobs < 1:
             raise ValueError("jobs must be at least 1")
 
@@ -211,6 +250,9 @@ class NMEngine:
         self.grid = grid
         self.config = config
         self._floor = config.min_log_prob
+        self._kernels = kernels.resolve_backend(config.backend, config.dtype)
+        self._dtype = self._kernels.dtype
+        self._arena = ScratchArena()
 
         lengths = np.array([len(t) for t in dataset], dtype=np.int64)
         self._lengths = lengths
@@ -235,6 +277,7 @@ class NMEngine:
         self._flat_cells = np.empty(0, dtype=np.int64)
         self._flat_rows = np.empty(0, dtype=np.int64)
         self._flat_vals = np.empty(0)
+        self._flat_vals_k = np.empty(0, dtype=self._dtype)
         self._seg_starts = np.empty(0, dtype=np.int64)
         self._seg_traj = np.empty(0, dtype=np.int64)
         self._cell_seg_starts = np.empty(0, dtype=np.int64)
@@ -249,6 +292,7 @@ class NMEngine:
                 self._build_index()
             span.set_attr("n_entries", self.n_index_entries)
             span.set_attr("cache_hit", self.index_cache_hit)
+        metrics.counter(f"engine.backend.{self._kernels.name}").inc()
         _log.debug(
             "engine index ready",
             extra={
@@ -257,6 +301,8 @@ class NMEngine:
                 "n_snapshots": self._total_rows,
                 "cache_hit": self.index_cache_hit,
                 "prebuilt": prebuilt is not None,
+                "backend": self._kernels.name,
+                "dtype": str(self._dtype),
             },
         )
 
@@ -281,6 +327,16 @@ class NMEngine:
         """Number of stored (snapshot, cell) probability entries."""
         return int(len(self._flat_cells))
 
+    @property
+    def backend_name(self) -> str:
+        """The kernel implementation actually running ("numpy"/"numba"/"cnative")."""
+        return str(self._kernels.name)
+
+    @property
+    def backend_dtype(self) -> str:
+        """Value dtype of the evaluation kernels ("float64"/"float32")."""
+        return str(self._dtype)
+
     # -- index construction ------------------------------------------------------
 
     def _collect_index_entries(
@@ -291,12 +347,14 @@ class NMEngine:
         All snapshot neighbourhoods of a row chunk are enumerated with one
         :meth:`~repro.geometry.grid.Grid.cells_near_many` call and ``Prob``
         is evaluated over the concatenated (snapshot, cell) pairs in bounded
-        chunks; only the (rare) per-snapshot cap falls back to a Python loop
-        over the few snapshots that exceed it.
+        chunks of ``config.prob_chunk_size`` pairs, through the configured
+        kernel backend; only the (rare) per-snapshot cap falls back to a
+        Python loop over the few snapshots that exceed it.
         """
         cfg = self.config
         radius_sigmas = cfg.effective_radius_sigmas()
         cap = cfg.max_cells_per_snapshot
+        pair_chunk = cfg.prob_chunk_size
         means = self.dataset.all_means()
         sigmas = np.concatenate([t.sigmas for t in self.dataset])
         radii = radius_sigmas * sigmas + cfg.delta
@@ -310,14 +368,15 @@ class NMEngine:
             if not len(cells):
                 continue
             probs = np.empty(len(cells))
-            for s in range(0, len(cells), _INDEX_PAIR_CHUNK):
-                e = min(s + _INDEX_PAIR_CHUNK, len(cells))
-                probs[s:e] = prob_within(
+            for s in range(0, len(cells), pair_chunk):
+                e = min(s + pair_chunk, len(cells))
+                self._kernels.prob_within(
                     means[lo + owners[s:e]],
                     sigmas[lo + owners[s:e]],
                     self.grid.cell_centers(cells[s:e]),
                     cfg.delta,
                     model=cfg.prob_model,
+                    out=probs[s:e],
                 )
             keep = probs > cfg.min_prob
             cells, owners, probs = cells[keep], owners[keep], probs[keep]
@@ -388,7 +447,12 @@ class NMEngine:
         cache_dir = self.config.cache_dir
         key = None
         if cache_dir is not None:
-            key = index_cache.cache_key(self.dataset, self.grid, self.config)
+            key = index_cache.cache_key(
+                self.dataset,
+                self.grid,
+                self.config,
+                kernel_tag=kernels.prob_kernel_tag(self.config),
+            )
             loaded = index_cache.load_index(
                 cache_dir, key, n_rows=self._total_rows, n_cells=self.grid.n_cells
             )
@@ -420,6 +484,20 @@ class NMEngine:
         """
         return self._flat_cells, self._flat_rows, self._flat_vals
 
+    def install_index(
+        self, cells: np.ndarray, rows: np.ndarray, vals: np.ndarray
+    ) -> None:
+        """Replace the engine's flat index with new entry triples, in place.
+
+        Every derived structure (per-cell bounds, segment maxima, dense
+        columns, entry lookup) is rebuilt or invalidated, so a replaced
+        engine is indistinguishable from one constructed cold over the
+        same triples -- the invalidation tests pin this bit-exactly.
+        """
+        self._install_index(
+            np.asarray(cells), np.asarray(rows), np.asarray(vals)
+        )
+
     def _install_index(
         self, all_cells: np.ndarray, all_rows: np.ndarray, all_vals: np.ndarray
     ) -> None:
@@ -430,7 +508,22 @@ class NMEngine:
         Already-sorted input (a cache payload or a shard slice of one)
         skips the lexsort, keeping warm starts array-speed.
         """
+        # Installing (or re-installing) invalidates everything derived
+        # from the previous flat arrays.
+        self._seg_max = None
+        self._entry_bounds = None
+        self._column_cache.clear()
         if not len(all_cells):
+            self._cell_ids = np.empty(0, dtype=np.int64)
+            self._cell_bounds = np.zeros(1, dtype=np.int64)
+            self._flat_cells = np.empty(0, dtype=np.int64)
+            self._flat_rows = np.empty(0, dtype=np.int64)
+            self._flat_vals = np.empty(0)
+            self._flat_vals_k = np.empty(0, dtype=self._dtype)
+            self._seg_starts = np.empty(0, dtype=np.int64)
+            self._seg_traj = np.empty(0, dtype=np.int64)
+            self._cell_seg_starts = np.empty(0, dtype=np.int64)
+            self._flat_cell_order = np.empty(0, dtype=np.int64)
             return
         all_cells = np.ascontiguousarray(all_cells, dtype=np.int64)
         all_rows = np.ascontiguousarray(all_rows, dtype=np.int64)
@@ -457,6 +550,13 @@ class NMEngine:
         self._flat_cells = all_cells
         self._flat_rows = all_rows
         self._flat_vals = all_vals
+        # The kernels run in the configured dtype; float64 shares storage,
+        # float32 casts once here (the cache stays float64 either way).
+        self._flat_vals_k = (
+            all_vals
+            if self._dtype == np.float64
+            else all_vals.astype(self._dtype)
+        )
         entry_traj = self._row_traj[all_rows]
         if len(all_rows):
             change = np.nonzero(
@@ -557,32 +657,6 @@ class NMEngine:
             self._entry_bounds = (start, count)
         return self._entry_bounds
 
-    def _offset_entries(
-        self, cells_j: np.ndarray, j: int, n_windows: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
-        """Index entries touched at pattern offset ``j`` across a batch.
-
-        ``cells_j[i]`` is pattern ``i``'s cell at position ``j``.  Returns
-        ``(pattern_row, window_start, deviation)`` triples -- one per index
-        entry of those cells whose shifted row lands on an in-range window
-        start -- where ``deviation = value - floor > 0``.  Wildcards (and
-        inactive cells) contribute nothing.  ``None`` when the offset
-        touches no entries at all.
-        """
-        start, count = self._entry_lookup()
-        safe = np.where(cells_j >= 0, cells_j, 0)
-        counts_j = np.where(cells_j >= 0, count[safe], 0)
-        total = int(counts_j.sum())
-        if total == 0:
-            return None
-        pat = np.repeat(np.arange(len(cells_j), dtype=np.int64), counts_j)
-        firsts = np.cumsum(counts_j) - counts_j
-        rank = np.arange(total, dtype=np.int64) - np.repeat(firsts, counts_j)
-        flat_pos = np.repeat(start[safe], counts_j) + rank
-        wrow = self._flat_rows[flat_pos] - j
-        keep = (wrow >= 0) & (wrow < n_windows)
-        return pat[keep], wrow[keep], self._flat_vals[flat_pos[keep]] - self._floor
-
     def _stacked_window_scores(
         self,
         patterns: Sequence[TrajectoryPattern],
@@ -593,24 +667,31 @@ class NMEngine:
         Row ``i`` holds the window sums of ``patterns[i]`` over the first
         ``n_windows`` global window starts.  Each row starts at its
         pattern's all-floor baseline and the sparse entry deviations are
-        scattered on top, one shifted gather per position -- no dense
-        per-cell columns are materialised, so the cost is proportional to
-        the index entries the batch actually touches.
+        scattered on top through the kernel backend -- no dense per-cell
+        columns are materialised, so the cost is proportional to the index
+        entries the batch actually touches.
+
+        The result is an arena-backed scratch matrix: it is only valid
+        until the next stacked call on this engine, so callers that let
+        rows escape must copy them.
         """
-        m = len(patterns[0])
         cells_matrix = np.array([p.cells for p in patterns], dtype=np.int64)
         n_spec = (cells_matrix != WILDCARD).sum(axis=1)
-        scores = np.empty((len(patterns), n_windows))
-        scores[:] = (self._floor * n_spec)[:, None]
-        flat = scores.ravel()
-        for j in range(m):
-            triples = self._offset_entries(cells_matrix[:, j], j, n_windows)
-            if triples is None:
-                continue
-            pat, wrow, dev = triples
-            # One offset yields at most one entry per (pattern, window), so
-            # the fancy-indexed add has no duplicate targets.
-            flat[pat * n_windows + wrow] += dev
+        start, count = self._entry_lookup()
+        scores = self._arena.get(
+            "stacked.out", (len(patterns), n_windows), self._dtype
+        )
+        self._kernels.stacked_scores(
+            cells_matrix,
+            n_spec,
+            start,
+            count,
+            self._flat_rows,
+            self._flat_vals_k,
+            self._floor,
+            n_windows,
+            scores,
+        )
         return scores
 
     def _group_by_length(
@@ -665,47 +746,32 @@ class NMEngine:
         A window's score is its pattern's all-floor baseline plus the (all
         strictly positive) deviations of the index entries it touches, so
         the per-trajectory best window is the baseline plus ``max(0, best
-        summed deviation over the trajectory's valid windows)``.  This
-        gathers the touched triples per offset, sums duplicates per
-        ``(pattern, window)`` key, and segment-reduces the maxima -- never
-        materialising anything of size ``n_patterns * n_windows``.
+        summed deviation over the trajectory's valid windows)``.  The
+        reduction itself lives behind the kernel backend
+        (:mod:`repro.core.kernels`); nothing of size ``n_patterns *
+        n_windows`` is ever materialised.
+
+        The result is an arena-backed scratch matrix, valid until the next
+        batched call on this engine.
         """
-        n_patterns, m = cells_matrix.shape
-        dev_max = np.zeros((n_patterns, len(self.dataset)))
+        n_patterns = cells_matrix.shape[0]
         start, count = self._entry_lookup()
-        flat_cells = cells_matrix.ravel()
-        safe = np.where(flat_cells >= 0, flat_cells, 0)
-        counts = np.where(flat_cells >= 0, count[safe], 0)
-        total = int(counts.sum())
-        if total == 0:
-            return dev_max
-        # One gather covering every (pattern, offset) slot of the group.
-        owner = np.repeat(np.arange(n_patterns * m, dtype=np.int64), counts)
-        firsts = np.cumsum(counts) - counts
-        rank = np.arange(total, dtype=np.int64) - np.repeat(firsts, counts)
-        flat_pos = np.repeat(start[safe], counts) + rank
-        wrow = self._flat_rows[flat_pos] - owner % m
-        keep = (wrow >= 0) & (wrow < n_windows)
-        wrow, owner, flat_pos = wrow[keep], owner[keep], flat_pos[keep]
-        keep = valid[wrow]
-        wrow, owner, flat_pos = wrow[keep], owner[keep], flat_pos[keep]
-        if not len(wrow):
-            return dev_max
-        dev = self._flat_vals[flat_pos] - self._floor
-        key = (owner // m) * np.int64(n_windows) + wrow
-        order = np.argsort(key, kind="stable")
-        key, dev = key[order], dev[order]
-        window_starts = np.concatenate([[0], np.nonzero(np.diff(key))[0] + 1])
-        window_sums = np.add.reduceat(dev, window_starts)
-        u_key = key[window_starts]
-        u_pat = u_key // n_windows
-        u_traj = self._row_traj[u_key % n_windows]
-        # u_key is sorted, so (u_pat, u_traj) runs are contiguous.
-        boundary = (
-            np.nonzero((np.diff(u_pat) != 0) | (np.diff(u_traj) != 0))[0] + 1
+        dev_max = self._arena.get(
+            "devmax.out", (n_patterns, len(self.dataset)), self._dtype, zero=True
         )
-        seg = np.concatenate([[0], boundary])
-        dev_max[u_pat[seg], u_traj[seg]] = np.maximum.reduceat(window_sums, seg)
+        self._kernels.batch_devmax(
+            cells_matrix,
+            start,
+            count,
+            self._flat_rows,
+            self._flat_vals_k,
+            self._floor,
+            valid,
+            n_windows,
+            self._row_traj,
+            self._arena,
+            dev_max,
+        )
         return dev_max
 
     def _batch_reduce(
@@ -814,7 +880,9 @@ class NMEngine:
                     [patterns[i] for i in sub], n_windows
                 )
                 for row, i in enumerate(sub):
-                    out[i] = scores[row]
+                    # Copy out of the arena-backed scratch (and upcast the
+                    # float32 mode): these rows outlive the next batch.
+                    out[i] = np.array(scores[row], dtype=np.float64)
         return out
 
     # -- bulk singular evaluation ---------------------------------------------------------
@@ -828,10 +896,9 @@ class NMEngine:
         derive from this one ``np.maximum.reduceat`` sweep.
         """
         if self._seg_max is None:
-            if self._seg_starts.size:
-                self._seg_max = np.maximum.reduceat(self._flat_vals, self._seg_starts)
-            else:
-                self._seg_max = np.empty(0)
+            self._seg_max = self._kernels.segment_maxima(
+                self._flat_vals_k, self._seg_starts
+            )
         return self._seg_max
 
     def singular_nm_table(self) -> dict[int, float]:
@@ -1116,3 +1183,46 @@ def build_engine(
 
         return ParallelNMEngine(dataset, grid, config)
     return NMEngine(dataset, grid, config)
+
+
+def autotune_prob_chunk(
+    dataset: TrajectoryDataset,
+    grid: Grid,
+    config: EngineConfig,
+    candidates: Sequence[int] = (1 << 16, 1 << 18, 1 << 20, 1 << 22),
+    rounds: int = 2,
+) -> int:
+    """Empirically pick the fastest ``prob_chunk_size`` for this machine.
+
+    Times the full index-entry collection (the chunked ``prob_within``
+    sweep) at each candidate size and returns the fastest.  Chunking is
+    purely an execution-shape knob -- every (snapshot, cell) pair is
+    evaluated independently, so results are bit-identical at any size (a
+    regression test pins this at 0 ULPs) and the choice is safe to apply
+    blindly via ``replace(config, prob_chunk_size=...)``.
+
+    A quick helper, not a benchmark: one engine build plus
+    ``rounds * len(candidates)`` collection sweeps over the given dataset.
+    """
+    import time
+    from dataclasses import replace as _replace
+
+    if not candidates:
+        raise ValueError("autotune needs at least one candidate chunk size")
+    base = _replace(config, cache_dir=None)
+    engine = NMEngine(dataset, grid, base)
+    best_chunk, best_t = None, float("inf")
+    for chunk in candidates:
+        engine.config = _replace(base, prob_chunk_size=int(chunk))
+        elapsed = float("inf")
+        for _ in range(max(1, rounds)):
+            t0 = time.perf_counter()
+            engine._collect_index_entries()
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        if elapsed < best_t:
+            best_chunk, best_t = int(chunk), elapsed
+    _log.debug(
+        "prob_chunk autotune",
+        extra={"best": best_chunk, "candidates": [int(c) for c in candidates]},
+    )
+    return best_chunk

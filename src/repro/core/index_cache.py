@@ -20,11 +20,14 @@ The file name is a SHA-256 over
   reordering, invalidates the key,
 * the grid extent and resolution,
 * the index-affecting config fields: ``delta``, ``prob_model``,
-  ``min_prob``, ``radius_sigmas`` and ``max_cells_per_snapshot``.
+  ``min_prob``, ``radius_sigmas`` and ``max_cells_per_snapshot``,
+* the ``Prob`` kernel identity when it is not the scipy reference
+  (compiled libm-``erf`` builds differ by a couple of ULPs; see
+  :func:`cache_key`).
 
 Knobs that do not change the stored entries (``column_cache_size``,
-``jobs``, ``cache_dir`` itself) are deliberately excluded, so serial and
-parallel runs share one cache file.
+``jobs``, ``cache_dir`` itself, evaluation ``backend``/``dtype``) are
+deliberately excluded, so serial and parallel runs share one cache file.
 
 Robustness: files are written atomically (temp file + ``os.replace``) and
 :func:`load_index` treats *any* unreadable, truncated or
@@ -77,8 +80,17 @@ def dataset_fingerprint(dataset) -> str:
     return h.hexdigest()
 
 
-def cache_key(dataset, grid, config) -> str:
-    """Cache key of one (dataset, grid, index configuration) combination."""
+def cache_key(dataset, grid, config, *, kernel_tag: str = "ref") -> str:
+    """Cache key of one (dataset, grid, index configuration) combination.
+
+    ``kernel_tag`` identifies the ``Prob`` kernel that builds the entries
+    (:func:`repro.core.kernels.prob_kernel_tag`): the reference scipy path
+    is ``"ref"`` and -- for compatibility with files written before kernel
+    backends existed -- contributes nothing to the key, while compiled
+    kernels (libm ``erf``, within ~2 ULPs of scipy but not bit-identical)
+    are mixed in so the two builds never alias one cache file.  Evaluation
+    dtype and backend do *not* affect the stored entries and stay excluded.
+    """
     h = hashlib.sha256()
     h.update(f"format={CACHE_FORMAT_VERSION}".encode())
     h.update(dataset_fingerprint(dataset).encode())
@@ -96,6 +108,8 @@ def cache_key(dataset, grid, config) -> str:
             f"cap:{config.max_cells_per_snapshot}"
         ).encode()
     )
+    if kernel_tag != "ref":
+        h.update(f"kernel={kernel_tag}".encode())
     return h.hexdigest()
 
 
@@ -229,9 +243,13 @@ def warm_cache(dataset, grid, config) -> bool:
     before a snapshot swap is requested, so the swap itself is a pure load.
     Returns ``False`` when the cache file already existed.
     """
+    from repro.core import kernels  # deferred: kernels has no cycle, stay lazy
+
     if config.cache_dir is None:
         raise ValueError("warm_cache requires config.cache_dir to be set")
-    key = cache_key(dataset, grid, config)
+    key = cache_key(
+        dataset, grid, config, kernel_tag=kernels.prob_kernel_tag(config)
+    )
     if cache_path(config.cache_dir, key).exists():
         return False
     ensure_index(dataset, grid, config)

@@ -1,0 +1,78 @@
+"""Preallocated scratch buffers for the engine's steady-state hot loops.
+
+Every ``nm_batch`` round needs a handful of working arrays whose shapes
+depend only on the batch geometry (windows, patterns, trajectories).
+Allocating them per call is cheap individually but adds up on the serve
+eval thread, where thousands of small batches per second turn the
+allocator into measurable overhead and GC pressure.  A
+:class:`ScratchArena` keeps one named, geometrically grown buffer per
+role; once the engine has seen its largest batch shape, subsequent calls
+are allocation-free.
+
+Buffers are plain numpy arrays handed out as reshaped views, so a view
+returned by :meth:`ScratchArena.get` is only valid until the next ``get``
+of the same name -- callers that let a result escape must copy it.  The
+arena is deliberately not thread-safe: each :class:`~repro.core.engine.NMEngine`
+owns one, and an engine is single-threaded by contract (the serve layer
+funnels all evaluation through one eval thread; parallel workers each
+build their own engine).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """Named, growable, zero-initialised scratch buffers (see module docs)."""
+
+    __slots__ = ("_buffers", "allocations", "requests")
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+        #: Buffers allocated so far -- stable across calls once warmed up,
+        #: which is what the allocation-free steady-state tests assert.
+        self.allocations = 0
+        #: Total ``get`` calls (instrumentation only).
+        self.requests = 0
+
+    def get(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        *,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """A contiguous view of ``shape``/``dtype`` backed by buffer ``name``.
+
+        Fresh allocations are zero-filled; ``zero=True`` additionally
+        clears the returned view on every call (for buffers whose contract
+        is "all zeros on entry" and whose kernel does not restore them).
+        Growth is geometric (1.5x) so a slowly increasing batch size does
+        not reallocate per call.
+        """
+        self.requests += 1
+        dtype = np.dtype(dtype)
+        n = int(math.prod(shape))
+        key = (name, dtype.str)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < n:
+            grown = 0 if buf is None else int(buf.size * 1.5)
+            buf = np.zeros(max(n, grown), dtype=dtype)
+            self._buffers[key] = buf
+            self.allocations += 1
+            view = buf[:n].reshape(shape)
+            return view  # freshly zeroed by construction
+        view = buf[:n].reshape(shape)
+        if zero:
+            view.fill(0)
+        return view
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())

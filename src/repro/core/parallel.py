@@ -57,7 +57,7 @@ from typing import Sequence
 import numpy as np
 from multiprocessing import shared_memory
 
-from repro.core import index_cache
+from repro.core import index_cache, kernels
 from repro.core.engine import EngineConfig, ExtensionTables, NMEngine
 from repro.core.pattern import TrajectoryPattern
 from repro.geometry.grid import Grid
@@ -260,6 +260,7 @@ def _worker_main(conn, init: _WorkerInit) -> None:
                     "n_traj": len(engine.dataset),
                     "n_entries": engine.n_index_entries,
                     "active_cells": np.asarray(engine.active_cells, dtype=np.int64),
+                    "backend": engine.backend_name,
                 },
             )
         )
@@ -321,6 +322,7 @@ def _worker_main(conn, init: _WorkerInit) -> None:
                 elif op == "obs_snapshot":
                     result = {
                         "shard": init.shard,
+                        "backend": engine.backend_name,
                         "n_traj": len(engine.dataset),
                         "n_entries": engine.n_index_entries,
                         "n_evaluations": engine.n_evaluations,
@@ -421,7 +423,12 @@ class ParallelNMEngine:
 
         cache_dir, key, index_specs = self.config.cache_dir, None, None
         if cache_dir is not None:
-            key = index_cache.cache_key(self.dataset, self.grid, self.config)
+            key = index_cache.cache_key(
+                self.dataset,
+                self.grid,
+                self.config,
+                kernel_tag=kernels.prob_kernel_tag(self.config),
+            )
             loaded = index_cache.load_index(
                 cache_dir,
                 key,
@@ -467,6 +474,10 @@ class ParallelNMEngine:
         metas = [self._recv(i) for i in range(self.n_shards)]
         self._shard_sizes = [meta["n_traj"] for meta in metas]
         self._shard_entries = [int(meta["n_entries"]) for meta in metas]
+        # Workers re-resolve the kernel backend in their own process (fork
+        # or spawn), so a "compiled"/"auto" config may land differently
+        # there than in the parent; report what the shards actually run.
+        self._backend_name = str(metas[0].get("backend", "numpy"))
         self.n_index_entries = int(sum(self._shard_entries))
         cells: set[int] = set()
         for meta in metas:
@@ -484,6 +495,8 @@ class ParallelNMEngine:
                 "shard_entries": self._shard_entries,
                 "shard_skew": self.shard_skew,
                 "index_cache_hit": self.index_cache_hit,
+                "backend": self._backend_name,
+                "dtype": self.config.dtype,
             },
         )
 
@@ -596,6 +609,16 @@ class ParallelNMEngine:
         return self.config.min_log_prob
 
     @property
+    def backend_name(self) -> str:
+        """Kernel backend the shard workers resolved to ("numpy", "cnative", ...)."""
+        return self._backend_name
+
+    @property
+    def backend_dtype(self) -> str:
+        """Value dtype the shard workers' evaluation kernels run in."""
+        return self.config.dtype
+
+    @property
     def n_evaluations(self) -> int:
         """Total pattern evaluations across all shard workers."""
         return sum(n for n, _ in self._broadcast(("stats", None)))
@@ -630,6 +653,8 @@ class ParallelNMEngine:
         metrics.gauge("parallel.eval_skew").set(eval_skew)
         return {
             "n_shards": self.n_shards,
+            "backend": self._backend_name,
+            "dtype": self.config.dtype,
             "n_index_entries": self.n_index_entries,
             "n_evaluations": sum(s["n_evaluations"] for s in shards),
             "n_batches": sum(s["n_batches"] for s in shards),

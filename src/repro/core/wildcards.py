@@ -162,42 +162,46 @@ def _best_alignment_nm(
     (inclusive).  Transitions advance by the next segment's length plus an
     admissible gap.  Trajectories shorter than the minimum span score the
     engine's floor (consistent with fixed patterns).
+
+    The DP itself runs on the engine's kernel backend
+    (:meth:`~repro.core.kernels.KernelBackend.gap_dp`); the floor guard
+    and ``n_specified`` normalisation stay here.
     """
     length = len(engine.dataset[traj_index])
     floor = engine.floor_log_prob
     if length < pattern.min_span():
         return floor
 
-    # best ending at snapshot t for the current segment prefix.
-    first = pattern.segments[0]
-    best = np.full(length, -np.inf)
-    n0 = len(first)
-    best[n0 - 1 :] = seg_scores[0]
-
-    for j in range(1, len(pattern.segments)):
-        seg = pattern.segments[j]
-        gap = pattern.gaps[j - 1]
-        n = len(seg)
-        nxt = np.full(length, -np.inf)
-        # Segment j occupying [s, s + n - 1] requires the previous segment
-        # to end at s - 1 - g for g in [min, max].
-        for t in range(n - 1, length):
-            s = t - n + 1
-            lo = s - 1 - gap.max_length
-            hi = s - 1 - gap.min_length
-            if hi < 0:
-                continue
-            lo = max(lo, 0)
-            prev_best = best[lo : hi + 1].max() if hi >= lo else -np.inf
-            if prev_best == -np.inf:
-                continue
-            nxt[t] = prev_best + seg_scores[j][s]
-        best = nxt
-
-    top = float(best.max())
+    backend, arena = _gap_backend(engine)
+    seg_lens = np.array([len(s) for s in pattern.segments], dtype=np.int64)
+    gap_mins = np.array([g.min_length for g in pattern.gaps], dtype=np.int64)
+    gap_maxs = np.array([g.max_length for g in pattern.gaps], dtype=np.int64)
+    top = backend.gap_dp(seg_scores, seg_lens, gap_mins, gap_maxs, length, arena)
     if top == -np.inf:
         return floor
     return top / pattern.n_specified
+
+
+#: Lazily-built (backend, arena) pair for engine-like objects that predate
+#: the kernel backends (duck-typed test doubles); real engines carry their
+#: own via ``_kernels`` / ``_arena``.
+_fallback_state: tuple | None = None
+
+
+def _gap_backend(engine) -> tuple:
+    """The kernel backend and scratch arena to run the gap DP on."""
+    backend = getattr(engine, "_kernels", None)
+    if backend is not None:
+        return backend, engine._arena
+    global _fallback_state
+    if _fallback_state is None:
+        from repro.core import kernels
+
+        _fallback_state = (
+            kernels.resolve_backend("numpy", "float64"),
+            kernels.ScratchArena(),
+        )
+    return _fallback_state
 
 
 def _slice_segment_scores(

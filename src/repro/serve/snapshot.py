@@ -27,8 +27,10 @@ On disk a snapshot is either a bare dataset JSONL file or a directory:
 ``serve.json``
     optional -- overrides: ``{"version": ..., "cell_size": ...,
     "delta": ..., "min_prob": ..., "confirm_threshold": ...,
-    "min_prefix": ...}``.  Anything absent falls back to the section 5
-    parameter suggestions derived from the dataset.
+    "min_prefix": ..., "backend": ..., "dtype": ...}``.  Anything absent
+    falls back to the section 5 parameter suggestions derived from the
+    dataset; ``backend``/``dtype`` select the kernel backend
+    (:mod:`repro.core.kernels`) the snapshot's engine evaluates on.
 """
 
 from __future__ import annotations
@@ -41,7 +43,7 @@ from typing import Any
 import numpy as np
 
 from repro.apps.prediction import PatternLibrary
-from repro.core import index_cache
+from repro.core import index_cache, kernels
 from repro.core.engine import EngineConfig, NMEngine
 from repro.core.parameters import suggest_parameters
 from repro.core.results_io import load_mining_result
@@ -60,6 +62,8 @@ _CONFIG_KEYS = (
     "min_prob",
     "confirm_threshold",
     "min_prefix",
+    "backend",
+    "dtype",
 )
 
 
@@ -111,6 +115,8 @@ class ServingSnapshot:
         cache_dir: str | Path | None = None,
         confirm_threshold: float = 0.9,
         min_prefix: int = 2,
+        backend: str = "auto",
+        dtype: str = "float64",
         version: str | None = None,
         source: str = "<memory>",
     ) -> "ServingSnapshot":
@@ -119,14 +125,25 @@ class ServingSnapshot:
         ``cell_size`` / ``delta`` default to the section 5 suggestions
         derived from the dataset; ``version`` defaults to the index cache
         key (a content hash -- identical inputs get identical versions).
+        ``backend`` / ``dtype`` pick the kernel backend the snapshot's
+        engine evaluates on (serving defaults to ``"auto"``: compiled
+        when the machine has a toolchain, numpy otherwise).
         """
         if cell_size is None or delta is None:
             suggested = suggest_parameters(dataset)
             cell_size = cell_size if cell_size is not None else suggested.cell_size
             delta = delta if delta is not None else suggested.delta
         grid = dataset.make_grid(cell_size)
-        config = EngineConfig(delta=delta, min_prob=min_prob, cache_dir=cache_dir)
-        key = index_cache.cache_key(dataset, grid, config)
+        config = EngineConfig(
+            delta=delta,
+            min_prob=min_prob,
+            cache_dir=cache_dir,
+            backend=backend,
+            dtype=dtype,
+        )
+        key = index_cache.cache_key(
+            dataset, grid, config, kernel_tag=kernels.prob_kernel_tag(config)
+        )
         if version is None:
             version = key[:12]
         # ensure_index goes through the on-disk cache when cache_dir is
@@ -154,15 +171,28 @@ class ServingSnapshot:
                 "n_cells": grid.n_cells,
                 "n_patterns": len(library) if library is not None else 0,
                 "source": source,
+                "backend": engine.backend_name,
+                "dtype": engine.backend_dtype,
             },
         )
         return snapshot
 
     @classmethod
     def load(
-        cls, path: str | Path, *, cache_dir: str | Path | None = None
+        cls,
+        path: str | Path,
+        *,
+        cache_dir: str | Path | None = None,
+        backend: str = "auto",
+        dtype: str = "float64",
     ) -> "ServingSnapshot":
-        """Load a snapshot from ``path`` (dataset file or snapshot directory)."""
+        """Load a snapshot from ``path`` (dataset file or snapshot directory).
+
+        ``backend`` / ``dtype`` are the operator-level defaults (e.g. the
+        ``repro serve --backend`` flags); a ``serve.json`` carrying its own
+        ``backend``/``dtype`` keys wins, since those are pinned per
+        snapshot.
+        """
         path = Path(path)
         overrides: dict[str, Any] = {}
         patterns_path: Path | None = None
@@ -187,14 +217,15 @@ class ServingSnapshot:
         else:
             dataset_path = path
         dataset = load_dataset_jsonl(dataset_path)
-        kwargs: dict[str, Any] = {}
+        kwargs: dict[str, Any] = {"backend": backend, "dtype": dtype}
         for numeric in ("cell_size", "delta", "min_prob", "confirm_threshold"):
             if overrides.get(numeric) is not None:
                 kwargs[numeric] = float(overrides[numeric])
         if overrides.get("min_prefix") is not None:
             kwargs["min_prefix"] = int(overrides["min_prefix"])
-        if overrides.get("version") is not None:
-            kwargs["version"] = str(overrides["version"])
+        for text in ("version", "backend", "dtype"):
+            if overrides.get(text) is not None:
+                kwargs[text] = str(overrides[text])
         return cls.from_dataset(
             dataset,
             patterns_path=patterns_path,
@@ -224,6 +255,8 @@ class ServingSnapshot:
                 "max_y": self.grid.bbox.max_y,
             },
             "delta": self.delta,
+            "backend": self.engine.backend_name,
+            "dtype": self.engine.backend_dtype,
             "n_active_cells": len(active),
             "sample_active_cells": [int(c) for c in sample],
             "has_patterns": self.library is not None,

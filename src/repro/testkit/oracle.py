@@ -35,7 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core import measures
+from repro.core import kernels, measures
 from repro.core.engine import NMEngine
 from repro.core.parallel import ParallelNMEngine
 from repro.core.pattern import WILDCARD, TrajectoryPattern
@@ -53,6 +53,7 @@ __all__ = [
     "OracleReport",
     "candidate_frontier",
     "max_ulps",
+    "max_ulps32",
     "run_oracle",
     "ulps_between",
 ]
@@ -75,6 +76,20 @@ ULP_BUDGETS = {
     "cache-warm": 0,
     "streaming": 512,
     "serve": 0,
+    # Kernel-backend paths (``--backends all``).  ``kernel`` covers
+    # float64 engines on alternative backends building their *own* index:
+    # compiled Prob kernels use libm ``erf`` (<= 2 ULPs from scipy in
+    # probability space), which propagates to a handful of float64 ULPs in
+    # the final scores; 4096 keeps the scalar path's headroom policy.  The
+    # evaluation kernels themselves are bit-identical over a shared index
+    # (pinned at 0 ULPs in tests/test_kernels.py, not here).
+    "kernel": 4096,
+    # ``kernel32`` paths run the evaluation kernels in float32 and are
+    # compared in *float32* ULPs against the float64 baseline rounded to
+    # float32.  Accumulating ~100-snapshot windows in float32 costs a few
+    # float32 ULPs; 1024 (~1e-4 relative) is generous headroom while still
+    # catching wrong-kernel bugs (which show up as >1e6 ULPs).
+    "kernel32": 1024,
 }
 
 #: ULP distance reported for a NaN-vs-number disagreement (worse than any
@@ -113,6 +128,34 @@ def max_ulps(a: Sequence[float], b: Sequence[float]) -> int:
     )
 
 
+def _ordered32(x: np.float32) -> int:
+    """:func:`_ordered` for float32 (int32 bits, reflected negatives)."""
+    bits = int(np.float32(x).view(np.int32))
+    return bits if bits >= 0 else -(1 << 31) - bits
+
+
+def max_ulps32(a: Sequence[float], b: Sequence[float]) -> int:
+    """Worst per-element *float32* ULP distance.
+
+    Both vectors are rounded to float32 first; this is the right ruler for
+    the ``dtype="float32"`` kernel paths, whose outputs carry float32
+    precision however they are transported (a float64 ULP count against a
+    float64 baseline would be a meaningless ~1e9).
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    worst = 0
+    for x, y in zip(a, b):
+        if np.isnan(x) or np.isnan(y):
+            if not (np.isnan(x) and np.isnan(y)):
+                return _ULPS_INCOMPARABLE
+            continue
+        worst = max(worst, abs(_ordered32(x) - _ordered32(y)))
+    return worst
+
+
 # -- frontier -----------------------------------------------------------------
 
 
@@ -146,19 +189,33 @@ def candidate_frontier(
 
 @dataclass(frozen=True)
 class PathCheck:
-    """Agreement of one execution path against the batched baseline."""
+    """Agreement of one execution path against the batched baseline.
+
+    ``skipped`` marks a path that could not run on this machine (e.g. the
+    compiled backend without a toolchain): it counts as passing but is
+    reported loudly with the reason in ``detail`` -- a skip is a notice,
+    never a silent pass.
+    """
 
     path: str
     budget_ulps: int
     nm_ulps: int
     match_ulps: int
     detail: str = ""
+    skipped: bool = False
 
     @property
     def ok(self) -> bool:
+        if self.skipped:
+            return True
         return self.nm_ulps <= self.budget_ulps and self.match_ulps <= self.budget_ulps
 
     def describe(self) -> str:
+        if self.skipped:
+            return (
+                f"SKIP {self.path:<12s} not run"
+                + (f" [{self.detail}]" if self.detail else "")
+            )
         status = "ok" if self.ok else "FAIL"
         return (
             f"{status:4s} {self.path:<12s} nm={self.nm_ulps} "
@@ -200,6 +257,7 @@ def run_oracle(
     include_serve: bool = True,
     work_dir: str | Path | None = None,
     budgets: dict[str, int] | None = None,
+    backends: str = "default",
 ) -> OracleReport:
     """Evaluate one seeded frontier through every path and report agreement.
 
@@ -207,7 +265,18 @@ def run_oracle(
     temporary directory is used (and removed) when it is ``None``.
     ``include_serve=False`` skips the live-server round-trip (the one path
     needing an event loop), for callers already inside one.
+
+    ``backends="all"`` additionally scores the frontier on every kernel
+    backend x dtype combination (``repro selfcheck --backends all``):
+    ``kernel[...]`` paths for float64 engines on non-default backends and
+    ``kernel32[...]`` paths for float32 engines, the latter judged in
+    float32 ULPs.  Combinations the machine cannot run (no compiled
+    toolchain) are reported as explicit skips, never silently dropped.
     """
+    if backends not in ("default", "all"):
+        raise ValueError(
+            f"backends must be 'default' or 'all', got {backends!r}"
+        )
     budgets = {**ULP_BUDGETS, **(budgets or {})}
     setup = oracle_setup(seed, quick=quick)
     baseline = NMEngine(setup.dataset, setup.grid, setup.config)
@@ -302,7 +371,52 @@ def run_oracle(
             )
         )
 
-    # Path 6: a live server round-trip over the baseline engine -- isolates
+    # Path 6: every kernel backend x dtype combination beyond the numpy
+    # float64 baseline.  Each engine builds its own index (so a compiled
+    # combination also exercises its Prob kernel); float32 paths are judged
+    # in float32 ULPs.  Unavailable combinations become explicit skips.
+    if backends == "all":
+        unavailable = kernels.compiled_unavailable_reason()
+        for backend_name in ("numpy", "compiled"):
+            for dt in ("float64", "float32"):
+                if backend_name == "numpy" and dt == "float64":
+                    continue  # the baseline itself
+                if backend_name == "compiled" and unavailable is not None:
+                    checks.append(
+                        PathCheck(
+                            path=f"kernel[compiled-{dt}]",
+                            budget_ulps=0,
+                            nm_ulps=0,
+                            match_ulps=0,
+                            detail=unavailable,
+                            skipped=True,
+                        )
+                    )
+                    continue
+                eng = NMEngine(
+                    setup.dataset,
+                    setup.grid,
+                    replace(cfg, backend=backend_name, dtype=dt),
+                )
+                nm_k = eng.nm_batch(frontier)
+                match_k = eng.match_batch(frontier)
+                if dt == "float32":
+                    path = f"kernel32[{eng.backend_name}]"
+                    checks.append(
+                        PathCheck(
+                            path=path,
+                            budget_ulps=budgets["kernel32"],
+                            nm_ulps=max_ulps32(nm_ref, nm_k),
+                            match_ulps=max_ulps32(match_ref, match_k),
+                            detail="float32 ulps",
+                        )
+                    )
+                else:
+                    checks.append(
+                        check(f"kernel[{eng.backend_name}]", nm_k, match_k)
+                    )
+
+    # Path 7: a live server round-trip over the baseline engine -- isolates
     # the protocol + batcher + JSON layers, which must not move a bit.
     if include_serve:
         nm_serve, match_serve = _serve_roundtrip(setup, baseline, frontier)

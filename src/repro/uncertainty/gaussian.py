@@ -55,7 +55,11 @@ def _interval_prob(mean: np.ndarray, sigma: np.ndarray, center: np.ndarray, delt
 
 
 def prob_within_box(
-    mean: np.ndarray, sigma: np.ndarray, center: np.ndarray, delta: float
+    mean: np.ndarray,
+    sigma: np.ndarray,
+    center: np.ndarray,
+    delta: float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Box-semantics ``Prob``: both axes within ``delta`` of ``center``.
 
@@ -69,6 +73,10 @@ def prob_within_box(
         Query positions, broadcastable to ``(..., 2)``.
     delta:
         Indifference distance (half-width of the box).
+    out:
+        Optional preallocated result array (the engine's chunked index
+        build writes each chunk straight into its slice of the full
+        probability array).
     """
     mean = np.asarray(mean, dtype=float)
     center = np.asarray(center, dtype=float)
@@ -76,11 +84,17 @@ def prob_within_box(
     _validate(sigma, delta)
     px = _interval_prob(mean[..., 0], sigma, center[..., 0], delta)
     py = _interval_prob(mean[..., 1], sigma, center[..., 1], delta)
+    if out is not None:
+        return np.multiply(px, py, out=out)
     return px * py
 
 
 def prob_within_disk(
-    mean: np.ndarray, sigma: np.ndarray, center: np.ndarray, delta: float
+    mean: np.ndarray,
+    sigma: np.ndarray,
+    center: np.ndarray,
+    delta: float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Disk-semantics ``Prob``: Euclidean distance to ``center`` at most ``delta``.
 
@@ -95,7 +109,11 @@ def prob_within_disk(
     d2 = np.sum((mean - center) ** 2, axis=-1)
     nc = d2 / sigma**2
     q = (delta / sigma) ** 2
-    return stats.ncx2.cdf(q, df=2, nc=nc)
+    result = stats.ncx2.cdf(q, df=2, nc=nc)
+    if out is not None:
+        out[...] = result
+        return out
+    return result
 
 
 def prob_within(
@@ -104,12 +122,13 @@ def prob_within(
     center: np.ndarray,
     delta: float,
     model: ProbModel = ProbModel.BOX,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """``Prob(l, sigma, p, delta)`` under the selected geometry."""
     if model is ProbModel.BOX:
-        return prob_within_box(mean, sigma, center, delta)
+        return prob_within_box(mean, sigma, center, delta, out=out)
     if model is ProbModel.DISK:
-        return prob_within_disk(mean, sigma, center, delta)
+        return prob_within_disk(mean, sigma, center, delta, out=out)
     raise ValueError(f"unknown probability model: {model!r}")
 
 
