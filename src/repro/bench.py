@@ -3,9 +3,11 @@
 Runs the engine micro-benchmarks (index construction, candidate
 evaluation), the kernel-backend comparison (numpy vs compiled, float64 vs
 float32, gap-DP throughput), a fig4a-style mining workload, the sharded
-parallel-scaling sweep (1/2/4/8 workers) and the index-cache cold/warm
-comparison, then writes ``BENCH_engine.json`` so subsequent PRs have a
-recorded perf trajectory.  The ``serve`` section additionally stands up an
+parallel-scaling sweep (1/2/4/8 workers), the index-cache cold/warm
+comparison and the columnar-store suite (``.tjc`` open/scan/size
+economics plus an out-of-core RSS demonstration: a sharded mine over a
+store ~4x larger than the parent's resident-set budget), then writes
+``BENCH_engine.json`` so subsequent PRs have a recorded perf trajectory.  The ``serve`` section additionally stands up an
 in-process :class:`~repro.serve.PatternServer` and drives it with the load
 generator, comparing micro-batched against per-request evaluation at
 fixed concurrency and recording shedding behaviour under deliberate 2x
@@ -97,6 +99,31 @@ SERVE_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
 SERVE_CONCURRENCY = 32
 SERVE_REQUESTS = 640
 SERVE_OVERLOAD_FACTOR = 2.0
+
+#: Columnar-store comparison workload (same scale as the parallel sweep).
+STORE_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
+
+#: Out-of-core demonstration: a sparse-hotspot store several times larger
+#: than the parent process's resident-set budget, mined via store-span
+#: workers.  95%+ of snapshots are diffuse (sigma chosen so no cell clears
+#: the ``min_prob`` floor -> zero index entries) and a thin corridor of
+#: precise trajectories carries the signal, so the *index* stays small
+#: while the *dataset* dwarfs the budget -- exactly the regime the store
+#: exists for.
+STORE_RSS_BUDGET_BYTES = 128 * 1024 * 1024
+STORE_RSS_ROWS_PER_TRAJ = 16384
+STORE_RSS_N_TRAJ = 1376  # ~22.5M rows of f64 columns -> ~540 MB on disk
+STORE_RSS_HOTSPOT_EVERY = 50  # every 50th trajectory rides the corridor
+STORE_RSS_MINE_ARGS = (
+    "--jobs", "2",
+    "--cell-size", "0.02",
+    "--delta", "0.02",
+    "--gamma", "0.05",
+    "--min-prob", "0.2",
+    "--radius-sigmas", "0.25",
+    "-k", "5",
+    "--max-length", "3",
+)
 
 
 def _best_of(fn, rounds: int) -> tuple[float, object]:
@@ -416,6 +443,212 @@ def bench_index_cache(rounds: int) -> dict:
     }
 
 
+def bench_columnar_store(rounds: int) -> dict:
+    """Open/scan/engine-build economics of the ``.tjc`` columnar store.
+
+    Writes the standard workload as JSONL and as three store variants
+    (mmap-able raw float64, zlib-compressed, quantised+zlib), then
+    measures what the format buys: O(footer) opens vs a full JSONL parse
+    (the ``open_speedup_vs_jsonl`` acceptance number), bounded-``pread``
+    sequential scan throughput, and an engine build over the lazy
+    store-backed dataset vs the in-RAM dataset (entry counts asserted
+    equal -- the store path must not change results).
+    """
+    from repro.storage import open_store, write_store
+    from repro.trajectory.io import load_dataset_jsonl, save_dataset_jsonl
+
+    dataset = zebranet_dataset(**STORE_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        tmp = Path(tmp)
+        jsonl = tmp / "dataset.jsonl"
+        save_dataset_jsonl(dataset, jsonl)
+        jsonl_bytes = jsonl.stat().st_size
+        variants = {
+            "f64-none": dict(compression="none", positions="f64"),
+            "f64-zlib": dict(compression="zlib", positions="f64"),
+            "q32-zlib": dict(
+                compression="zlib", positions="q32", quant_scale=1e-7
+            ),
+        }
+        formats = {}
+        for name, kwargs in variants.items():
+            path = tmp / f"dataset-{name}.tjc"
+            write_store(dataset, path, **kwargs)
+            with open_store(path) as store:
+                formats[name] = {
+                    "size_bytes": store.size_bytes,
+                    "bytes_per_row": store.size_bytes / store.total_snapshots,
+                    "supports_mmap": store.supports_mmap,
+                }
+        main = tmp / "dataset-f64-none.tjc"
+
+        jsonl_load_s, _ = _best_of(lambda: load_dataset_jsonl(jsonl), rounds)
+        t0 = time.perf_counter()
+        open_store(main).close()
+        cold_open_s = time.perf_counter() - t0
+        warm_open_s, _ = _best_of(lambda: open_store(main).close(), rounds)
+
+        def _scan() -> int:
+            with open_store(main) as store:
+                return sum(
+                    hi - lo
+                    for lo, hi, _, _ in store.iter_row_chunks(mode="read")
+                )
+
+        scan_s, n_rows = _best_of(_scan, rounds)
+
+        t0 = time.perf_counter()
+        ram_engine = NMEngine(dataset, grid, config)
+        ram_build_s = time.perf_counter() - t0
+        with open_store(main) as store:
+            t0 = time.perf_counter()
+            store_engine = NMEngine(store.dataset(), grid, config)
+            store_build_s = time.perf_counter() - t0
+            assert store_engine.n_index_entries == ram_engine.n_index_entries
+
+    return {
+        "workload": {**STORE_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
+        "jsonl_bytes": jsonl_bytes,
+        "formats": formats,
+        "jsonl_load_s": jsonl_load_s,
+        "cold_open_s": cold_open_s,
+        "warm_open_s": warm_open_s,
+        "open_speedup_vs_jsonl": (
+            jsonl_load_s / warm_open_s if warm_open_s > 0 else float("inf")
+        ),
+        "sequential_scan_s": scan_s,
+        "scan_rows_per_s": n_rows / scan_s if scan_s > 0 else float("inf"),
+        "engine_build_ram_s": ram_build_s,
+        "engine_build_store_s": store_build_s,
+        "n_index_entries": store_engine.n_index_entries,
+    }
+
+
+def _write_sparse_hotspot_store(path: Path) -> dict:
+    """Stream the RSS-demo dataset straight to ``path`` (never in RAM whole)."""
+    from repro.storage import StoreWriter, open_store
+
+    rng = np.random.default_rng(7)
+    n_rows = STORE_RSS_ROWS_PER_TRAJ
+    with StoreWriter(
+        path, metadata={"generator": "bench.sparse-hotspot", "seed": 7}
+    ) as writer:
+        for i in range(STORE_RSS_N_TRAJ):
+            if i % STORE_RSS_HOTSPOT_EVERY == 0:
+                # Corridor trajectory: precise fixes along y=0.5.
+                x = np.linspace(0.3, 0.7, n_rows)
+                y = 0.5 + rng.normal(0.0, 0.002, n_rows)
+                sigmas = np.full(n_rows, 0.008)
+            else:
+                # Diffuse trajectory: a clipped random walk whose sigma is
+                # large enough that no single cell clears the floor.
+                steps = rng.normal(0.0, 0.004, size=(n_rows, 2))
+                walk = np.clip(
+                    rng.uniform(0.1, 0.9, size=2) + np.cumsum(steps, axis=0),
+                    0.0,
+                    1.0,
+                )
+                x, y = walk[:, 0], walk[:, 1]
+                sigmas = np.full(n_rows, 0.06)
+            writer.append_arrays(
+                np.column_stack([x, y]), sigmas, object_id=f"rss-{i}"
+            )
+    with open_store(path) as store:
+        return {
+            "dataset_bytes": store.size_bytes,
+            "n_trajectories": store.n_trajectories,
+            "total_snapshots": store.total_snapshots,
+        }
+
+
+def bench_store_rss() -> dict:
+    """Sharded mine over a store several times larger than the RSS budget.
+
+    The mine runs as a subprocess (so its ``ru_maxrss`` is untainted by
+    the bench's own allocations) with suggestion scanning disabled via
+    explicit ``--cell-size/--delta/--gamma``; the parent process hands
+    workers file-range spans instead of /dev/shm copies, so its peak RSS
+    must stay under :data:`STORE_RSS_BUDGET_BYTES` even though the store
+    is ~4x larger.  Worker (child) peak RSS is recorded separately --
+    children map their own span, which is the point of the split.
+    """
+    import sys
+
+    import repro
+    from repro.obs.manifest import load_manifest
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-rss-") as tmp:
+        tmp = Path(tmp)
+        store_path = tmp / "sparse-hotspot.tjc"
+        t0 = time.perf_counter()
+        info = _write_sparse_hotspot_store(store_path)
+        write_s = time.perf_counter() - t0
+        manifest_path = tmp / "mine.manifest.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + [p for p in [env.get("PYTHONPATH")] if p]
+        )
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "mine",
+                str(store_path),
+                *STORE_RSS_MINE_ARGS,
+                "--output",
+                str(tmp / "patterns.json"),
+                "--manifest-out",
+                str(manifest_path),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        mine_wall_s = time.perf_counter() - t0
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"store RSS mine failed ({proc.returncode}):\n{proc.stderr[-2000:]}"
+            )
+        manifest = load_manifest(manifest_path)
+
+    runtime = manifest["runtime"]
+    peak = int(runtime["peak_rss_bytes"])
+    report = {
+        **info,
+        "budget_bytes": STORE_RSS_BUDGET_BYTES,
+        "dataset_to_budget_ratio": info["dataset_bytes"] / STORE_RSS_BUDGET_BYTES,
+        "store_write_s": write_s,
+        "mine_args": list(STORE_RSS_MINE_ARGS),
+        "mine_wall_s": mine_wall_s,
+        "peak_rss_bytes": peak,
+        "peak_rss_children_bytes": int(
+            runtime.get("peak_rss_children_bytes") or 0
+        ),
+        "under_budget": peak <= STORE_RSS_BUDGET_BYTES,
+    }
+    assert report["dataset_to_budget_ratio"] >= 4.0, report
+    assert report["under_budget"], (
+        f"parent peak RSS {peak} exceeds budget {STORE_RSS_BUDGET_BYTES}"
+    )
+    return report
+
+
+def run_store(rounds: int = 3) -> dict:
+    """The ``columnar_store`` report section (suite ``store``)."""
+    return {
+        "columnar_store": {
+            **bench_columnar_store(rounds),
+            "rss": bench_store_rss(),
+        }
+    }
+
+
 def bench_obs_overhead(engine, rounds: int, n_candidates: int = 400) -> dict:
     """Batched-evaluation throughput with observability off vs fully on.
 
@@ -652,15 +885,28 @@ def _load_history(output: Path) -> list:
 
 
 def _write_report(output: Path, report: dict) -> int:
-    """Append ``report`` to ``output``'s history and rewrite the file."""
+    """Append ``report`` to ``output``'s history and rewrite the file.
+
+    History entries carry the bench process's own ``peak_rss_bytes``, and
+    -- when the report has a ``columnar_store`` section -- the RSS-demo
+    ``dataset_bytes``, so the perf trajectory records memory alongside
+    time.  Both keys are additive: old entries without them stay valid.
+    """
+    from repro.obs.manifest import peak_rss_bytes
+
     history = _load_history(output)
-    history.append(
-        {
-            "git_sha": _git_sha(),
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "report": report,
-        }
-    )
+    entry = {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "report": report,
+    }
+    rss = report.get("columnar_store", {}).get("rss") if isinstance(
+        report.get("columnar_store"), dict
+    ) else None
+    if rss:
+        entry["dataset_bytes"] = rss.get("dataset_bytes")
+    history.append(entry)
     output.write_text(
         json.dumps({**report, "history": history}, indent=2) + "\n",
         encoding="utf-8",
@@ -700,6 +946,34 @@ def _print_kernels(kb: dict) -> None:
               f"({kb.get('compiled_unavailable_reason', 'unknown')})")
 
 
+def _print_store(cs: dict) -> None:
+    print(
+        f"store open:     jsonl load {cs['jsonl_load_s'] * 1e3:.1f}ms  "
+        f"warm open {cs['warm_open_s'] * 1e3:.2f}ms  "
+        f"({cs['open_speedup_vs_jsonl']:.0f}x)"
+    )
+    sizes = "  ".join(
+        f"{name} {entry['size_bytes'] / 1024:.0f}KiB"
+        for name, entry in cs["formats"].items()
+    )
+    print(f"store sizes:    jsonl {cs['jsonl_bytes'] / 1024:.0f}KiB  {sizes}")
+    print(
+        f"store scan:     {cs['scan_rows_per_s']:.0f} rows/s  "
+        f"engine build ram {cs['engine_build_ram_s']:.3f}s / "
+        f"store {cs['engine_build_store_s']:.3f}s"
+    )
+    rss = cs["rss"]
+    print(
+        f"store rss:      {rss['dataset_bytes'] / 2**20:.0f}MiB dataset "
+        f"({rss['dataset_to_budget_ratio']:.1f}x budget), sharded mine "
+        f"parent peak {rss['peak_rss_bytes'] / 2**20:.0f}MiB "
+        f"(children {rss['peak_rss_children_bytes'] / 2**20:.0f}MiB) "
+        f"{'UNDER' if rss['under_budget'] else 'OVER'} "
+        f"{rss['budget_bytes'] / 2**20:.0f}MiB budget, "
+        f"{rss['mine_wall_s']:.0f}s wall"
+    )
+
+
 def _print_engine(report: dict) -> None:
     ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
     print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
@@ -734,9 +1008,12 @@ def run_suites(
     ``engine`` runs the full engine report (kernel backends included) into
     ``BENCH_engine.json``; ``kernels`` runs only the backend comparison
     into ``BENCH_kernels.json`` (fast iteration loop); ``serve`` writes
-    ``BENCH_serve.json``; ``all`` = engine + serve.
+    ``BENCH_serve.json``; ``store`` runs the columnar-store suite (format
+    economics + the out-of-core RSS demonstration) and merges its
+    ``columnar_store`` section into ``BENCH_engine.json`` without
+    re-running the engine benches; ``all`` = engine + store + serve.
     """
-    if suite not in ("all", "engine", "kernels", "serve"):
+    if suite not in ("all", "engine", "kernels", "serve", "store"):
         raise ValueError(f"unknown bench suite {suite!r}")
     base = Path(output_dir) if output_dir is not None else _repo_root()
     base.mkdir(parents=True, exist_ok=True)
@@ -761,11 +1038,38 @@ def run_suites(
         n = _write_report(output, serve_report)
         _print_serve(serve_report["serve"])
         print(f"wrote {output} ({n} history entries)")
+    store_section = run_store(rounds) if suite in ("all", "store") else None
     if suite in ("all", "engine"):
         report = run(rounds=rounds)
+        if store_section is not None:
+            report.update(store_section)
         output = base / "BENCH_engine.json"
         n = _write_report(output, report)
         _print_engine(report)
+        if store_section is not None:
+            _print_store(report["columnar_store"])
+        print(f"wrote {output} ({n} history entries)")
+    elif suite == "store":
+        # Merge into the existing engine report's top level so the file
+        # keeps describing the latest state of every section.
+        output = base / "BENCH_engine.json"
+        existing: dict = {}
+        if output.exists():
+            try:
+                loaded = json.loads(output.read_text(encoding="utf-8"))
+                if isinstance(loaded, dict):
+                    existing = {k: v for k, v in loaded.items() if k != "history"}
+            except (OSError, ValueError):
+                existing = {}
+        report = {
+            **existing,
+            "generated_by": "repro.bench",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            **store_section,
+        }
+        n = _write_report(output, report)
+        _print_store(report["columnar_store"])
         print(f"wrote {output} ({n} history entries)")
     return 0
 
@@ -787,14 +1091,14 @@ def main() -> None:
     parser.add_argument(
         "--sections",
         default="engine,serve",
-        help="comma-separated sections to run: engine, serve",
+        help="comma-separated sections to run: engine, serve, store",
     )
     parser.add_argument(
         "--rounds", type=int, default=3, help="timing rounds per measurement"
     )
     args = parser.parse_args()
     sections = {s.strip() for s in args.sections.split(",") if s.strip()}
-    unknown = sections - {"engine", "serve"}
+    unknown = sections - {"engine", "serve", "store"}
     if unknown:
         parser.error(f"unknown sections: {sorted(unknown)}")
 
@@ -803,13 +1107,17 @@ def main() -> None:
         n = _write_report(args.serve_output, serve_report)
         _print_serve(serve_report["serve"])
         print(f"wrote {args.serve_output} ({n} history entries)")
-    if "engine" not in sections:
-        return
-
-    report = run(rounds=args.rounds)
-    n_entries = _write_report(args.output, report)
-    _print_engine(report)
-    print(f"wrote {args.output} ({n_entries} history entries)")
+    if "engine" in sections:
+        report = run(rounds=args.rounds)
+        n_entries = _write_report(args.output, report)
+        _print_engine(report)
+        print(f"wrote {args.output} ({n_entries} history entries)")
+    if "store" in sections:
+        # Runs after (or without) the engine section; merges the
+        # ``columnar_store`` section into the same report file.
+        run_suites(
+            suite="store", output_dir=args.output.parent, rounds=args.rounds
+        )
 
 
 if __name__ == "__main__":

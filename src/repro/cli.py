@@ -2,9 +2,12 @@
 
 Two families of commands:
 
-* **library commands** operating on user data (JSONL trajectory files):
-  ``mine`` (top-k patterns -> pattern file), ``score`` (re-score a pattern
-  file out-of-core), ``suggest`` (section 5 parameter guidance);
+* **library commands** operating on user data (JSONL trajectory files or
+  ``.tjc`` columnar stores, sniffed by magic): ``mine`` (top-k patterns ->
+  pattern file), ``score`` (re-score a pattern file out-of-core),
+  ``suggest`` (section 5 parameter guidance), plus the store tooling
+  ``convert`` (JSONL/CSV -> ``.tjc``), ``ingest`` (Porto-taxi-style CSV ->
+  ``.tjc``) and ``store-info`` (print a store's header);
 * **reproduction commands** regenerating the paper's evaluation:
   ``table1``, ``fig3``, ``fig4``, ``ablations``, ``all`` and ``report``
   (everything into one markdown file);
@@ -136,6 +139,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # -- library commands -----------------------------------------------------------
 
 
+def _load_dataset_arg(path):
+    """Open a dataset argument: ``.tjc`` store (by magic) or JSONL.
+
+    Returns ``(dataset, store)`` where ``store`` is the open
+    :class:`~repro.storage.TrajectoryStore` (``None`` for JSONL).  Store
+    datasets are lazy: opening costs O(footer) and trajectories stream
+    through bounded reads on demand.
+    """
+    from repro.storage import is_store_path, open_store
+
+    if is_store_path(path):
+        store = open_store(path)
+        return store.dataset(), store
+    from repro.trajectory.io import load_dataset_jsonl
+
+    return load_dataset_jsonl(path), None
+
+
+def _store_manifest_extra(store) -> dict:
+    """The ``store`` manifest section: provenance of a ``.tjc`` input."""
+    return {
+        "store": {
+            "path": str(store.path),
+            "format_version": store.format_version,
+            "content_hash": store.content_hash,
+            "size_bytes": store.size_bytes,
+            "n_trajectories": store.n_trajectories,
+            "total_snapshots": store.total_snapshots,
+            "compression": store.compression,
+            "positions": store.positions,
+        }
+    }
+
+
 def _resolve_manifest(manifest_arg: str | None, default_base: str) -> str | None:
     """Resolve ``--manifest-out`` (``"auto"`` -> ``<default_base>.manifest.json``)."""
     if manifest_arg is None:
@@ -168,6 +205,7 @@ def _obs_finish(
     config,
     timer,
     extra_metrics: dict | None = None,
+    manifest_extra: dict | None = None,
 ) -> None:
     """Write the metrics/manifest outputs, then return obs to default-off."""
     import json
@@ -197,6 +235,7 @@ def _obs_finish(
             metrics=snapshot,
             wall_time_s=timer.wall_time_s,
             cpu_time_s=timer.cpu_time_s,
+            extra=manifest_extra,
         )
         obs_manifest.write_manifest(manifest_out, document)
         print(f"wrote run manifest -> {manifest_out}")
@@ -215,14 +254,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.core.trajpattern import TrajPatternMiner
     from repro.obs import manifest as obs_manifest
     from repro.obs import tracing
-    from repro.trajectory.io import load_dataset_jsonl
 
     manifest_out = _resolve_manifest(args.manifest_out, args.output)
     _obs_setup(args, manifest_out)
 
-    dataset = load_dataset_jsonl(args.dataset)
-    suggestion = suggest_parameters(dataset)
-    cell = args.cell_size if args.cell_size else suggestion.cell_size
+    dataset, store = _load_dataset_arg(args.dataset)
+    if args.cell_size and args.gamma is not None:
+        # Everything a suggestion would provide was pinned on the command
+        # line, so skip the full-dataset statistics scan -- this is what
+        # keeps store-backed mining O(footer) before the engines start.
+        cell, gamma = args.cell_size, args.gamma
+    else:
+        suggestion = suggest_parameters(dataset)
+        cell = args.cell_size if args.cell_size else suggestion.cell_size
+        gamma = args.gamma if args.gamma is not None else suggestion.gamma
     delta = args.delta if args.delta else cell
     grid = dataset.make_grid(cell)
     engine_config = EngineConfig(
@@ -235,6 +280,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         log_level=args.log_level,
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
+        store_path=str(store.path) if store is not None else None,
+        radius_sigmas=args.radius_sigmas,
     )
     parallel_snapshot = None
     with obs_manifest.RunTimer() as timer:
@@ -259,7 +306,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                     k=args.k,
                     min_length=args.min_length,
                     max_length=args.max_length,
-                ).mine(discover_groups=True, gamma=suggestion.gamma)
+                ).mine(discover_groups=True, gamma=gamma)
                 if hasattr(engine, "obs_snapshot"):
                     parallel_snapshot = engine.obs_snapshot()
             save_mining_result(result, grid, args.output)
@@ -280,7 +327,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "kernel_backend": kernels.backend_summary(engine_config),
             **({"parallel": parallel_snapshot} if parallel_snapshot else {}),
         },
+        manifest_extra=_store_manifest_extra(store) if store is not None else None,
     )
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -320,26 +370,119 @@ def _cmd_score(args: argparse.Namespace) -> int:
     print(f"re-scored {len(verified)} patterns against {args.dataset}:")
     for pattern, nm in verified[: args.show]:
         print(f"  NM {nm:12.2f}  {pattern.cells}")
+    store_extra = None
+    if streaming.store_backed:
+        from repro.storage import open_store
+
+        with open_store(args.dataset) as store:
+            fingerprint = store.content_hash
+            store_extra = _store_manifest_extra(store)
+    else:
+        fingerprint = hashlib.sha256(Path(args.dataset).read_bytes()).hexdigest()
     _obs_finish(
         args,
         manifest_out,
         command="score",
-        dataset_fingerprint=hashlib.sha256(
-            Path(args.dataset).read_bytes()
-        ).hexdigest(),
+        dataset_fingerprint=fingerprint,
         config=engine_config,
         timer=timer,
-        extra_metrics={"kernel_backend": kernels.backend_summary(engine_config)},
+        extra_metrics={
+            "kernel_backend": kernels.backend_summary(engine_config),
+            "streaming": {
+                "chunks_scanned": streaming.n_chunks_scanned,
+                "span_cache_hits": streaming.span_cache_hits,
+            },
+        },
+        manifest_extra=store_extra,
     )
     return 0
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.core.parameters import suggest_parameters
-    from repro.trajectory.io import load_dataset_jsonl
 
-    dataset = load_dataset_jsonl(args.dataset)
-    print(suggest_parameters(dataset).render())
+    dataset, store = _load_dataset_arg(args.dataset)
+    try:
+        print(suggest_parameters(dataset).render())
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+# -- store commands -----------------------------------------------------------
+
+
+def _writer_kwargs(args: argparse.Namespace) -> dict:
+    """Shared ``StoreWriter`` options for ``convert`` and ``ingest``."""
+    kwargs: dict = {
+        "compression": args.compression,
+        "positions": "q32" if args.quant_scale else "f64",
+    }
+    if args.quant_scale:
+        kwargs["quant_scale"] = args.quant_scale
+    if getattr(args, "timestamps", False):
+        kwargs["store_times"] = True
+    return kwargs
+
+
+def _print_store_summary(summary: dict) -> None:
+    ratio = (
+        summary["source_bytes"] / summary["size_bytes"]
+        if summary["size_bytes"]
+        else 0.0
+    )
+    print(
+        f"wrote {summary['path']}: {summary['n_trajectories']} trajectories, "
+        f"{summary['total_snapshots']} snapshots, "
+        f"{summary['size_bytes']} bytes ({ratio:.2f}x vs source)"
+    )
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.storage import convert_csv_to_store, convert_jsonl_to_store
+
+    if args.format == "csv" or (
+        args.format == "auto" and args.source.lower().endswith(".csv")
+    ):
+        summary = convert_csv_to_store(
+            args.source,
+            args.output,
+            default_sigma=args.default_sigma,
+            **_writer_kwargs(args),
+        )
+    else:
+        summary = convert_jsonl_to_store(
+            args.source, args.output, **_writer_kwargs(args)
+        )
+    _print_store_summary(summary)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.storage import ingest_porto_csv
+
+    summary = ingest_porto_csv(
+        args.source,
+        args.output,
+        sigma=args.sigma,
+        dt=args.dt,
+        skip_malformed=not args.no_skip_malformed,
+        **_writer_kwargs(args),
+    )
+    _print_store_summary(summary)
+    if summary.get("n_skipped"):
+        print(f"skipped {summary['n_skipped']} malformed rows")
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage import open_store
+
+    with open_store(args.store) as store:
+        print(json.dumps(store.describe(), indent=2))
     return 0
 
 
@@ -579,8 +722,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="REPORT.md")
     report.set_defaults(func=_cmd_report)
 
-    mine = sub.add_parser("mine", help="mine top-k patterns from a JSONL dataset")
-    mine.add_argument("dataset", help="trajectory JSONL file")
+    mine = sub.add_parser(
+        "mine", help="mine top-k patterns from a JSONL or .tjc dataset"
+    )
+    mine.add_argument("dataset", help="trajectory JSONL file or .tjc columnar store")
     mine.add_argument("--output", default="patterns.json")
     mine.add_argument("-k", type=int, default=20)
     mine.add_argument("--min-length", type=int, default=2, dest="min_length")
@@ -588,6 +733,25 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--cell-size", type=float, default=None, dest="cell_size")
     mine.add_argument("--delta", type=float, default=None)
     mine.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
+    mine.add_argument(
+        "--radius-sigmas",
+        type=float,
+        default=None,
+        dest="radius_sigmas",
+        help=(
+            "index-build enumeration radius in sigmas (default: derived "
+            "from --min-prob so no above-floor cell is missed)"
+        ),
+    )
+    mine.add_argument(
+        "--gamma",
+        type=float,
+        default=None,
+        help=(
+            "group-discovery distance threshold; giving both --cell-size and "
+            "--gamma skips the parameter-suggestion scan of the dataset"
+        ),
+    )
     mine.add_argument(
         "--jobs",
         type=int,
@@ -609,7 +773,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "score", help="re-score a pattern file against a dataset (out-of-core)"
     )
     score.add_argument("patterns", help="pattern file from \'mine\'")
-    score.add_argument("dataset", help="trajectory JSONL file")
+    score.add_argument("dataset", help="trajectory JSONL file or .tjc columnar store")
     score.add_argument("--delta", type=float, required=True)
     score.add_argument("--min-prob", type=float, default=1e-5, dest="min_prob")
     score.add_argument("--chunk-size", type=int, default=64, dest="chunk_size")
@@ -627,8 +791,93 @@ def _build_parser() -> argparse.ArgumentParser:
     suggest = sub.add_parser(
         "suggest", help="suggest delta/grid/gamma for a dataset (section 5)"
     )
-    suggest.add_argument("dataset", help="trajectory JSONL file")
+    suggest.add_argument("dataset", help="trajectory JSONL file or .tjc columnar store")
     suggest.set_defaults(func=_cmd_suggest)
+
+    def _add_writer_arguments(parser: argparse.ArgumentParser) -> None:
+        group = parser.add_argument_group("store encoding")
+        group.add_argument(
+            "--compression",
+            choices=["none", "zlib"],
+            default="none",
+            help=(
+                "per-chunk compression; 'none' keeps positions memory-mappable "
+                "(default), 'zlib' trades zero-copy reads for size"
+            ),
+        )
+        group.add_argument(
+            "--quant-scale",
+            type=float,
+            default=None,
+            dest="quant_scale",
+            help=(
+                "quantise positions to an int32 lattice of this pitch "
+                "(lossy; omitted: exact float64)"
+            ),
+        )
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a JSONL or CSV trajectory file to a .tjc columnar store",
+    )
+    convert.add_argument("source", help="trajectory JSONL or CSV file")
+    convert.add_argument("output", help="destination .tjc path (written atomically)")
+    convert.add_argument(
+        "--format",
+        choices=["auto", "jsonl", "csv"],
+        default="auto",
+        help="source format (default: csv for *.csv, else jsonl)",
+    )
+    convert.add_argument(
+        "--timestamps",
+        action="store_true",
+        help="also store per-snapshot timestamps (delta-encoded ticks)",
+    )
+    convert.add_argument(
+        "--default-sigma",
+        type=float,
+        default=None,
+        dest="default_sigma",
+        help="CSV only: sigma for rows without a sigma column",
+    )
+    _add_writer_arguments(convert)
+    convert.set_defaults(func=_cmd_convert)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help=(
+            "ingest a Porto-taxi-style CSV (POLYLINE column of [lon, lat] "
+            "fixes) into a .tjc columnar store"
+        ),
+    )
+    ingest.add_argument("source", help="CSV file with a POLYLINE column")
+    ingest.add_argument("output", help="destination .tjc path (written atomically)")
+    ingest.add_argument(
+        "--sigma",
+        type=float,
+        required=True,
+        help="positional uncertainty assigned to every GPS fix (degrees)",
+    )
+    ingest.add_argument(
+        "--dt",
+        type=float,
+        default=15.0,
+        help="seconds between consecutive fixes (Porto samples at 15s)",
+    )
+    ingest.add_argument(
+        "--no-skip-malformed",
+        action="store_true",
+        dest="no_skip_malformed",
+        help="fail on malformed rows instead of counting and skipping them",
+    )
+    _add_writer_arguments(ingest)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    store_info = sub.add_parser(
+        "store-info", help="print a .tjc store's header as JSON (O(footer))"
+    )
+    store_info.add_argument("store", help=".tjc columnar store")
+    store_info.set_defaults(func=_cmd_store_info)
 
     serve = sub.add_parser(
         "serve",
@@ -636,8 +885,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "snapshot",
-        help="snapshot directory (dataset.jsonl [+ patterns.json, serve.json]) "
-        "or a bare trajectory JSONL file",
+        help="snapshot directory (dataset.tjc or dataset.jsonl [+ "
+        "patterns.json, serve.json]) or a bare dataset file (JSONL or .tjc)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7706)
@@ -764,11 +1013,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["all", "engine", "kernels", "serve"],
+        choices=["all", "engine", "kernels", "serve", "store"],
         default="all",
         help=(
-            "which benchmark family to run (default all = engine + serve; "
-            "'kernels' is the fast backend-comparison loop)"
+            "which benchmark family to run (default all = engine + serve + "
+            "store; 'kernels' is the fast backend-comparison loop)"
         ),
     )
     bench.add_argument(

@@ -138,6 +138,13 @@ class EngineConfig:
         ``cache_dir/index-<key>.npz`` and falls back to a fresh build
         (persisting the result) on a miss.  ``None`` disables caching.
         Excluded from the cache key itself, as is ``jobs``.
+    store_path:
+        Path of a ``.tjc`` columnar store (:mod:`repro.storage`) backing
+        the dataset, or ``None`` for a purely in-RAM dataset.  Carried so
+        downstream consumers -- span-mode parallel workers, serving
+        snapshot loaders, run manifests -- can find the file; it never
+        affects evaluation results and is excluded from the index cache
+        key (the store's *content hash* is what names cache entries).
     log_level, trace_out, metrics_out:
         Observability knobs (all off / ``None`` by default): the
         ``repro.*`` structured-log level, the span-trace JSONL path and
@@ -159,6 +166,7 @@ class EngineConfig:
     prob_chunk_size: int = _INDEX_PAIR_CHUNK
     jobs: int = 1
     cache_dir: str | Path | None = None
+    store_path: str | Path | None = None
     log_level: str | None = None
     trace_out: str | Path | None = None
     metrics_out: str | Path | None = None
@@ -254,7 +262,7 @@ class NMEngine:
         self._dtype = self._kernels.dtype
         self._arena = ScratchArena()
 
-        lengths = np.array([len(t) for t in dataset], dtype=np.int64)
+        lengths = dataset.lengths()
         self._lengths = lengths
         self._starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
         self._total_rows = int(lengths.sum())
@@ -355,24 +363,34 @@ class NMEngine:
         radius_sigmas = cfg.effective_radius_sigmas()
         cap = cfg.max_cells_per_snapshot
         pair_chunk = cfg.prob_chunk_size
-        means = self.dataset.all_means()
-        sigmas = np.concatenate([t.sigmas for t in self.dataset])
-        radii = radius_sigmas * sigmas + cfg.delta
+        row_columns = getattr(self.dataset, "row_columns", None)
+        if row_columns is None:
+            # Eager datasets already hold dense columns; slicing views is
+            # free.  Store-backed datasets instead decode each row chunk on
+            # demand, so an out-of-core build never materialises the full
+            # span -- peak RSS stays O(_INDEX_ROW_CHUNK + entries).
+            all_means = self.dataset.all_means()
+            all_sigmas = self.dataset.all_sigmas()
+
+            def row_columns(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+                return all_means[lo:hi], all_sigmas[lo:hi]
 
         cells_acc: list[np.ndarray] = []
         rows_acc: list[np.ndarray] = []
         vals_acc: list[np.ndarray] = []
         for lo in range(0, self._total_rows, _INDEX_ROW_CHUNK):
             hi = min(lo + _INDEX_ROW_CHUNK, self._total_rows)
-            cells, owners = self.grid.cells_near_many(means[lo:hi], radii[lo:hi])
+            means, sigmas = row_columns(lo, hi)
+            radii = radius_sigmas * sigmas + cfg.delta
+            cells, owners = self.grid.cells_near_many(means, radii)
             if not len(cells):
                 continue
             probs = np.empty(len(cells))
             for s in range(0, len(cells), pair_chunk):
                 e = min(s + pair_chunk, len(cells))
                 self._kernels.prob_within(
-                    means[lo + owners[s:e]],
-                    sigmas[lo + owners[s:e]],
+                    means[owners[s:e]],
+                    sigmas[owners[s:e]],
                     self.grid.cell_centers(cells[s:e]),
                     cfg.delta,
                     model=cfg.prob_model,

@@ -71,7 +71,19 @@ def _hash_update_array(h: "hashlib._Hash", array: np.ndarray) -> None:
 
 
 def dataset_fingerprint(dataset) -> str:
-    """SHA-256 hex digest of every trajectory's means, sigmas and length."""
+    """SHA-256 hex digest of every trajectory's means, sigmas and length.
+
+    A dataset may pre-compute this and expose it as a
+    ``content_fingerprint`` attribute -- full-span
+    :class:`~repro.storage.dataset.StoreDataset` views do, carrying the
+    ``.tjc`` footer's ``content_hash``, which the writer computed with
+    exactly this algorithm.  The short-circuit is what makes opening a
+    multi-gigabyte store and hitting a warm index cache O(footer) instead
+    of O(dataset).
+    """
+    precomputed = getattr(dataset, "content_fingerprint", None)
+    if precomputed is not None:
+        return str(precomputed)
     h = hashlib.sha256()
     h.update(f"n={len(dataset)}".encode())
     for traj in dataset:
@@ -94,6 +106,46 @@ def cache_key(dataset, grid, config, *, kernel_tag: str = "ref") -> str:
     h = hashlib.sha256()
     h.update(f"format={CACHE_FORMAT_VERSION}".encode())
     h.update(dataset_fingerprint(dataset).encode())
+    bbox = grid.bbox
+    h.update(
+        (
+            f"grid={bbox.min_x!r},{bbox.min_y!r},{bbox.max_x!r},{bbox.max_y!r},"
+            f"{grid.nx},{grid.ny}"
+        ).encode()
+    )
+    h.update(
+        (
+            f"config=delta:{config.delta!r},model:{config.prob_model.value},"
+            f"min_prob:{config.min_prob!r},radius:{config.radius_sigmas!r},"
+            f"cap:{config.max_cells_per_snapshot}"
+        ).encode()
+    )
+    if kernel_tag != "ref":
+        h.update(f"kernel={kernel_tag}".encode())
+    return h.hexdigest()
+
+
+def span_cache_key(
+    store_hash: str,
+    traj_lo: int,
+    traj_hi: int,
+    grid,
+    config,
+    *,
+    kernel_tag: str = "ref",
+) -> str:
+    """Cache key of one trajectory *span* of a content-addressed store.
+
+    Same ingredients as :func:`cache_key` except the dataset contribution
+    is the store's ``content_hash`` plus the span bounds -- no data needs
+    to be read to name the cache entry, which is what lets the streaming
+    engine and span workers warm their per-chunk indices incrementally.
+    Row indices inside a span cache file are *span-local* (relative to the
+    span's first row); the loader re-bases them.
+    """
+    h = hashlib.sha256()
+    h.update(f"format={CACHE_FORMAT_VERSION}".encode())
+    h.update(f"store={store_hash}/span={traj_lo}:{traj_hi}".encode())
     bbox = grid.bbox
     h.update(
         (

@@ -27,6 +27,12 @@ Dense arrays never travel through pickles:
 * the parent places the dataset's stacked means/sigmas in
   ``multiprocessing.shared_memory`` segments; workers attach and slice
   their trajectory span zero-copy;
+* a dataset backed by a ``.tjc`` columnar store (:mod:`repro.storage`)
+  skips ``/dev/shm`` entirely: workers receive ``(path, traj_lo,
+  traj_hi)`` file-range spans, memory-map the same file read-only and
+  share its page cache -- the parent never materialises the arrays at
+  all, which is what keeps a sharded mine's resident set independent of
+  dataset size;
 * on an index-cache hit the parent also shares the cached flat entry
   arrays; each worker filters its row range out of the shared view and
   skips the probability enumeration entirely;
@@ -132,17 +138,25 @@ def attach_array(
 def shard_dataset(dataset: TrajectoryDataset, n_shards: int) -> list[tuple[int, int]]:
     """Contiguous trajectory spans ``[lo, hi)`` balanced by snapshot count.
 
-    ``n_shards`` is capped at the trajectory count so no shard is ever
-    empty (the engine refuses empty datasets); each shard holds at least
-    one trajectory.  Spans are contiguous and ordered, so concatenating
-    per-shard per-trajectory results reproduces dataset order.
+    Degenerate inputs shrink the plan instead of producing unusable spans:
+    ``n_shards`` is capped at the trajectory count (no shard is ever empty
+    -- the engine refuses empty datasets), and a span that would hold only
+    zero-length trajectories is merged into its neighbour, so every
+    returned span contains at least one snapshot whenever the dataset has
+    any.  A dataset of *only* empty trajectories collapses to the single
+    span ``[(0, n)]``.  The result may therefore have fewer than
+    ``n_shards`` entries.  Spans stay contiguous and ordered, so
+    concatenating per-shard per-trajectory results reproduces dataset
+    order.
     """
     n = len(dataset)
     if n == 0:
         raise ValueError("cannot shard an empty dataset")
     n_shards = max(1, min(n_shards, n))
-    cum = np.cumsum([len(t) for t in dataset])
+    cum = np.cumsum(dataset.lengths())
     total = int(cum[-1])
+    if total == 0:
+        return [(0, n)]
     bounds = [0]
     for s in range(1, n_shards):
         cut = int(np.searchsorted(cum, total * s / n_shards))
@@ -150,7 +164,24 @@ def shard_dataset(dataset: TrajectoryDataset, n_shards: int) -> list[tuple[int, 
         cut = min(cut, n - (n_shards - s))  # leave one for each later shard
         bounds.append(cut)
     bounds.append(n)
-    return [(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+    spans = [(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+
+    def _snapshots(lo: int, hi: int) -> int:
+        return int(cum[hi - 1] - (cum[lo - 1] if lo else 0))
+
+    merged: list[tuple[int, int]] = []
+    carry_lo: int | None = None  # leading all-empty spans extend the next one
+    for lo, hi in spans:
+        start = lo if carry_lo is None else carry_lo
+        if _snapshots(lo, hi) == 0:
+            if merged:
+                merged[-1] = (merged[-1][0], hi)
+            else:
+                carry_lo = start
+            continue
+        merged.append((start, hi))
+        carry_lo = None
+    return merged
 
 
 def _skew(values: Sequence[float]) -> float:
@@ -171,23 +202,60 @@ def _skew(values: Sequence[float]) -> float:
 
 @dataclass(frozen=True)
 class _WorkerInit:
-    """Everything a shard worker needs to build its engine."""
+    """Everything a shard worker needs to build its engine.
+
+    The shard's data arrives one of two ways:
+
+    * **shm mode** -- ``means``/``sigmas`` address the parent's
+      shared-memory copies of the stacked dataset arrays (``store`` is
+      ``None``);
+    * **store mode** -- ``store`` is a ``(path, traj_lo, traj_hi)`` span
+      of a ``.tjc`` columnar store; the worker memory-maps the same file
+      read-only, so no dataset bytes are copied anywhere and the page
+      cache is shared across all workers.  ``means``/``sigmas`` are
+      ``None``.
+    """
 
     grid: Grid
     config: EngineConfig
-    means: ShmArraySpec
-    sigmas: ShmArraySpec
+    means: ShmArraySpec | None
+    sigmas: ShmArraySpec | None
     lengths: tuple[int, ...]  # trajectory lengths of this shard, in order
     row_lo: int  # global row range [row_lo, row_hi) of the shard
     row_hi: int
     index: tuple[ShmArraySpec, ShmArraySpec, ShmArraySpec] | None
+    store: tuple[str, int, int] | None = None  # (.tjc path, traj_lo, traj_hi)
     shard: int = 0  # shard ordinal, stamped on worker spans/logs
     trace: tracing.SpanContext | None = None  # parent trace propagation
     metrics_enabled: bool = False  # mirror the parent registry's state
 
 
+def _shared_index_slice(init: _WorkerInit):
+    """This shard's rows of the parent's cache-loaded index, re-based to 0."""
+    if init.index is None:
+        return None
+    attachments = [attach_array(spec) for spec in init.index]
+    try:
+        cells, rows, vals = (view for view, _ in attachments)
+        keep = (rows >= init.row_lo) & (rows < init.row_hi)
+        return (
+            cells[keep].copy(),
+            rows[keep] - init.row_lo,
+            vals[keep].copy(),
+        )
+    finally:
+        for _, shm in attachments:
+            shm.close()
+
+
 def _worker_build_engine(init: _WorkerInit) -> NMEngine:
-    """Construct the shard dataset and engine from the shared arrays."""
+    """Construct the shard dataset and engine from shared arrays or a store span."""
+    if init.store is not None:
+        from repro.storage import open_store  # deferred: storage is optional here
+
+        path, traj_lo, traj_hi = init.store
+        shard = open_store(path).span(traj_lo, traj_hi)
+        return NMEngine(shard, init.grid, init.config, prebuilt=_shared_index_slice(init))
     means, means_shm = attach_array(init.means)
     sigmas, sigmas_shm = attach_array(init.sigmas)
     try:
@@ -199,21 +267,9 @@ def _worker_build_engine(init: _WorkerInit) -> NMEngine:
             )
             row += length
         shard = TrajectoryDataset(trajectories)
-        prebuilt = None
-        if init.index is not None:
-            attachments = [attach_array(spec) for spec in init.index]
-            try:
-                cells, rows, vals = (view for view, _ in attachments)
-                keep = (rows >= init.row_lo) & (rows < init.row_hi)
-                prebuilt = (
-                    cells[keep].copy(),
-                    rows[keep] - init.row_lo,
-                    vals[keep].copy(),
-                )
-            finally:
-                for _, shm in attachments:
-                    shm.close()
-        return NMEngine(shard, init.grid, init.config, prebuilt=prebuilt)
+        return NMEngine(
+            shard, init.grid, init.config, prebuilt=_shared_index_slice(init)
+        )
     finally:
         means_shm.close()
         sigmas_shm.close()
@@ -414,12 +470,16 @@ class ParallelNMEngine:
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
 
-        lengths = [len(t) for t in self.dataset]
+        lengths = self.dataset.lengths().tolist()
         row_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(int)
-        means_spec = share_array(self.dataset.all_means(), self._own_shm)
-        sigmas_spec = share_array(
-            np.concatenate([t.sigmas for t in self.dataset]), self._own_shm
-        )
+        # Store-backed datasets skip /dev/shm entirely: workers receive a
+        # (path, lo, hi) span and mmap the same file read-only, so the
+        # parent never materialises the dataset arrays at all.
+        store_ref = getattr(self.dataset, "store_ref", None)
+        means_spec = sigmas_spec = None
+        if store_ref is None:
+            means_spec = share_array(self.dataset.all_means(), self._own_shm)
+            sigmas_spec = share_array(self.dataset.all_sigmas(), self._own_shm)
 
         cache_dir, key, index_specs = self.config.cache_dir, None, None
         if cache_dir is not None:
@@ -449,6 +509,10 @@ class ParallelNMEngine:
         self._trace_ctx = tracing.current_context()
         metrics_enabled = metrics.get_registry().enabled
         for shard, (lo, hi) in enumerate(self.shard_bounds):
+            store_span = None
+            if store_ref is not None:
+                path, base_lo, _base_hi = store_ref
+                store_span = (path, base_lo + lo, base_lo + hi)
             init = _WorkerInit(
                 grid=self.grid,
                 config=worker_config,
@@ -458,6 +522,7 @@ class ParallelNMEngine:
                 row_lo=int(row_offsets[lo]),
                 row_hi=int(row_offsets[hi]),
                 index=index_specs,
+                store=store_span,
                 shard=shard,
                 trace=self._trace_ctx,
                 metrics_enabled=metrics_enabled,

@@ -6,11 +6,24 @@ we only need a portion of the data set at a time for computing the NM.
 Thus the space complexity of our algorithm can be considered as O(kMG)."
 
 :class:`StreamingNMEngine` realises that claim: it evaluates the NM and
-match of pattern batches by streaming trajectories from a JSONL file in
+match of pattern batches by streaming trajectories from a dataset file in
 bounded-size chunks, building the in-memory probability index only for the
 chunk in flight.  Because NM and match are *sums of per-trajectory terms*
 (Eq. 4 summed over D), chunk results combine by plain addition -- the
 evaluation is embarrassingly partitionable over trajectories.
+
+Two file formats are accepted (sniffed, not suffix-matched):
+
+* **JSONL** (:func:`repro.trajectory.io.save_dataset_jsonl`) -- parsed
+  line by line, one chunk of trajectories resident at a time;
+* **``.tjc`` columnar stores** (:mod:`repro.storage`) -- chunks become
+  trajectory *spans* read straight from the column chunks (bounded
+  ``pread``, no mmap growth), and with ``config.cache_dir`` set each
+  span's index is cached under a :func:`~repro.core.index_cache.
+  span_cache_key` -- keyed by the store's content hash and the span
+  bounds, so re-scoring runs rebuild nothing and the cache warms span by
+  span, incrementally, without ever fingerprinting (or holding) the whole
+  dataset.
 
 Intended use: verifying or re-scoring mined pattern sets against datasets
 too large for one resident index (the miner itself wants the random access
@@ -44,8 +57,9 @@ class StreamingNMEngine:
     Parameters
     ----------
     path:
-        A dataset file written by
-        :func:`repro.trajectory.io.save_dataset_jsonl`.
+        A dataset file: JSONL written by
+        :func:`repro.trajectory.io.save_dataset_jsonl`, or a ``.tjc``
+        columnar store (detected by magic).
     grid, config:
         The same geometry/probability configuration an in-memory engine
         would use; results are identical by construction.
@@ -61,6 +75,8 @@ class StreamingNMEngine:
         config: EngineConfig,
         chunk_size: int = 64,
     ) -> None:
+        from repro.storage import is_store_path, open_store  # deferred: layering
+
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.path = Path(path)
@@ -68,6 +84,15 @@ class StreamingNMEngine:
         self.config = config
         self.chunk_size = chunk_size
         self.n_chunks_scanned = 0  # instrumentation
+        self.span_cache_hits = 0  # store mode: spans served from the cache
+        self.store_backed = is_store_path(self.path)
+        if self.store_backed:
+            # O(footer) open validates magic/version and pins the content
+            # hash that names this store's span cache entries.
+            with open_store(self.path) as store:
+                self._store_hash = store.content_hash
+                self._n_store_traj = store.n_trajectories
+            return
         # Validate the header eagerly so misuse fails at construction.
         with self.path.open("r", encoding="utf-8") as fh:
             header = json.loads(fh.readline() or "null")
@@ -77,29 +102,87 @@ class StreamingNMEngine:
     # -- streaming machinery ---------------------------------------------------
 
     def _iter_chunks(self) -> Iterator[TrajectoryDataset]:
-        """Yield the file as bounded TrajectoryDataset chunks."""
+        """Yield the JSONL file as bounded TrajectoryDataset chunks.
+
+        Rides :func:`repro.trajectory.io.iter_dataset_jsonl`, so parsing is
+        line-by-line (one trajectory resident beyond the current batch) and
+        malformed records fail with the usual ``path:line`` errors.
+        """
+        from repro.trajectory.io import iter_dataset_jsonl
+
         batch: list[UncertainTrajectory] = []
-        with self.path.open("r", encoding="utf-8") as fh:
-            fh.readline()  # header
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                batch.append(
-                    UncertainTrajectory(
-                        np.asarray(record["means"], dtype=float),
-                        np.asarray(record["sigmas"], dtype=float),
-                        object_id=record.get("object_id", ""),
-                    )
-                )
-                if len(batch) == self.chunk_size:
-                    yield TrajectoryDataset(batch)
-                    batch = []
+        stream = iter_dataset_jsonl(self.path)
+        next(stream)  # header metadata
+        for traj in stream:
+            batch.append(traj)
+            if len(batch) == self.chunk_size:
+                yield TrajectoryDataset(batch)
+                batch = []
         if batch:
             yield TrajectoryDataset(batch)
 
+    def _store_chunk_engines(self) -> Iterator[NMEngine]:
+        """Span-at-a-time engines over a ``.tjc`` store.
+
+        Each span reads its rows through bounded ``pread`` (``mode="read"``
+        -- the mapping never grows, so peak RSS is one span).  With
+        ``config.cache_dir`` set the span's flat index is cached under a
+        span key: store content hash + span bounds + grid/config, with
+        span-local row indices -- built on first contact, loaded ever
+        after, independent of every other span.
+        """
+        from repro.core import index_cache, kernels  # deferred: layering
+        from repro.storage import open_store
+
+        cache_dir = self.config.cache_dir
+        kernel_tag = kernels.prob_kernel_tag(self.config)
+        # Chunk engines stay in-process and never cache whole-chunk-dataset
+        # keys themselves -- the span cache above is their cache.
+        config = replace(self.config, jobs=1, cache_dir=None)
+        with open_store(self.path) as store:
+            offsets = store.row_offsets
+            for lo in range(0, store.n_trajectories, self.chunk_size):
+                hi = min(lo + self.chunk_size, store.n_trajectories)
+                span = store.span(lo, hi, mode="read")
+                prebuilt, span_key = None, None
+                if cache_dir is not None:
+                    span_key = index_cache.span_cache_key(
+                        self._store_hash,
+                        lo,
+                        hi,
+                        self.grid,
+                        self.config,
+                        kernel_tag=kernel_tag,
+                    )
+                    prebuilt = index_cache.load_index(
+                        cache_dir,
+                        span_key,
+                        n_rows=int(offsets[hi] - offsets[lo]),
+                        n_cells=self.grid.n_cells,
+                    )
+                self.n_chunks_scanned += 1
+                metrics.counter("streaming.chunks_scanned").inc()
+                with tracing.span(
+                    "streaming.span",
+                    chunk=self.n_chunks_scanned,
+                    traj_lo=lo,
+                    traj_hi=hi,
+                    cache_hit=prebuilt is not None,
+                ):
+                    engine = NMEngine(span, self.grid, config, prebuilt=prebuilt)
+                if prebuilt is not None:
+                    self.span_cache_hits += 1
+                    metrics.counter("streaming.span_cache_hit").inc()
+                elif span_key is not None:
+                    index_cache.save_index(
+                        cache_dir, span_key, *engine.index_arrays()
+                    )
+                yield engine
+
     def _chunk_engines(self) -> Iterator[NMEngine]:
+        if self.store_backed:
+            yield from self._store_chunk_engines()
+            return
         # Chunk engines are always in-process (one resident index is the
         # whole point); `jobs` is neutralised rather than spawning a pool
         # per chunk.  `cache_dir` is kept: each chunk gets its own

@@ -59,6 +59,19 @@ def peak_rss_bytes() -> int:
     return int(peak) * 1024
 
 
+def peak_rss_children_bytes() -> int:
+    """Peak resident set size among reaped child processes, in bytes.
+
+    The per-child high-water mark (largest single child, not a sum);
+    worker pools spawned by ``--jobs`` show up here, not in
+    :func:`peak_rss_bytes`.
+    """
+    peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(peak)
+    return int(peak) * 1024
+
+
 def _jsonable(value: Any) -> Any:
     """Recursively convert configs/paths/enums into plain JSON values."""
     if is_dataclass(value) and not isinstance(value, type):
@@ -107,6 +120,7 @@ def build_manifest(
         "wall_time_s": wall_time_s,
         "cpu_time_s": cpu_time_s,
         "peak_rss_bytes": peak_rss_bytes(),
+        "peak_rss_children_bytes": peak_rss_children_bytes(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "pid": os.getpid(),

@@ -17,20 +17,27 @@ swapping back to a previously served dataset (or restarting the server)
 skips the probability enumeration entirely.  Offline mining runs pointed
 at the same cache directory share the files in both directions.
 
-On disk a snapshot is either a bare dataset JSONL file or a directory:
+On disk a snapshot is either a bare dataset file (JSONL or a ``.tjc``
+columnar store, sniffed by magic) or a directory:
 
-``dataset.jsonl``
-    required -- the uncertain trajectories to serve (:mod:`repro.trajectory.io`).
+``dataset.tjc`` / ``dataset.jsonl``
+    one required -- the uncertain trajectories to serve
+    (:mod:`repro.trajectory.io` / :mod:`repro.storage`); ``dataset.tjc``
+    wins when both exist.  Store-backed snapshots open in O(footer) and
+    stream trajectories on demand, so swapping to a huge dataset does not
+    double-buffer it in RAM.
 ``patterns.json``
     optional -- a mining result (:mod:`repro.core.results_io`); enables
     the ``predict`` op and pins the pattern grid.
 ``serve.json``
     optional -- overrides: ``{"version": ..., "cell_size": ...,
     "delta": ..., "min_prob": ..., "confirm_threshold": ...,
-    "min_prefix": ..., "backend": ..., "dtype": ...}``.  Anything absent
-    falls back to the section 5 parameter suggestions derived from the
-    dataset; ``backend``/``dtype`` select the kernel backend
-    (:mod:`repro.core.kernels`) the snapshot's engine evaluates on.
+    "min_prefix": ..., "backend": ..., "dtype": ..., "store": ...}``.
+    Anything absent falls back to the section 5 parameter suggestions
+    derived from the dataset; ``backend``/``dtype`` select the kernel
+    backend (:mod:`repro.core.kernels`) the snapshot's engine evaluates
+    on; ``store`` names a ``.tjc`` file (relative to the directory) to
+    serve instead of the ``dataset.*`` convention.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ _CONFIG_KEYS = (
     "min_prefix",
     "backend",
     "dtype",
+    "store",
 )
 
 
@@ -193,13 +201,12 @@ class ServingSnapshot:
         ``backend``/``dtype`` keys wins, since those are pinned per
         snapshot.
         """
+        from repro.storage import is_store_path, open_store
+
         path = Path(path)
         overrides: dict[str, Any] = {}
         patterns_path: Path | None = None
         if path.is_dir():
-            dataset_path = path / "dataset.jsonl"
-            if not dataset_path.is_file():
-                raise ValueError(f"{path}: snapshot directory has no dataset.jsonl")
             candidate = path / "patterns.json"
             if candidate.is_file():
                 patterns_path = candidate
@@ -214,9 +221,29 @@ class ServingSnapshot:
                         f"{config_path}: unknown keys {sorted(unknown)}"
                     )
                 overrides = raw
+            if overrides.get("store") is not None:
+                dataset_path = path / str(overrides.pop("store"))
+                if not dataset_path.is_file():
+                    raise ValueError(
+                        f"{path}: serve.json store {dataset_path.name!r} not found"
+                    )
+            elif (path / "dataset.tjc").is_file():
+                dataset_path = path / "dataset.tjc"
+            elif (path / "dataset.jsonl").is_file():
+                dataset_path = path / "dataset.jsonl"
+            else:
+                raise ValueError(
+                    f"{path}: snapshot directory has no dataset.tjc or "
+                    "dataset.jsonl"
+                )
         else:
             dataset_path = path
-        dataset = load_dataset_jsonl(dataset_path)
+        if is_store_path(dataset_path):
+            # Lazy store-backed dataset: the StoreDataset pins the open
+            # store handle for the snapshot's lifetime.
+            dataset = open_store(dataset_path).dataset()
+        else:
+            dataset = load_dataset_jsonl(dataset_path)
         kwargs: dict[str, Any] = {"backend": backend, "dtype": dtype}
         for numeric in ("cell_size", "delta", "min_prob", "confirm_threshold"):
             if overrides.get(numeric) is not None:
@@ -261,7 +288,7 @@ class ServingSnapshot:
             "sample_active_cells": [int(c) for c in sample],
             "has_patterns": self.library is not None,
             "n_patterns": len(self.library) if self.library is not None else 0,
-            "sigma_typical": float(np.median(np.concatenate([t.sigmas for t in self.dataset]))),
+            "sigma_typical": float(np.median(self.dataset.all_sigmas())),
         }
 
 

@@ -4,7 +4,9 @@ The repo evaluates NM/match through several independent implementations:
 the scalar reference (:mod:`repro.core.measures`), the batched
 :class:`~repro.core.engine.NMEngine`, sharded
 :class:`~repro.core.parallel.ParallelNMEngine` workers, cold- and
-warm-cache index loads, out-of-core streaming chunks, and a live
+warm-cache index loads, out-of-core streaming chunks, engines over
+``.tjc`` columnar stores (serial and store-span sharded,
+:mod:`repro.storage`), and a live
 :class:`~repro.serve.server.PatternServer` round-trip.  The paper's
 guarantees hold only if they all agree; this module checks that they do,
 for a seeded dataset and a seeded candidate frontier, and pins *how much*
@@ -43,6 +45,7 @@ from repro.core.streaming import StreamingNMEngine
 from repro.serve import protocol
 from repro.serve.server import PatternServer, ServeConfig
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
+from repro.storage import open_store, write_store
 from repro.testkit.datasets import DEFAULT_SEEDS, OracleSetup, oracle_setup
 from repro.trajectory.io import save_dataset_jsonl
 
@@ -76,6 +79,15 @@ ULP_BUDGETS = {
     "cache-warm": 0,
     "streaming": 512,
     "serve": 0,
+    # The columnar store moves bytes, not values: an engine over the
+    # store-backed dataset reads back the exact float64 arrays it was
+    # written from, so the serial path is bit-identical to the baseline.
+    "store": 0,
+    # Store-span parallel workers shard the same trajectory boundaries as
+    # the shm-backed engine and reduce in the same order, so each width is
+    # compared against *its own* in-RAM parallel run -- also bit-identical
+    # (the re-association budget already lives on the ``parallel`` paths).
+    "store-parallel": 0,
     # Kernel-backend paths (``--backends all``).  ``kernel`` covers
     # float64 engines on alternative backends building their *own* index:
     # compiled Prob kernels use libm ``erf`` (<= 2 ULPs from scipy in
@@ -345,14 +357,20 @@ def run_oracle(
         if not warm.index_cache_hit:
             checks[-1] = replace(checks[-1], nm_ulps=_ULPS_INCOMPARABLE)
 
-        # Path 4: sharded workers at every requested width.
+        # Path 4: sharded workers at every requested width.  Results are
+        # kept per width: the store-parallel paths below compare against
+        # the *same-width* in-RAM run, where agreement is exact.
+        par_results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for jobs in jobs_grid:
             with ParallelNMEngine(setup.dataset, setup.grid, cfg, jobs=jobs) as par:
+                nm_par = np.asarray(par.nm_batch(frontier), dtype=np.float64)
+                match_par = np.asarray(par.match_batch(frontier), dtype=np.float64)
+                par_results[jobs] = (nm_par, match_par)
                 checks.append(
                     check(
                         f"parallel[{jobs}]",
-                        par.nm_batch(frontier),
-                        par.match_batch(frontier),
+                        nm_par,
+                        match_par,
                         detail=f"{par.n_shards} shards",
                     )
                 )
@@ -370,6 +388,41 @@ def run_oracle(
                 detail=f"{stream.n_chunks_scanned} chunks",
             )
         )
+
+        # Paths 6+7: the columnar store.  Writing the dataset to a ``.tjc``
+        # file and evaluating over the store-backed (lazy, memory-mapped)
+        # dataset must not move a bit; store-*span* parallel workers (no
+        # /dev/shm copies) must agree bit-for-bit with the shm-backed
+        # parallel engine of the same width.
+        store_file = work / "oracle-dataset.tjc"
+        write_store(setup.dataset, store_file)
+        with open_store(store_file) as store:
+            store_dataset = store.dataset()
+            store_engine = NMEngine(store_dataset, setup.grid, cfg)
+            checks.append(
+                check(
+                    "store",
+                    store_engine.nm_batch(frontier),
+                    store_engine.match_batch(frontier),
+                    detail=f"{store.positions}/{store.compression}",
+                )
+            )
+            for jobs in jobs_grid:
+                with ParallelNMEngine(
+                    store_dataset, setup.grid, cfg, jobs=jobs
+                ) as spar:
+                    nm_ram, match_ram = par_results[jobs]
+                    checks.append(
+                        PathCheck(
+                            path=f"store-parallel[{jobs}]",
+                            budget_ulps=budgets["store-parallel"],
+                            nm_ulps=max_ulps(nm_ram, spar.nm_batch(frontier)),
+                            match_ulps=max_ulps(
+                                match_ram, spar.match_batch(frontier)
+                            ),
+                            detail=f"{spar.n_shards} spans vs parallel[{jobs}]",
+                        )
+                    )
 
     # Path 6: every kernel backend x dtype combination beyond the numpy
     # float64 baseline.  Each engine builds its own index (so a compiled

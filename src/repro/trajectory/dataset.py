@@ -62,6 +62,16 @@ class TrajectoryDataset:
             return np.empty((0, 2))
         return np.concatenate([t.means for t in self.trajectories], axis=0)
 
+    def all_sigmas(self) -> np.ndarray:
+        """All snapshot sigmas concatenated into one ``(total,)`` array."""
+        if not self.trajectories:
+            return np.empty(0)
+        return np.concatenate([t.sigmas for t in self.trajectories])
+
+    def lengths(self) -> np.ndarray:
+        """Per-trajectory snapshot counts as an int64 array."""
+        return np.asarray([len(t) for t in self.trajectories], dtype=np.int64)
+
     def bounding_box(self, n_sigmas: float = 0.0) -> BoundingBox:
         """Bounding box of every snapshot mean, optionally sigma-padded."""
         if not self.trajectories:

@@ -49,55 +49,82 @@ def save_dataset_jsonl(dataset: TrajectoryDataset, path: str | Path) -> None:
             fh.write(json.dumps(record) + "\n")
 
 
-def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
-    """Read a dataset previously written by :func:`save_dataset_jsonl`."""
+def read_jsonl_header(path: str | Path) -> dict:
+    """Parse and validate only the header line; returns its metadata dict.
+
+    Cheap eager validation (the streaming engines use it to fail fast on a
+    bad file before any mining starts).
+    """
     path = Path(path)
-    trajectories: list[UncertainTrajectory] = []
-    metadata: dict = {}
     with path.open("r", encoding="utf-8") as fh:
-        first = fh.readline()
-        if not first or not first.strip():
-            raise ValueError(f"{path}: empty file")
-        try:
-            header = json.loads(first)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:1: header is not JSON: {exc}") from exc
-        if not isinstance(header, dict):
-            raise ValueError(f"{path}:1: header must be a JSON object")
-        if header.get("format") != "repro.trajectory":
-            raise ValueError(f"{path}: not a repro trajectory file")
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported format version {header.get('version')!r}"
-            )
-        metadata = header.get("metadata", {})
-        if not isinstance(metadata, dict):
-            raise ValueError(f"{path}:1: metadata must be a JSON object")
+        return _parse_header(path, fh.readline())
+
+
+def _parse_header(path: Path, first: str) -> dict:
+    if not first or not first.strip():
+        raise ValueError(f"{path}: empty file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}:1: header is not JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ValueError(f"{path}:1: header must be a JSON object")
+    if header.get("format") != "repro.trajectory":
+        raise ValueError(f"{path}: not a repro trajectory file")
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {header.get('version')!r}"
+        )
+    metadata = header.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ValueError(f"{path}:1: metadata must be a JSON object")
+    return metadata
+
+
+def _parse_trajectory(path: Path, line_no: int, line: str) -> UncertainTrajectory:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ValueError(f"{path}:{line_no}: trajectory record must be a JSON object")
+    try:
+        return UncertainTrajectory(
+            np.asarray(record["means"], dtype=float),
+            np.asarray(record["sigmas"], dtype=float),
+            object_id=record.get("object_id", ""),
+            start_time=record.get("start_time", 0.0),
+            dt=record.get("dt", 1.0),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"{path}:{line_no}: bad trajectory record: {exc}") from exc
+
+
+def iter_dataset_jsonl(path: str | Path):
+    """Stream trajectories from a JSONL dataset file one at a time.
+
+    Yields the header metadata dict first, then one
+    :class:`UncertainTrajectory` per record line.  Peak memory is a single
+    trajectory -- this is the primitive large-file ingest and the
+    streaming engine build on, so converting a file bigger than RAM never
+    materialises the dataset.  Malformed input raises ``ValueError`` with
+    the usual ``path:line`` prefix.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        yield _parse_header(path, fh.readline())
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{path}:{line_no}: trajectory record must be a JSON object"
-                )
-            try:
-                trajectories.append(
-                    UncertainTrajectory(
-                        np.asarray(record["means"], dtype=float),
-                        np.asarray(record["sigmas"], dtype=float),
-                        object_id=record.get("object_id", ""),
-                        start_time=record.get("start_time", 0.0),
-                        dt=record.get("dt", 1.0),
-                    )
-                )
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_no}: bad trajectory record: {exc}") from exc
-    return TrajectoryDataset(trajectories, metadata=metadata)
+            yield _parse_trajectory(path, line_no, line)
+
+
+def load_dataset_jsonl(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset previously written by :func:`save_dataset_jsonl`."""
+    stream = iter_dataset_jsonl(path)
+    metadata = next(stream)
+    return TrajectoryDataset(list(stream), metadata=metadata)
 
 
 def save_dataset_csv(dataset: TrajectoryDataset, path: str | Path) -> None:

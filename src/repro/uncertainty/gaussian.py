@@ -28,7 +28,7 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special, stats
+from scipy import special
 
 from repro.uncertainty.logspace import safe_log
 
@@ -102,6 +102,11 @@ def prob_within_disk(
     divided by ``sigma^2`` follows a noncentral chi-square distribution with
     2 degrees of freedom and noncentrality ``||mean - center||^2 / sigma^2``.
     """
+    # scipy.stats costs ~45 MiB of resident memory to import; only the
+    # non-default disk model needs it, so keep it off the module import
+    # path (the mine/serve process floor matters for out-of-core runs).
+    from scipy import stats
+
     mean = np.asarray(mean, dtype=float)
     center = np.asarray(center, dtype=float)
     sigma = np.asarray(sigma, dtype=float)

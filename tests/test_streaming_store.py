@@ -1,0 +1,106 @@
+"""StreamingNMEngine over .tjc stores: parity with JSONL, span-cache reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, NMEngine
+from repro.core.pattern import TrajectoryPattern
+from repro.core.streaming import StreamingNMEngine
+from repro.storage import write_store
+from repro.testkit.datasets import seeded_dataset
+from repro.trajectory.io import save_dataset_jsonl
+
+
+@pytest.fixture(scope="module")
+def eager():
+    return seeded_dataset(4, n_trajectories=11, n_ticks=24)
+
+
+@pytest.fixture(scope="module")
+def paths(eager, tmp_path_factory):
+    root = tmp_path_factory.mktemp("streams")
+    jsonl = root / "d.jsonl"
+    save_dataset_jsonl(eager, jsonl)
+    store = write_store(eager, root / "d.tjc", compression="zlib")
+    return jsonl, store
+
+
+@pytest.fixture(scope="module")
+def geometry(eager):
+    grid = eager.make_grid(0.1)
+    config = EngineConfig(delta=0.08, min_prob=1e-6)
+    serial = NMEngine(eager, grid, config)
+    cells = serial.active_cells
+    patterns = [TrajectoryPattern((c,)) for c in cells[:4]] + [
+        TrajectoryPattern((cells[0], cells[1])),
+    ]
+    return grid, config, patterns
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, 5, 100])
+def test_store_matches_jsonl_streaming(paths, geometry, chunk_size):
+    jsonl, store = paths
+    grid, config, patterns = geometry
+    a = StreamingNMEngine(jsonl, grid, config, chunk_size=chunk_size)
+    b = StreamingNMEngine(store, grid, config, chunk_size=chunk_size)
+    assert not a.store_backed and b.store_backed
+    assert np.array_equal(a.nm_many(patterns), b.nm_many(patterns))
+    assert np.array_equal(a.match_many(patterns), b.match_many(patterns))
+    assert a.n_chunks_scanned == b.n_chunks_scanned
+
+
+def test_span_cache_cold_then_warm(paths, geometry, tmp_path):
+    _, store = paths
+    grid, config, patterns = geometry
+    cached = EngineConfig(
+        delta=config.delta, min_prob=config.min_prob, cache_dir=tmp_path
+    )
+    cold = StreamingNMEngine(store, grid, cached, chunk_size=4)
+    nm_cold = cold.nm_many(patterns)
+    assert cold.span_cache_hits == 0
+    assert cold.n_chunks_scanned == 3  # ceil(11 / 4)
+
+    warm = StreamingNMEngine(store, grid, cached, chunk_size=4)
+    nm_warm = warm.nm_many(patterns)
+    assert warm.span_cache_hits == warm.n_chunks_scanned == 3
+    assert np.array_equal(nm_cold, nm_warm)
+
+    # a different chunking misses the span cache (different span bounds)
+    other = StreamingNMEngine(store, grid, cached, chunk_size=6)
+    other.nm_many(patterns)
+    assert other.span_cache_hits == 0
+
+
+def test_span_cache_is_bit_exact(paths, geometry, tmp_path):
+    _, store = paths
+    grid, config, patterns = geometry
+    plain = StreamingNMEngine(store, grid, config, chunk_size=4)
+    cached = EngineConfig(
+        delta=config.delta, min_prob=config.min_prob, cache_dir=tmp_path
+    )
+    first = StreamingNMEngine(store, grid, cached, chunk_size=4)
+    second = StreamingNMEngine(store, grid, cached, chunk_size=4)
+    expected = plain.nm_many(patterns)
+    assert np.array_equal(first.nm_many(patterns), expected)
+    assert np.array_equal(second.nm_many(patterns), expected)
+
+
+def test_empty_store_raises(tmp_path, geometry):
+    from repro.storage import StoreWriter
+
+    grid, config, patterns = geometry
+    with StoreWriter(tmp_path / "e.tjc"):
+        pass
+    engine = StreamingNMEngine(tmp_path / "e.tjc", grid, config)
+    with pytest.raises(ValueError, match="no trajectories"):
+        engine.nm_many(patterns)
+
+
+def test_rejects_non_dataset_file(tmp_path, geometry):
+    grid, config, _ = geometry
+    bad = tmp_path / "x.jsonl"
+    bad.write_text('{"format": "something-else"}\n')
+    with pytest.raises(ValueError, match="not a repro trajectory"):
+        StreamingNMEngine(bad, grid, config)

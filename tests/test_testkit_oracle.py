@@ -112,8 +112,13 @@ class TestRunOracle:
             "parallel",
             "parallel",
             "streaming",
+            "store",
+            "store-parallel",
+            "store-parallel",
             "serve",
         ]
+        store = next(c for c in report.checks if c.path == "store")
+        assert store.budget_ulps == 0  # bit-exact or fail
         warm = next(c for c in report.checks if c.path == "cache-warm")
         assert warm.detail == "hit"
         assert glob.glob("/dev/shm/repro-shm-*") == []
