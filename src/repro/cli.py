@@ -12,13 +12,18 @@ Two families of commands:
   ``table1``, ``fig3``, ``fig4``, ``ablations``, ``all`` and ``report``
   (everything into one markdown file);
 * **serving commands**: ``serve`` (long-running NDJSON/TCP query server
-  over a snapshot, :mod:`repro.serve`) and ``loadgen`` (drive load
-  against it, report latency percentiles).
+  over a snapshot, :mod:`repro.serve`), ``loadgen`` (drive load against
+  it, report latency percentiles; ``--trace-out`` originates a wire
+  trace the server joins), ``top`` (live terminal dashboard polling the
+  ``stats`` op or tailing a telemetry series) and ``slo`` (evaluate
+  error budgets and burn rates over an exported telemetry series).
 
 ``mine`` and ``score`` accept the observability flags ``--log-level``,
 ``--trace-out``, ``--metrics-out`` and ``--manifest-out`` (see
-:mod:`repro.obs`), and ``report <file>`` pretty-prints a span trace or run
-manifest into per-phase timing tables.
+:mod:`repro.obs`), ``serve`` adds ``--export-dir`` (periodic telemetry
+export, :mod:`repro.obs.export`), and ``report <files...>`` pretty-prints
+span traces (merging several into one tree), run manifests, metric
+snapshots or telemetry series.
 """
 
 from __future__ import annotations
@@ -123,9 +128,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.target:
-        from repro.obs.report import render_file
+        from repro.obs.report import render_files
 
-        print(render_file(args.target))
+        print(render_files(args.target))
         return 0
 
     from repro.experiments.report import build_report
@@ -498,8 +503,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     obs.configure(
         log_level=args.log_level,
         trace_out=args.trace_out,
-        enable_metrics=args.metrics_out is not None,
+        enable_metrics=args.metrics_out is not None or args.export_dir is not None,
     )
+    exporter = None
+    if args.export_dir is not None:
+        from repro.obs.export import TelemetryExporter
+
+        exporter = TelemetryExporter(
+            args.export_dir, interval_s=args.export_interval
+        )
+        exporter.start()
+        print(
+            f"exporting telemetry -> {exporter.series_path} "
+            f"(every {exporter.interval_s:g}s)",
+            flush=True,
+        )
     snapshot = ServingSnapshot.load(
         args.snapshot,
         cache_dir=args.cache_dir,
@@ -535,6 +553,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if exporter is not None:
+            exporter.stop()
         if args.metrics_out:
             import json
             from pathlib import Path
@@ -553,8 +573,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
+    from repro import obs
     from repro.serve.loadgen import LoadgenConfig, run_loadgen
 
+    if args.trace_out:
+        obs.configure(trace_out=args.trace_out)
     config = LoadgenConfig(
         host=args.host,
         port=args.port,
@@ -566,8 +589,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         patterns_per_request=args.patterns_per_request,
         timeout_ms=args.timeout_ms,
         seed=args.seed,
+        trace=args.trace_out is not None,
     )
-    report = asyncio.run(run_loadgen(config))
+    try:
+        report = asyncio.run(run_loadgen(config))
+    finally:
+        if args.trace_out:
+            obs.shutdown()
     if args.json_out:
         from pathlib import Path
 
@@ -585,7 +613,51 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"latency ms: p50 {latency['p50_ms']:.2f}  p95 {latency['p95_ms']:.2f}  "
             f"p99 {latency['p99_ms']:.2f}  max {latency['max_ms']:.2f}"
         )
+    if report["shed_reasons"]:
+        reasons = "  ".join(
+            f"{reason} {count}"
+            for reason, count in sorted(report["shed_reasons"].items())
+        )
+        print(f"shed: {reasons}")
+    if report.get("trace_id"):
+        print(f"trace: {report['trace_id']} -> {args.trace_out}")
     return 0 if report["errors"] == 0 else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import TopConfig, run_top
+
+    config = TopConfig(
+        host=args.host,
+        port=args.port,
+        interval_s=args.interval,
+        once=args.once,
+        series=args.series,
+    )
+    return run_top(config)
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import slo as slo_mod
+    from repro.obs.export import load_series
+
+    records = load_series(args.series)
+    if not records:
+        print(f"slo: no telemetry records in {args.series}", file=sys.stderr)
+        return 1
+    objectives = (
+        slo_mod.load_slo_spec(args.spec)
+        if args.spec
+        else slo_mod.DEFAULT_OBJECTIVES
+    )
+    results = slo_mod.evaluate_slos(records, objectives)
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(slo_mod.render_slo_report(results))
+    return 0 if all(r["ok"] for r in results) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -706,17 +778,18 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help=(
-            "write the full reproduction report, or pretty-print a trace / "
-            "run-manifest file"
+            "write the full reproduction report, or pretty-print trace / "
+            "manifest / metrics / telemetry files"
         ),
     )
     report.add_argument(
         "target",
-        nargs="?",
-        default=None,
+        nargs="*",
+        default=[],
         help=(
-            "a span trace (JSONL) or run manifest to render as a per-phase "
-            "timing table; omitted: build the reproduction report"
+            "span traces (JSONL; several merge into one tree), a run "
+            "manifest, a metrics snapshot or a telemetry series to render; "
+            "omitted: build the reproduction report"
         ),
     )
     report.add_argument("--output", default="REPORT.md")
@@ -930,6 +1003,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-level", default=None, dest="log_level")
     serve.add_argument("--trace-out", default=None, dest="trace_out")
     serve.add_argument("--metrics-out", default=None, dest="metrics_out")
+    serve.add_argument(
+        "--export-dir",
+        default=None,
+        dest="export_dir",
+        help=(
+            "periodically export telemetry (JSONL series + Prometheus text) "
+            "into this directory; implies metrics collection"
+        ),
+    )
+    serve.add_argument(
+        "--export-interval",
+        type=float,
+        default=10.0,
+        dest="export_interval",
+        help="telemetry export cadence in seconds (default 10)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -961,7 +1050,63 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="json_out",
         help="also write the full report as JSON to this file",
     )
+    loadgen.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help=(
+            "originate a client-side trace (JSONL to this file) and attach "
+            "its context to every request, so the server's spans join it"
+        ),
+    )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    top = sub.add_parser(
+        "top",
+        help=(
+            "live terminal dashboard for a running server (poll 'stats', or "
+            "tail a telemetry series with --series)"
+        ),
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7706)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh cadence in seconds (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (non-zero when the source is down)",
+    )
+    top.add_argument(
+        "--series",
+        default=None,
+        help="tail this telemetry.jsonl instead of polling the server",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    slo = sub.add_parser(
+        "slo",
+        help=(
+            "evaluate SLO error budgets and burn rates over an exported "
+            "telemetry series (exit non-zero on violation)"
+        ),
+    )
+    slo.add_argument("series", help="telemetry.jsonl written by serve --export-dir")
+    slo.add_argument(
+        "--spec",
+        default=None,
+        help="JSON SLO spec ({'objectives': [...]}); omitted: built-in defaults",
+    )
+    slo.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full evaluation as JSON instead of the table",
+    )
+    slo.set_defaults(func=_cmd_slo)
 
     selfcheck = sub.add_parser(
         "selfcheck",

@@ -10,7 +10,10 @@ One import point for the four instruments this package provides:
 * :mod:`repro.obs.logs` -- stdlib ``logging`` under the ``repro.*``
   hierarchy with a JSON formatter;
 * :mod:`repro.obs.manifest` / :mod:`repro.obs.report` -- run manifests and
-  the ``trajpattern report`` renderer.
+  the ``trajpattern report`` renderer;
+* :mod:`repro.obs.export` / :mod:`repro.obs.slo` -- periodic telemetry
+  export (JSONL series + Prometheus text) and SLO burn-rate evaluation
+  over the exported series.
 
 Everything is off by default: no handlers installed, metrics registry
 disabled, no tracer.  :func:`configure` (or :func:`apply_config` with an
@@ -28,10 +31,13 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import (
     BufferSink,
     SpanContext,
+    begin,
     configure_tracing,
     current_context,
     disable_tracing,
+    record_span,
     span,
+    span_at,
 )
 
 __all__ = [
@@ -39,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "SpanContext",
     "apply_config",
+    "begin",
     "configure",
     "configure_logging",
     "configure_tracing",
@@ -48,8 +55,10 @@ __all__ = [
     "get_registry",
     "logs",
     "metrics",
+    "record_span",
     "shutdown",
     "span",
+    "span_at",
     "tracing",
 ]
 

@@ -1,0 +1,259 @@
+"""Periodic telemetry export: registry snapshots to JSONL + Prometheus text.
+
+A long-running server's metrics registry only answers "what happened so
+far"; operations wants "what is happening *now*" in files another tool
+can scrape.  :class:`TelemetryExporter` bridges the two: on a fixed
+cadence it snapshots a :class:`~repro.obs.metrics.MetricsRegistry` and
+writes
+
+* one record to a **JSONL time-series** (``telemetry.jsonl``): counters
+  as cumulative value + per-interval delta + rate, gauges verbatim,
+  histograms with count/mean/quantiles plus the rolling-window view of
+  :class:`~repro.obs.metrics.SlidingQuantileHistogram` instruments.  The
+  series is what ``repro slo`` evaluates and ``repro top --series``
+  tails;
+* a **Prometheus text file** (``metrics.prom``), atomically replaced
+  each interval, for file-based scrape pipelines (node_exporter textfile
+  collector style).
+
+The JSONL series rotates by size: when the live file exceeds
+``max_bytes`` it is renamed to ``<name>.1`` (replacing any previous
+generation) and a fresh file begins -- bounded disk, two generations of
+history.
+
+The exporter runs on a plain daemon thread (the serving event loop must
+never block on disk I/O for telemetry) and is safe to start/stop from
+sync or async code.  :meth:`TelemetryExporter.export_once` is public so
+tests and CLI one-shots can drive an export without the thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import logs, metrics
+
+_log = logs.get_logger("obs.export")
+
+#: Record shape marker carried by every series record.
+TELEMETRY_KIND = "telemetry"
+
+#: Default rotation bound for the JSONL series.
+DEFAULT_MAX_BYTES = 8 << 20
+
+
+def _prom_name(name: str) -> str:
+    """A registry instrument name as a Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    prom = "".join(out)
+    if prom and prom[0].isdigit():
+        prom = "_" + prom
+    return "repro_" + prom
+
+
+class TelemetryExporter:
+    """Snapshot a metrics registry on a cadence into telemetry artifacts.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory receiving ``telemetry.jsonl`` (+ ``.1`` rotation) and
+        ``metrics.prom``; created if missing.
+    registry:
+        Registry to snapshot; defaults to the process-global one.
+    interval_s:
+        Export cadence for the background thread.
+    max_bytes:
+        JSONL rotation threshold.
+    clock:
+        Injectable wall clock (seconds since epoch) for tests.
+    """
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        registry: metrics.MetricsRegistry | None = None,
+        interval_s: float = 10.0,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        clock=time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.series_path = self.out_dir / "telemetry.jsonl"
+        self.prom_path = self.out_dir / "metrics.prom"
+        self.registry = registry if registry is not None else metrics.get_registry()
+        self.interval_s = float(interval_s)
+        self.max_bytes = int(max_bytes)
+        self._clock = clock
+        self._seq = 0
+        self._last_counters: dict[str, int] = {}
+        self._last_ts: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.exported_records = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the export thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-exporter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_export: bool = True) -> None:
+        """Stop the thread; by default write one last record on the way out."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(5.0, self.interval_s))
+            self._thread = None
+        if final_export:
+            try:
+                self.export_once()
+            except OSError:  # pragma: no cover - disk full etc.
+                _log.warning("final telemetry export failed")
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.export_once()
+            except OSError:  # pragma: no cover - keep exporting next tick
+                _log.warning("telemetry export failed; will retry")
+
+    # -- one export --------------------------------------------------------
+
+    def build_record(self) -> dict:
+        """The next series record (advances the delta/rate baseline)."""
+        now = self._clock()
+        snapshot = self.registry.snapshot()
+        interval = (
+            now - self._last_ts if self._last_ts is not None else self.interval_s
+        )
+        interval = max(interval, 1e-9)
+        counters = {}
+        for name, value in snapshot.get("counters", {}).items():
+            delta = value - self._last_counters.get(name, 0)
+            counters[name] = {
+                "value": value,
+                "delta": delta,
+                "rate_per_s": delta / interval,
+            }
+        histograms = {}
+        for name, data in snapshot.get("histograms", {}).items():
+            entry = {
+                "count": data.get("count", 0),
+                "mean": data.get("mean", 0.0),
+                "max": data.get("max", 0.0),
+                "unit": data.get("unit", ""),
+            }
+            if "quantiles" in data:
+                entry["quantiles"] = data["quantiles"]
+            if "window" in data:
+                entry["window"] = data["window"]
+            histograms[name] = entry
+        self._seq += 1
+        self._last_ts = now
+        self._last_counters = {
+            name: value for name, value in snapshot.get("counters", {}).items()
+        }
+        return {
+            "kind": TELEMETRY_KIND,
+            "seq": self._seq,
+            "ts_unix": now,
+            "interval_s": interval,
+            "counters": counters,
+            "gauges": snapshot.get("gauges", {}),
+            "histograms": histograms,
+        }
+
+    def export_once(self) -> dict:
+        """Build, append (with rotation) and scrape-publish one record."""
+        record = self.build_record()
+        self._rotate_if_needed()
+        with self.series_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._write_prometheus(record)
+        self.exported_records += 1
+        return record
+
+    def _rotate_if_needed(self) -> None:
+        try:
+            size = self.series_path.stat().st_size
+        except OSError:
+            return
+        if size < self.max_bytes:
+            return
+        os.replace(self.series_path, self.series_path.with_name(self.series_path.name + ".1"))
+
+    def _write_prometheus(self, record: dict) -> None:
+        """Render the record as Prometheus text and atomically replace."""
+        lines: list[str] = []
+        for name, data in sorted(record["counters"].items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {data['value']}")
+        for name, value in sorted(record["gauges"].items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {value}")
+        for name, data in sorted(record["histograms"].items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} summary")
+            lines.append(f"{prom}_count {data['count']}")
+            lines.append(f"{prom}_mean {data['mean']}")
+            for key, value in data.get("quantiles", {}).items():
+                q = int(key.lstrip("p")) / 100.0
+                lines.append(f'{prom}{{quantile="{q}"}} {value}')
+            window = data.get("window")
+            if window:
+                for key, value in window.get("quantiles", {}).items():
+                    q = int(key.lstrip("p")) / 100.0
+                    lines.append(
+                        f'{prom}_window{{quantile="{q}",window="{window["window_s"]}s"}} {value}'
+                    )
+        text = "\n".join(lines) + "\n"
+        tmp = self.prom_path.with_name(self.prom_path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.prom_path)
+
+
+def load_series(path: str | Path) -> list[dict]:
+    """Read a telemetry JSONL series (including the rotated generation).
+
+    Returns records oldest-first; raises ``ValueError`` on records that
+    do not carry the telemetry shape, so schema regressions fail loudly
+    in CI.  A missing or empty file returns ``[]``.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    for candidate in (path.with_name(path.name + ".1"), path):
+        if not candidate.exists():
+            continue
+        with candidate.open("r", encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{candidate}:{i + 1}: not JSON: {exc}"
+                    ) from exc
+                if record.get("kind") != TELEMETRY_KIND:
+                    raise ValueError(
+                        f"{candidate}:{i + 1}: not a telemetry record"
+                    )
+                records.append(record)
+    records.sort(key=lambda r: (r.get("ts_unix", 0.0), r.get("seq", 0)))
+    return records

@@ -14,7 +14,12 @@ kinds cover everything the engine, miner and parallel layers need:
   keeps log-scale bucket counts so snapshots can report approximate
   p50/p95/p99.  The serving layer (:mod:`repro.serve`) uses these for its
   per-endpoint latency distributions (``serve.<op>.latency_ns``), where a
-  mean alone hides exactly the tail that overload protection is about.
+  mean alone hides exactly the tail that overload protection is about;
+* :class:`SlidingQuantileHistogram` -- a :class:`QuantileHistogram` that
+  also maintains a rolling time window (a ring of bucket epochs), so a
+  long-running server can report "last 60 s" quantiles that decay after a
+  load spike instead of being averaged away by history, plus exemplar
+  trace ids remembered per tail bucket for drill-down.
 
 Disabled fast path
 ------------------
@@ -105,9 +110,46 @@ class Histogram:
 
 #: Geometric bucket growth factor of :class:`QuantileHistogram`: each
 #: bucket spans a 1.2x value range, bounding the quantile estimation error
-#: to about +/-10% while keeping the bucket table tiny.
+#: to about +/-10% (a factor of ``sqrt(1.2)`` either way before clamping
+#: to the tracked min/max) while keeping the bucket table tiny.
 _QUANTILE_BUCKET_BASE = 1.2
 _LOG_BUCKET_BASE = math.log(_QUANTILE_BUCKET_BASE)
+
+#: Dedicated bucket for zero / negative observations, reported as 0.
+_UNDERFLOW_BUCKET = -(1 << 62)
+
+
+def _bucket_of(value: float) -> int:
+    """Log-scale bucket index of a (float) observation."""
+    if value > 0.0:
+        return int(math.floor(math.log(value) / _LOG_BUCKET_BASE))
+    return _UNDERFLOW_BUCKET
+
+
+def _quantile_from_buckets(
+    buckets: dict[int, int], count: int, lo: float, hi: float, q: float
+) -> float:
+    """Walk cumulative bucket counts and return the ``q``-quantile estimate.
+
+    ``lo`` / ``hi`` are the exactly-tracked extremes used to clamp the
+    geometric bucket midpoint; ``count`` must equal ``sum(buckets.values())``.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    if count == 0:
+        return 0.0
+    rank = math.ceil(q * count)
+    seen = 0
+    for bucket in sorted(buckets):
+        seen += buckets[bucket]
+        if seen >= rank:
+            if bucket <= _UNDERFLOW_BUCKET:
+                return 0.0
+            # Geometric midpoint of [base^b, base^(b+1)), clamped to the
+            # exactly-tracked extremes.
+            mid = math.exp((bucket + 0.5) * _LOG_BUCKET_BASE)
+            return min(max(mid, lo), hi)
+    return hi  # pragma: no cover - rank <= count by construction
 
 
 class QuantileHistogram(Histogram):
@@ -128,33 +170,15 @@ class QuantileHistogram(Histogram):
         super().__init__(name, unit)
         self._buckets: dict[int, int] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         super().observe(value)
         value = float(value)
-        if value > 0.0:
-            bucket = int(math.floor(math.log(value) / _LOG_BUCKET_BASE))
-        else:
-            bucket = -(1 << 62)  # underflow: zero / negative observations
+        bucket = _bucket_of(value)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile (``0 < q <= 1``) of everything observed."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError("q must be in (0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = math.ceil(q * self.count)
-        seen = 0
-        for bucket in sorted(self._buckets):
-            seen += self._buckets[bucket]
-            if seen >= rank:
-                if bucket <= -(1 << 62):
-                    return 0.0
-                # Geometric midpoint of [base^b, base^(b+1)), clamped to the
-                # exactly-tracked extremes.
-                mid = math.exp((bucket + 0.5) * _LOG_BUCKET_BASE)
-                return min(max(mid, self.min), self.max)
-        return self.max  # pragma: no cover - rank <= count by construction
+        return _quantile_from_buckets(self._buckets, self.count, self.min, self.max, q)
 
     def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
         """JSON-ready ``{"p50": ..., ...}`` view of several quantiles."""
@@ -165,6 +189,170 @@ class QuantileHistogram(Histogram):
         for bucket, count in buckets.items():
             bucket = int(bucket)
             self._buckets[bucket] = self._buckets.get(bucket, 0) + int(count)
+
+
+class _Epoch:
+    """One time slice of a sliding window: bucket counts plus summary."""
+
+    __slots__ = ("buckets", "exemplars", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.exemplars: dict[int, str] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class SlidingQuantileHistogram(QuantileHistogram):
+    """Quantile histogram that also keeps a rolling time window.
+
+    The window is a ring of ``n_epochs`` bucket tables, each covering
+    ``window_s / n_epochs`` seconds of wall time.  :meth:`observe` counts
+    into the all-time buckets *and* the current epoch; the ``window_*``
+    accessors merge the live epochs, so window quantiles decay to nothing
+    within ``window_s`` of the last observation -- unlike the inherited
+    all-time quantiles, which never forget.  Epochs rotate lazily (on
+    observe/read), so an idle histogram costs nothing.
+
+    ``observe(value, exemplar=...)`` additionally remembers the *last*
+    exemplar (in practice a trace id) per window bucket.  Because high
+    buckets are the tail, :meth:`window_snapshot` can attach the trace ids
+    of recent slow requests to the p99 it reports -- the drill-down hook
+    from a dashboard number to one concrete traced request.
+
+    The clock is injectable (monotonic seconds) so tests can drive epoch
+    expiry deterministically.
+    """
+
+    __slots__ = ("window_s", "n_epochs", "_epoch_s", "_clock", "_epoch_start", "_epochs")
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "",
+        window_s: float = 60.0,
+        n_epochs: int = 6,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__(name, unit)
+        if window_s <= 0.0 or n_epochs < 1:
+            raise ValueError("window_s must be > 0 and n_epochs >= 1")
+        self.window_s = float(window_s)
+        self.n_epochs = int(n_epochs)
+        self._epoch_s = self.window_s / self.n_epochs
+        self._clock = clock
+        self._epoch_start = clock()
+        # _epochs[0] is the current epoch, _epochs[-1] the oldest live one.
+        self._epochs = [_Epoch() for _ in range(self.n_epochs)]
+
+    def _advance(self) -> None:
+        """Rotate expired epochs out of the ring (lazy, amortised O(1))."""
+        now = self._clock()
+        steps = int((now - self._epoch_start) / self._epoch_s)
+        if steps <= 0:
+            return
+        if steps >= self.n_epochs:
+            self._epochs = [_Epoch() for _ in range(self.n_epochs)]
+        else:
+            del self._epochs[self.n_epochs - steps :]
+            self._epochs[:0] = [_Epoch() for _ in range(steps)]
+        self._epoch_start += steps * self._epoch_s
+
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        # Flattened (no super() chain, one bucket computation): this runs
+        # once per served request, so frame and duplicate-log costs show
+        # up directly in the telemetry-overhead benchmark.
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+        bucket = _bucket_of(value)
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        if self._clock() - self._epoch_start >= self._epoch_s:
+            self._advance()
+        epoch = self._epochs[0]
+        epoch.buckets[bucket] = epoch.buckets.get(bucket, 0) + 1
+        epoch.count += 1
+        epoch.total += value
+        if value < epoch.min:
+            epoch.min = value
+        if value > epoch.max:
+            epoch.max = value
+        if exemplar is not None:
+            epoch.exemplars[bucket] = exemplar
+
+    # -- window accessors ------------------------------------------------------
+
+    def window_count(self) -> int:
+        self._advance()
+        return sum(epoch.count for epoch in self._epochs)
+
+    def _merged_window(self) -> tuple[dict[int, int], int, float, float, float]:
+        self._advance()
+        buckets: dict[int, int] = {}
+        count = 0
+        total = 0.0
+        lo = float("inf")
+        hi = float("-inf")
+        for epoch in self._epochs:
+            if epoch.count == 0:
+                continue
+            count += epoch.count
+            total += epoch.total
+            lo = min(lo, epoch.min)
+            hi = max(hi, epoch.max)
+            for bucket, n in epoch.buckets.items():
+                buckets[bucket] = buckets.get(bucket, 0) + n
+        return buckets, count, total, lo, hi
+
+    def window_quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile of the last ``window_s`` seconds."""
+        buckets, count, _, lo, hi = self._merged_window()
+        return _quantile_from_buckets(buckets, count, lo, hi, q)
+
+    def window_quantiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        buckets, count, _, lo, hi = self._merged_window()
+        return {
+            f"p{round(q * 100)}": _quantile_from_buckets(buckets, count, lo, hi, q)
+            for q in qs
+        }
+
+    def window_exemplars(self, n: int = 3) -> list[str]:
+        """Exemplars of the ``n`` highest-value window buckets (the tail).
+
+        Newest epoch wins when several epochs hold an exemplar for the
+        same bucket; order is highest bucket first.
+        """
+        self._advance()
+        by_bucket: dict[int, str] = {}
+        for epoch in reversed(self._epochs):  # oldest first, newest overwrites
+            by_bucket.update(epoch.exemplars)
+        return [by_bucket[b] for b in sorted(by_bucket, reverse=True)[:n]]
+
+    def window_snapshot(self) -> dict:
+        """JSON-ready rolling-window view (quantiles, count, rate, exemplars)."""
+        buckets, count, total, lo, hi = self._merged_window()
+        return {
+            "window_s": self.window_s,
+            "count": count,
+            "rate_per_s": count / self.window_s,
+            "mean": total / count if count else 0.0,
+            "max": hi if count else 0.0,
+            "quantiles": {
+                f"p{round(q * 100)}": _quantile_from_buckets(buckets, count, lo, hi, q)
+                for q in (0.5, 0.95, 0.99)
+            },
+            "exemplars": self.window_exemplars(),
+        }
 
 
 class _NullInstrument:
@@ -188,7 +376,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
 
     def quantile(self, q: float) -> float:
@@ -199,6 +387,23 @@ class _NullInstrument:
 
     def merge_buckets(self, buckets: dict) -> None:
         pass
+
+    def window_count(self) -> int:
+        return 0
+
+    def window_quantile(self, q: float) -> float:
+        return 0.0
+
+    def window_quantiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        return {f"p{round(q * 100)}": 0.0 for q in qs}
+
+    def window_exemplars(self, n: int = 3) -> list[str]:
+        return []
+
+    def window_snapshot(self) -> dict:
+        return {}
 
 
 class _NullTimer:
@@ -304,6 +509,33 @@ class MetricsRegistry:
             instrument = self._histograms[name] = QuantileHistogram(name, unit)
         return instrument
 
+    def sliding_quantile_histogram(
+        self, name: str, unit: str = "", window_s: float = 60.0
+    ) -> SlidingQuantileHistogram:
+        """A quantile histogram with an additional rolling time window.
+
+        Same namespace rules as :meth:`quantile_histogram`; ``window_s``
+        only applies on first creation.
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if not isinstance(instrument, SlidingQuantileHistogram):
+            instrument = self._histograms[name] = SlidingQuantileHistogram(
+                name, unit, window_s=window_s
+            )
+        return instrument
+
+    def find_histogram(self, name: str) -> Histogram | None:
+        """An existing histogram by name, or ``None`` (never creates one).
+
+        Read-side helper for consumers (the server's ``stats`` op) that
+        want to report an instrument only if something recorded into it.
+        """
+        if not self.enabled:
+            return None
+        return self._histograms.get(name)
+
     def timer(self, name: str):
         """Time a ``with`` block into the ``ns``-unit histogram ``name``."""
         if not self.enabled:
@@ -337,6 +569,8 @@ class MetricsRegistry:
         if isinstance(h, QuantileHistogram):
             data["quantiles"] = h.quantiles()
             data["buckets"] = {str(b): c for b, c in sorted(h._buckets.items())}
+        if isinstance(h, SlidingQuantileHistogram):
+            data["window"] = h.window_snapshot()
         return data
 
     def merge_snapshot(self, snapshot: dict) -> None:
@@ -396,6 +630,12 @@ def histogram(name: str, unit: str = "") -> Histogram:
 
 def quantile_histogram(name: str, unit: str = "") -> QuantileHistogram:
     return _REGISTRY.quantile_histogram(name, unit)
+
+
+def sliding_quantile_histogram(
+    name: str, unit: str = "", window_s: float = 60.0
+) -> SlidingQuantileHistogram:
+    return _REGISTRY.sliding_quantile_histogram(name, unit, window_s)
 
 
 def timer(name: str):

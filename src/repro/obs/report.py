@@ -1,11 +1,19 @@
-"""Render trace files and run manifests into human-readable tables.
+"""Render observability artifacts into human-readable tables.
 
-``trajpattern report <file>`` routes here: a JSONL span trace becomes a
-per-phase timing table (plus a per-shard breakdown when worker spans are
-present), a run manifest becomes a key/metric summary.  The loaders
-validate the schemas strictly and raise ``ValueError`` on malformed
-input -- CI runs ``report`` over the artifacts of a traced mining run, so
-a schema regression fails the build instead of shipping silently.
+``trajpattern report <files...>`` routes here: a JSONL span trace becomes
+a per-phase timing table (plus a span tree for small traces and a
+per-shard breakdown when worker spans are present), a run manifest
+becomes a key/metric summary, a metrics snapshot or telemetry series
+becomes counter/histogram tables.  Several trace files render as one
+merged tree -- the client (loadgen) and server write separate files, but
+wire-propagated trace ids stitch their spans into a single request tree.
+
+The loaders validate schemas strictly and raise ``ValueError`` on
+malformed records -- CI runs ``report`` over the artifacts of traced
+runs, so a schema regression fails the build instead of shipping
+silently.  *Empty* artifacts, though, are a fact of life (a server that
+served nothing, a run with tracing off) and render as an explicit "no
+spans recorded" instead of raising.
 """
 
 from __future__ import annotations
@@ -26,7 +34,9 @@ def load_trace(path: str | Path) -> list[dict]:
 
     Every line must be a JSON object carrying all of
     :data:`~repro.obs.tracing.SPAN_RECORD_KEYS`; anything else raises
-    ``ValueError`` with the offending line number.
+    ``ValueError`` with the offending line number.  A zero-byte or
+    blank-lines-only file is a *valid empty trace* and returns ``[]`` --
+    rendering decides how to say "nothing here".
     """
     path = Path(path)
     spans: list[dict] = []
@@ -47,8 +57,6 @@ def load_trace(path: str | Path) -> list[dict]:
                     f"{path}:{lineno}: span record missing {missing}"
                 )
             spans.append(record)
-    if not spans:
-        raise ValueError(f"{path}: empty trace")
     return spans
 
 
@@ -92,8 +100,40 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 # -- trace rendering ----------------------------------------------------------
 
 
+#: Traces up to this many spans also render an indented span tree.
+_TREE_LIMIT = 200
+
+
+def _span_tree_lines(spans: list[dict]) -> list[str]:
+    """Indented parent->child rendering of a (small) trace."""
+    children = span_children(spans)
+    for group in children.values():
+        group.sort(key=lambda s: s["ts_ns"])
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        bits = "".join(f" {k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"  {'  ' * depth}{span['name']}  {_fmt_ms(span['dur_ns'])}{bits}"
+        )
+        for child in children.get(span["span"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines
+
+
 def render_trace_report(spans: list[dict]) -> str:
-    """Per-phase timing table (and per-shard breakdown) of one trace."""
+    """Per-phase timing table (and per-shard breakdown) of one trace.
+
+    An empty span list renders as an explicit "no spans recorded" line --
+    the honest answer for a server that served nothing or a run that
+    never opened a span.
+    """
+    if not spans:
+        return "trace: no spans recorded"
     t_start = min(s["ts_ns"] for s in spans)
     t_end = max(s["ts_ns"] + s["dur_ns"] for s in spans)
     wall_ns = max(t_end - t_start, 1)
@@ -117,13 +157,19 @@ def render_trace_report(spans: list[dict]) -> str:
                 f"{100.0 * total / wall_ns:.1f}%",
             ]
         )
+    traces = {s["trace"] for s in spans}
+    trace_label = (
+        spans[0]["trace"] if len(traces) == 1 else f"{len(traces)} trace ids"
+    )
     lines = [
-        f"trace {spans[0]['trace']}: {len(spans)} spans over "
+        f"trace {trace_label}: {len(spans)} spans over "
         f"{wall_ns / NS_PER_S:.3f}s wall "
         f"({len({s['pid'] for s in spans})} process(es))",
         "",
         _table(["phase", "count", "total", "mean", "max", "wall%"], rows),
     ]
+    if len(spans) <= _TREE_LIMIT:
+        lines += ["", "span tree:"] + _span_tree_lines(spans)
 
     sharded: dict[tuple[str, object], list[int]] = {}
     for s in spans:
@@ -199,26 +245,147 @@ def render_manifest_report(manifest: dict) -> str:
     return "\n".join(lines)
 
 
+# -- metrics snapshot / telemetry rendering -----------------------------------
+
+
+def render_metrics_report(snapshot: dict) -> str:
+    """Counter/gauge/histogram tables from a bare metrics-snapshot JSON.
+
+    An all-empty snapshot (metrics enabled but nothing recorded) renders
+    as an explicit one-liner instead of raising.
+    """
+    lines: list[str] = ["metrics snapshot:"]
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [[n, str(v)] for n, v in sorted(counters.items())]
+        lines += ["", _table(["counter", "value"], rows)]
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        rows = [[n, f"{v:g}"] for n, v in sorted(gauges.items())]
+        lines += ["", _table(["gauge", "value"], rows)]
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, data in sorted(histograms.items()):
+            quantiles = data.get("quantiles") or {}
+            rows.append(
+                [
+                    name,
+                    str(data.get("count", 0)),
+                    f"{data.get('mean', 0.0):.3g}",
+                    f"{quantiles.get('p99', 0.0):.3g}" if quantiles else "-",
+                    data.get("unit", ""),
+                ]
+            )
+        lines += ["", _table(["histogram", "count", "mean", "p99", "unit"], rows)]
+    if len(lines) == 1:
+        return "metrics snapshot: no metrics recorded"
+    return "\n".join(lines)
+
+
+def render_series_report(records: list[dict]) -> str:
+    """Summary of a telemetry JSONL series (see :mod:`repro.obs.export`)."""
+    if not records:
+        return "telemetry series: no records"
+    first, last = records[0], records[-1]
+    duration = last.get("ts_unix", 0.0) - first.get("ts_unix", 0.0)
+    lines = [
+        f"telemetry series: {len(records)} records over {duration:.1f}s",
+    ]
+    counters = last.get("counters") or {}
+    if counters:
+        rows = [
+            [name, str(data.get("value", 0)), f"{data.get('rate_per_s', 0.0):.2f}/s"]
+            for name, data in sorted(counters.items())
+        ]
+        lines += ["", _table(["counter", "value", "last rate"], rows)]
+    histograms = last.get("histograms") or {}
+    rows = []
+    for name, data in sorted(histograms.items()):
+        window = data.get("window") or {}
+        quantiles = window.get("quantiles") or data.get("quantiles") or {}
+        rows.append(
+            [
+                name,
+                str(data.get("count", 0)),
+                f"{quantiles.get('p50', 0.0):.3g}" if quantiles else "-",
+                f"{quantiles.get('p99', 0.0):.3g}" if quantiles else "-",
+                data.get("unit", ""),
+            ]
+        )
+    if rows:
+        lines += ["", _table(["histogram", "count", "p50", "p99", "unit"], rows)]
+    return "\n".join(lines)
+
+
 # -- dispatch -----------------------------------------------------------------
 
 
-def render_file(path: str | Path) -> str:
-    """Pretty-print a trace JSONL or run-manifest JSON file.
-
-    Dispatches on content: a JSON object with the manifest format tag is
-    rendered as a manifest, anything else is validated as a span trace.
-    Raises ``ValueError`` when the file is neither.
-    """
-    path = Path(path)
+def _sniff_whole_json(path: Path) -> dict | None:
+    """The file as one JSON object, or ``None`` (JSONL, empty, not a dict)."""
     try:
-        first = json.loads(path.read_text(encoding="utf-8"))
-        is_manifest = (
-            isinstance(first, dict) and first.get("format") == MANIFEST_FORMAT
-        )
+        document = json.loads(path.read_text(encoding="utf-8"))
     except ValueError:
-        is_manifest = False  # multi-line JSONL traces fail the single parse
+        return None  # multi-line JSONL (or empty) fails the single parse
     except OSError as exc:
         raise ValueError(f"{path}: unreadable: {exc}") from exc
-    if is_manifest:
-        return render_manifest_report(load_manifest(path))
+    return document if isinstance(document, dict) else None
+
+
+def render_file(path: str | Path) -> str:
+    """Pretty-print one observability artifact, dispatching on content.
+
+    Recognises (in order): a run manifest (format tag), a metrics
+    snapshot (``counters``/``gauges``/``histograms`` object, even empty),
+    a telemetry series (JSONL of ``kind: "telemetry"`` records) and a
+    span trace (JSONL of ``kind: "span"`` records; empty files count).
+    Raises ``ValueError`` for anything else.
+    """
+    path = Path(path)
+    document = _sniff_whole_json(path)
+    if document is not None:
+        if document.get("format") == MANIFEST_FORMAT:
+            return render_manifest_report(load_manifest(path))
+        if document.get("kind") == "telemetry":
+            return render_series_report([document])  # one-record series
+        snapshot_keys = {"counters", "gauges", "histograms"}
+        if snapshot_keys & set(document) or not document:
+            # A metrics snapshot -- possibly with extra sections (e.g.
+            # 'kernel_backend'), possibly entirely empty.
+            return render_metrics_report(document)
+        if document.get("kind") == "span":
+            return render_trace_report(load_trace(path))
+        raise ValueError(f"{path}: not a recognised observability artifact")
+    # JSONL (or empty): telemetry series vs span trace by first record.
+    first_line = None
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                first_line = line
+                break
+    if first_line is not None:
+        try:
+            first = json.loads(first_line)
+        except ValueError:
+            first = None
+        if isinstance(first, dict) and first.get("kind") == "telemetry":
+            from repro.obs.export import load_series
+
+            return render_series_report(load_series(path))
     return render_trace_report(load_trace(path))
+
+
+def render_files(paths: list) -> str:
+    """Render one or more artifact files.
+
+    A single path dispatches as :func:`render_file`.  Several paths must
+    all be span traces: their spans merge into one report, which is how
+    the client (loadgen) and server halves of a wire-propagated trace
+    become a single request tree.
+    """
+    if len(paths) == 1:
+        return render_file(paths[0])
+    spans: list[dict] = []
+    for path in paths:
+        spans.extend(load_trace(path))
+    return render_trace_report(spans)

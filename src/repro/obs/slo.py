@@ -1,0 +1,240 @@
+"""SLO evaluation: declared objectives -> error budgets and burn rates.
+
+An SLO turns telemetry into a decision: *is the service meeting its
+promise, and how fast is it spending the slack?*  Two objective kinds
+cover the serving tier:
+
+* **availability** -- the fraction of requests admitted (1 − shed rate):
+  per telemetry interval, total events are the per-op request-counter
+  deltas and bad events are the ``serve.shed.*`` counter deltas;
+* **latency** -- a rolling-window quantile target (e.g. "p99 of
+  ``score`` under 50 ms"): per interval, the histogram's delta count is
+  good when the exported 60 s window quantile met the threshold and bad
+  wholesale when it did not.  Counting whole intervals is the honest
+  granularity for bucketed telemetry -- a 1.2x-bucket histogram cannot
+  say *which* requests missed, only whether the tail did.
+
+Each objective yields an **error budget** (``1 − objective``) and
+**burn rates** over multiple windows (how many budgets per unit time the
+service is currently spending; 1.0 means exactly on budget).  Fast +
+slow multi-window burn is the standard paging rule: a short window
+catches a cliff, a long one a slow leak.
+
+The spec is JSON (``{"objectives": [...]}``, see :func:`load_slo_spec`);
+``repro slo`` evaluates a spec against a telemetry series and renders
+:func:`render_slo_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Shed-counter names contributing to availability bad events.
+SHED_COUNTERS = (
+    "serve.shed.queue_full",
+    "serve.shed.deadline",
+    "serve.shed.deadline_expired",
+)
+
+#: (window seconds, label) pairs burn rates are reported over.
+DEFAULT_BURN_WINDOWS = ((300.0, "5m"), (3600.0, "1h"))
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declared objective.
+
+    ``objective`` is the target good-event fraction (0.999 = "three
+    nines").  ``op`` scopes the objective to one serving op; ``None``
+    means every op.  ``quantile`` / ``threshold_ms`` apply to ``latency``
+    objectives only.
+    """
+
+    name: str
+    kind: str  # "availability" | "latency"
+    objective: float
+    op: str | None = None
+    quantile: str = "p99"
+    threshold_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == "latency":
+            if self.threshold_ms is None or self.threshold_ms <= 0:
+                raise ValueError("latency objectives need a positive threshold_ms")
+            if self.op is None:
+                raise ValueError("latency objectives need an op")
+
+
+#: Sane defaults for a serving tier nobody has declared SLOs for yet.
+DEFAULT_OBJECTIVES = (
+    SLObjective(name="availability", kind="availability", objective=0.999),
+    SLObjective(
+        name="score-p99-latency",
+        kind="latency",
+        objective=0.99,
+        op="score",
+        quantile="p99",
+        threshold_ms=50.0,
+    ),
+)
+
+
+def load_slo_spec(source: str | Path | dict) -> tuple[SLObjective, ...]:
+    """Objectives from a spec file (or already-parsed dict).
+
+    Schema: ``{"objectives": [{"name", "kind", "objective", "op"?,
+    "quantile"?, "threshold_ms"?}, ...]}``.
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as fh:
+            spec = json.load(fh)
+    else:
+        spec = source
+    if not isinstance(spec, dict) or not isinstance(spec.get("objectives"), list):
+        raise ValueError("SLO spec must be an object with an 'objectives' list")
+    objectives = []
+    for i, raw in enumerate(spec["objectives"]):
+        if not isinstance(raw, dict):
+            raise ValueError(f"objectives[{i}] must be an object")
+        known = {"name", "kind", "objective", "op", "quantile", "threshold_ms"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"objectives[{i}]: unknown keys {sorted(unknown)}")
+        try:
+            objectives.append(SLObjective(**raw))
+        except TypeError as exc:
+            raise ValueError(f"objectives[{i}]: {exc}") from exc
+    if not objectives:
+        raise ValueError("SLO spec declares no objectives")
+    return tuple(objectives)
+
+
+def _interval_events(record: dict, prev: dict | None, objective: SLObjective) -> tuple[int, int]:
+    """(total, bad) events one telemetry interval contributes."""
+    counters = record.get("counters", {})
+    if objective.kind == "availability":
+        total = 0
+        for name, data in counters.items():
+            if not name.endswith(".requests") or not name.startswith("serve."):
+                continue
+            op = name[len("serve.") : -len(".requests")]
+            if objective.op is not None and op != objective.op:
+                continue
+            total += int(data.get("delta", 0))
+        bad = sum(int(counters.get(c, {}).get("delta", 0)) for c in SHED_COUNTERS)
+        # Shed requests are refused at admission, before the per-op request
+        # counter would normally be the story -- but the server counts every
+        # well-formed request, so bad is a subset of total.
+        return total, min(bad, total)
+    # latency: whole-interval compliance of the exported window quantile.
+    hist = record.get("histograms", {}).get(f"serve.{objective.op}.latency_ns")
+    if not hist:
+        return 0, 0
+    count = int(hist.get("count", 0))
+    prev_count = 0
+    if prev is not None:
+        prev_hist = prev.get("histograms", {}).get(f"serve.{objective.op}.latency_ns")
+        if prev_hist:
+            prev_count = int(prev_hist.get("count", 0))
+    delta = max(count - prev_count, 0)
+    if delta == 0:
+        return 0, 0
+    window = hist.get("window") or {}
+    quantiles = window.get("quantiles") or hist.get("quantiles") or {}
+    observed_ns = quantiles.get(objective.quantile)
+    if observed_ns is None:
+        return 0, 0
+    threshold_ns = objective.threshold_ms * 1e6
+    bad = delta if float(observed_ns) > threshold_ns else 0
+    return delta, bad
+
+
+def evaluate_slos(
+    records: list[dict],
+    objectives: tuple[SLObjective, ...] = DEFAULT_OBJECTIVES,
+    burn_windows: tuple[tuple[float, str], ...] = DEFAULT_BURN_WINDOWS,
+) -> list[dict]:
+    """Evaluate objectives over a telemetry series (oldest-first records).
+
+    Per objective: overall good/bad events, the error budget and how much
+    of it is consumed, plus burn rates over each window (and "overall").
+    A burn rate of 1.0 means errors arrive exactly at the sustainable
+    budget pace; above 1.0 the budget runs out before the SLO period does.
+    """
+    results = []
+    last_ts = records[-1].get("ts_unix", 0.0) if records else 0.0
+    for objective in objectives:
+        per_interval: list[tuple[float, int, int]] = []
+        prev: dict | None = None
+        for record in records:
+            total, bad = _interval_events(record, prev, objective)
+            per_interval.append((record.get("ts_unix", 0.0), total, bad))
+            prev = record
+        total_events = sum(t for _, t, _ in per_interval)
+        bad_events = sum(b for _, _, b in per_interval)
+        budget = 1.0 - objective.objective
+        error_rate = bad_events / total_events if total_events else 0.0
+        burn_rates: dict[str, float | None] = {}
+        for window_s, label in burn_windows:
+            w_total = sum(t for ts, t, _ in per_interval if ts >= last_ts - window_s)
+            w_bad = sum(b for ts, _, b in per_interval if ts >= last_ts - window_s)
+            burn_rates[label] = (w_bad / w_total) / budget if w_total else None
+        burn_rates["overall"] = error_rate / budget if total_events else None
+        results.append(
+            {
+                "name": objective.name,
+                "kind": objective.kind,
+                "objective": objective.objective,
+                "op": objective.op,
+                "quantile": objective.quantile if objective.kind == "latency" else None,
+                "threshold_ms": objective.threshold_ms,
+                "events_total": total_events,
+                "events_bad": bad_events,
+                "error_rate": error_rate,
+                "error_budget": budget,
+                "budget_consumed": error_rate / budget if total_events else 0.0,
+                "burn_rates": burn_rates,
+                "ok": error_rate <= budget,
+            }
+        )
+    return results
+
+
+def render_slo_report(results: list[dict]) -> str:
+    """Human-readable table of :func:`evaluate_slos` output."""
+    from repro.obs.report import _table  # local: report imports stay one-way
+
+    if not results:
+        return "slo report: no objectives evaluated"
+    burn_labels: list[str] = []
+    for result in results:
+        for label in result["burn_rates"]:
+            if label not in burn_labels:
+                burn_labels.append(label)
+    headers = ["objective", "target", "events", "bad", "budget used"] + [
+        f"burn {label}" for label in burn_labels
+    ] + ["status"]
+    rows = []
+    for result in results:
+        def burn(label: str) -> str:
+            value = result["burn_rates"].get(label)
+            return f"{value:.2f}x" if value is not None else "-"
+
+        rows.append(
+            [
+                result["name"],
+                f"{result['objective'] * 100:g}%",
+                str(result["events_total"]),
+                str(result["events_bad"]),
+                f"{result['budget_consumed'] * 100:.1f}%",
+            ]
+            + [burn(label) for label in burn_labels]
+            + ["OK" if result["ok"] else "VIOLATED"]
+        )
+    return "slo report:\n" + _table(headers, rows)

@@ -38,7 +38,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Hashable
 
-from repro.obs import logs, metrics
+from repro.obs import logs, metrics, tracing
 
 _log = logs.get_logger("serve.batcher")
 
@@ -101,14 +101,19 @@ class BatchStats:
 
 
 class _Item:
-    __slots__ = ("key", "payload", "deadline", "enqueued", "future")
+    __slots__ = ("key", "payload", "deadline", "enqueued", "future", "ctx", "ts_ns")
 
-    def __init__(self, key, payload, deadline, enqueued, future) -> None:
+    def __init__(self, key, payload, deadline, enqueued, future, ctx, ts_ns) -> None:
         self.key = key
         self.payload = payload
         self.deadline = deadline
         self.enqueued = enqueued
         self.future = future
+        # Trace context of the submitting request (None when tracing is
+        # off) and the wall-clock enqueue time backing the after-the-fact
+        # ``serve.queue`` span.
+        self.ctx = ctx
+        self.ts_ns = ts_ns
 
 
 class MicroBatcher:
@@ -157,6 +162,12 @@ class MicroBatcher:
         self._closed = False
         self._last_batch_done: float | None = None
         self.stats = BatchStats()
+        #: Trace context of the batch currently in the handler (None
+        #: outside a handler call or when the batch is untraced).  There
+        #: is exactly one worker coroutine, so at most one batch is in
+        #: flight; the server's eval path reads this to parent its
+        #: ``serve.eval.*`` spans under the batch span.
+        self.batch_context: tracing.SpanContext | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -218,7 +229,11 @@ class MicroBatcher:
         self._last_batch_done = now
 
     async def submit(
-        self, key: Hashable, payload: Any, deadline: float | None = None
+        self,
+        key: Hashable,
+        payload: Any,
+        deadline: float | None = None,
+        ctx: tracing.SpanContext | None = None,
     ) -> Any:
         """Enqueue one payload and await its result.
 
@@ -228,6 +243,10 @@ class MicroBatcher:
         work is actually queued: an empty queue admits any live deadline,
         because the estimate is the only evidence of overload and an
         estimate (however stale) is not a queue.
+
+        ``ctx`` (the submitting request's span context; pass only when
+        tracing is on) makes the item's queue wait and batch visible as
+        child spans of that request.
         """
         if self._closed or self._worker is None:
             raise OverloadedError("shutdown")
@@ -244,7 +263,8 @@ class MicroBatcher:
                 metrics.counter("serve.shed.deadline").inc()
                 raise OverloadedError("deadline")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.append(_Item(key, payload, deadline, now, future))
+        ts_ns = time.time_ns() if ctx is not None else 0
+        self._queue.append(_Item(key, payload, deadline, now, future, ctx, ts_ns))
         metrics.gauge("serve.queue_depth").set(len(self._queue))
         self._event.set()
         return await future
@@ -283,6 +303,19 @@ class MicroBatcher:
             metrics.gauge("serve.queue_depth").set(len(self._queue))
             await self._dispatch(lead.key, batch, close_on)
 
+    def _emit_queue_span(self, item: _Item, now: float, shed: str | None) -> None:
+        """Record an item's queue wait as an after-the-fact child span."""
+        attrs = {"depth": len(self._queue)}
+        if shed is not None:
+            attrs["shed"] = shed
+        tracing.record_span(
+            "serve.queue",
+            item.ctx,
+            item.ts_ns,
+            int((now - item.enqueued) * 1e9),
+            attrs,
+        )
+
     async def _dispatch(self, key, batch: list[_Item], close_on: str) -> None:
         now = self._clock()
         live: list[_Item] = []
@@ -292,8 +325,12 @@ class MicroBatcher:
             if item.deadline is not None and item.deadline <= now:
                 self.stats.shed_expired += 1
                 metrics.counter("serve.shed.deadline_expired").inc()
+                if item.ctx is not None:
+                    self._emit_queue_span(item, now, shed="deadline_expired")
                 item.future.set_exception(OverloadedError("deadline_expired"))
                 continue
+            if item.ctx is not None:
+                self._emit_queue_span(item, now, shed=None)
             live.append(item)
         if not live:
             return
@@ -303,6 +340,18 @@ class MicroBatcher:
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(live))
         metrics.histogram("serve.batch_size").observe(len(live))
         metrics.counter(f"serve.batch.closed_{close_on}").inc()
+        # The batch span is parented under the first traced item's request
+        # span; the remaining items' requests still join the tree through
+        # their own serve.queue spans and the shared trace file.
+        lead_ctx = next((item.ctx for item in live if item.ctx is not None), None)
+        batch_span = (
+            tracing.begin(
+                "serve.batch", ctx=lead_ctx, n_items=len(live), close_on=close_on
+            )
+            if lead_ctx is not None
+            else tracing.NOOP_SPAN
+        )
+        self.batch_context = batch_span.context()
         t0 = self._clock()
         try:
             results = await self._handler(key, [item.payload for item in live])
@@ -318,11 +367,15 @@ class MicroBatcher:
                 "batch handler failed",
                 extra={"error": type(exc).__name__, "n_items": len(live)},
             )
+            batch_span.finish(error=type(exc).__name__)
             for item in live:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
+        finally:
+            self.batch_context = None
         done = self._clock()
+        batch_span.finish()
         elapsed = done - t0
         ema = self.stats.ema_batch_s
         self.stats.ema_batch_s = (

@@ -30,12 +30,20 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import tracing
 from repro.serve import protocol
 
 
 @dataclass
 class LoadgenConfig:
-    """What to send, where, and how hard."""
+    """What to send, where, and how hard.
+
+    With ``trace=True`` (and a configured global tracer) the generator
+    originates one trace: a ``loadgen.run`` root span, one
+    ``client.request`` span per request, and the wire context attached to
+    every request -- so the server's queue/batch/eval spans land in the
+    *client's* trace and ``repro report`` renders the joined tree.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
@@ -50,6 +58,7 @@ class LoadgenConfig:
     timeout_ms: float | None = None
     seed: int = 0
     drain_timeout_s: float = 30.0
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -64,7 +73,15 @@ class LoadgenConfig:
 
 @dataclass
 class _Tally:
-    """Mutable counters shared by the workers."""
+    """Mutable counters shared by the workers.
+
+    ``shed_reasons`` / ``degraded_reasons`` break the coarse counters
+    down by the server's explicit reason (``queue_full`` / ``deadline`` /
+    ``deadline_expired``), which is what the SLO availability math wants.
+    ``records`` (per-request outcome + span id; populated only when
+    tracing) is how client-side observations join against the server
+    trace.
+    """
 
     completed: int = 0
     ok: int = 0
@@ -72,18 +89,47 @@ class _Tally:
     degraded: int = 0
     errors: int = 0
     latencies_ns: list[int] = field(default_factory=list)
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    degraded_reasons: dict[str, int] = field(default_factory=dict)
+    records: list[dict] | None = None
 
-    def record(self, response: dict, latency_ns: int) -> None:
+    def record(
+        self,
+        response: dict,
+        latency_ns: int,
+        op: str | None = None,
+        span=None,
+    ) -> None:
         self.completed += 1
+        status = "ok"
         if response.get("ok"):
             self.ok += 1
             if response.get("degraded"):
                 self.degraded += 1
+                status = "degraded"
+                reason = str(response.get("reason", "unknown"))
+                self.degraded_reasons[reason] = self.degraded_reasons.get(reason, 0) + 1
             self.latencies_ns.append(latency_ns)
         elif response.get("error") == "overloaded":
             self.overloaded += 1
+            status = "overloaded"
+            reason = str(response.get("reason", "unknown"))
+            self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
         else:
             self.errors += 1
+            status = str(response.get("error", "error"))
+        if span is not None:
+            span.finish(status=status)
+        if self.records is not None:
+            entry: dict = {
+                "id": response.get("id"),
+                "op": op,
+                "status": status,
+                "latency_ms": latency_ns / 1e6,
+            }
+            if span is not None:
+                entry["span"] = span.span_id
+            self.records.append(entry)
 
 
 async def _request_once(reader, writer, request: dict) -> dict:
@@ -93,6 +139,21 @@ async def _request_once(reader, writer, request: dict) -> dict:
     if not line:
         raise ConnectionError("server closed the connection")
     return protocol.decode_line(line)
+
+
+def _begin_request_span(request: dict, root_ctx) -> tuple[dict, Any]:
+    """Start a client span for one request and attach its wire context.
+
+    Returns a *copy* of the request -- the deterministic stream itself is
+    never mutated, so traced and untraced runs send identical payloads
+    (plus the ``trace`` field).
+    """
+    span = tracing.begin(
+        "client.request", ctx=root_ctx, op=request["op"], req_id=request["id"]
+    )
+    traced = dict(request)
+    traced["trace"] = span.context().to_wire()
+    return traced, span
 
 
 def _make_requests(config: LoadgenConfig, describe: dict) -> list[dict]:
@@ -139,8 +200,12 @@ def _make_requests(config: LoadgenConfig, describe: dict) -> list[dict]:
     return requests
 
 
-async def _closed_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
+async def _closed_loop(
+    config: LoadgenConfig, requests: list[dict], root_ctx=None
+) -> _Tally:
     tally = _Tally()
+    if root_ctx is not None:
+        tally.records = []
     queue: asyncio.Queue = asyncio.Queue()
     for request in requests:
         queue.put_nowait(request)
@@ -155,9 +220,14 @@ async def _closed_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
                     request = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
+                span = None
+                if root_ctx is not None:
+                    request, span = _begin_request_span(request, root_ctx)
                 t0 = time.monotonic_ns()
                 response = await _request_once(reader, writer, request)
-                tally.record(response, time.monotonic_ns() - t0)
+                tally.record(
+                    response, time.monotonic_ns() - t0, op=request["op"], span=span
+                )
         finally:
             writer.close()
             try:
@@ -169,9 +239,13 @@ async def _closed_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
     return tally
 
 
-async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
+async def _open_loop(
+    config: LoadgenConfig, requests: list[dict], root_ctx=None
+) -> _Tally:
     """Fire at the target rate, pipelined; correlate responses by id."""
     tally = _Tally()
+    if root_ctx is not None:
+        tally.records = []
     connections = []
     for _ in range(config.concurrency):
         connections.append(
@@ -179,7 +253,7 @@ async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
                 config.host, config.port, limit=protocol.MAX_LINE_BYTES
             )
         )
-    pending: dict[int, int] = {}  # id -> send time (monotonic_ns)
+    pending: dict[int, tuple[int, str, Any]] = {}  # id -> (send_ns, op, span)
     done = asyncio.Event()
 
     async def read_responses(reader) -> None:
@@ -188,10 +262,11 @@ async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
             if not line:
                 return
             response = protocol.decode_line(line)
-            sent_at = pending.pop(response.get("id"), None)
-            if sent_at is None:
+            entry = pending.pop(response.get("id"), None)
+            if entry is None:
                 continue
-            tally.record(response, time.monotonic_ns() - sent_at)
+            sent_at, op, span = entry
+            tally.record(response, time.monotonic_ns() - sent_at, op=op, span=span)
             if tally.completed == len(requests):
                 done.set()
                 return
@@ -208,7 +283,10 @@ async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
         if delay > 0:
             await asyncio.sleep(delay)
         _, writer = connections[i % len(connections)]
-        pending[request["id"]] = time.monotonic_ns()
+        span = None
+        if root_ctx is not None:
+            request, span = _begin_request_span(request, root_ctx)
+        pending[request["id"]] = (time.monotonic_ns(), request["op"], span)
         writer.write(protocol.encode(request))
         await writer.drain()
     try:
@@ -218,6 +296,11 @@ async def _open_loop(config: LoadgenConfig, requests: list[dict]) -> _Tally:
     for task in readers:
         task.cancel()
     await asyncio.gather(*readers, return_exceptions=True)
+    # Requests the drain timeout abandoned still get their client span
+    # closed -- an unanswered request is an observation, not a leak.
+    for _, _, span in pending.values():
+        if span is not None:
+            span.finish(status="no_response")
     for _, writer in connections:
         writer.close()
         try:
@@ -257,12 +340,24 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
         raise RuntimeError(f"describe failed: {describe}")
 
     requests = _make_requests(config, describe)
+    root_span = None
+    root_ctx = None
+    if config.trace and tracing.get_tracer() is not None:
+        root_span = tracing.begin(
+            "loadgen.run",
+            mode="closed" if config.qps is None else "open",
+            op=config.op,
+            requests=len(requests),
+        )
+        root_ctx = root_span.context()
     t0 = time.monotonic()
     if config.qps is None:
-        tally = await _closed_loop(config, requests)
+        tally = await _closed_loop(config, requests, root_ctx)
     else:
-        tally = await _open_loop(config, requests)
+        tally = await _open_loop(config, requests, root_ctx)
     duration = time.monotonic() - t0
+    if root_span is not None:
+        root_span.finish(completed=tally.completed, ok=tally.ok)
 
     report = {
         "mode": "closed" if config.qps is None else "open",
@@ -278,6 +373,12 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
         "duration_s": duration,
         "achieved_qps": tally.completed / duration if duration > 0 else 0.0,
         "latency": _percentiles(tally.latencies_ns),
+        "shed_reasons": tally.shed_reasons,
+        "degraded_reasons": tally.degraded_reasons,
         "server_version": describe.get("version"),
     }
+    if root_ctx is not None:
+        report["trace_id"] = root_ctx.trace_id
+    if tally.records is not None:
+        report["requests"] = tally.records
     return report

@@ -8,7 +8,12 @@ pipeline must correlate by ``id``.
 
 Requests
 --------
-``{"op": ..., "id": ...?, "timeout_ms": ...?}`` plus per-op fields:
+``{"op": ..., "id": ...?, "timeout_ms": ...?, "trace": ...?}`` plus
+per-op fields.  ``trace`` is an optional ``{"id": <trace-id>,
+"span": <parent-span-id>?}`` object (:meth:`SpanContext.to_wire`): when
+present *and* the server has tracing enabled, the server parents its
+spans for this request under the caller's span, so one ``repro report``
+renders the joined client+server tree.  Per-op fields:
 
 * ``score`` -- ``patterns`` (list of cell-id lists; ``-1`` is the wildcard),
   ``measure`` (``"nm"`` default, or ``"match"``);
@@ -40,6 +45,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.pattern import WILDCARD, TrajectoryPattern
+from repro.obs.tracing import SpanContext
 
 #: Upper bound on one request/response line (enforced by the stream reader).
 MAX_LINE_BYTES = 4 << 20
@@ -48,6 +54,7 @@ MAX_LINE_BYTES = 4 << 20
 MAX_PATTERNS_PER_REQUEST = 1024
 MAX_PATTERN_LENGTH = 64
 MAX_RECENT_POINTS = 4096
+MAX_TRACE_ID_CHARS = 128
 
 #: The ops a client may send.
 OPS = ("score", "predict", "health", "stats", "describe", "swap", "shutdown")
@@ -180,6 +187,27 @@ def parse_predict(request: dict) -> tuple[np.ndarray, float]:
     ):
         raise ProtocolError("sigma must be a positive finite number")
     return recent, float(sigma)
+
+
+def parse_trace(request: dict) -> SpanContext | None:
+    """The caller's trace context, if the request carries one.
+
+    Absent field costs one dict lookup -- the common (untraced) path
+    stays free.  Present fields are validated like any other untrusted
+    input: bounded string lengths, no surprise types.
+    """
+    raw = request.get("trace")
+    if raw is None:
+        return None
+    try:
+        ctx = SpanContext.from_wire(raw)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    if len(ctx.trace_id) > MAX_TRACE_ID_CHARS:
+        raise ProtocolError(f"trace id longer than {MAX_TRACE_ID_CHARS} chars")
+    if ctx.span_id is not None and len(ctx.span_id) > MAX_TRACE_ID_CHARS:
+        raise ProtocolError(f"trace span id longer than {MAX_TRACE_ID_CHARS} chars")
+    return ctx
 
 
 def parse_swap(request: dict) -> str:

@@ -38,7 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro.mobility.models import make_model
-from repro.obs import logs, metrics, tracing
+from repro.obs import logs, manifest, metrics, tracing
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, OverloadedError
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
@@ -97,6 +97,7 @@ class PatternServer:
         self._shutdown = asyncio.Event()
         self._started_at: float | None = None
         self._run_span = None
+        self._run_ctx: tracing.SpanContext | None = None
         self.requests_served = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -115,6 +116,7 @@ class PatternServer:
             host=self.config.host,
         )
         self._run_span.__enter__()
+        self._run_ctx = self._run_span.context()
         self._batcher.start()
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -146,6 +148,7 @@ class PatternServer:
         if self._run_span is not None:
             self._run_span.__exit__(None, None, None)
             self._run_span = None
+            self._run_ctx = None
 
     # -- connection handling -----------------------------------------------
 
@@ -213,12 +216,28 @@ class PatternServer:
         t0 = time.monotonic_ns()
         rid = None
         op = "unknown"
+        req_ctx: tracing.SpanContext | None = None
         try:
             try:
                 request = protocol.decode_line(line)
                 rid = protocol.request_id(request)
                 op = request.get("op")
-                response = await self._dispatch(op, request, rid)
+                if op not in protocol.OPS:
+                    raise protocol.ProtocolError(
+                        f"unknown op {op!r}", code="unknown_op"
+                    )
+                inbound = protocol.parse_trace(request)
+                metrics.counter(f"serve.{op}.requests").inc()
+                # The request span adopts the caller's wire context when one
+                # was sent (joining the client's trace across the socket) and
+                # otherwise hangs off the server's own run span.  Its context
+                # flows into the batcher so queue/batch/eval become children.
+                with tracing.span_at(
+                    inbound if inbound is not None else self._run_ctx,
+                    f"serve.{op}",
+                ) as req_span:
+                    req_ctx = req_span.context()
+                    response = await self._dispatch(op, request, rid, req_ctx)
             except protocol.ProtocolError as exc:
                 metrics.counter("serve.errors.bad_request").inc()
                 response = protocol.error_response(rid, exc.code, exc.detail)
@@ -237,12 +256,26 @@ class PatternServer:
                     rid, "internal", f"{type(exc).__name__}: {exc}"
                 )
             self.requests_served += 1
-            await self._send(writer, write_lock, response)
+            if req_ctx is not None:
+                ts_ns = time.time_ns()
+                send_t0 = time.perf_counter_ns()
+                await self._send(writer, write_lock, response)
+                tracing.record_span(
+                    "serve.respond",
+                    req_ctx,
+                    ts_ns,
+                    time.perf_counter_ns() - send_t0,
+                )
+            else:
+                await self._send(writer, write_lock, response)
         finally:
             inflight.release()
             if isinstance(op, str) and op in protocol.OPS:
-                metrics.quantile_histogram(f"serve.{op}.latency_ns", unit="ns").observe(
-                    time.monotonic_ns() - t0
+                metrics.sliding_quantile_histogram(
+                    f"serve.{op}.latency_ns", unit="ns"
+                ).observe(
+                    time.monotonic_ns() - t0,
+                    exemplar=req_ctx.trace_id if req_ctx is not None else None,
                 )
 
     async def _send(
@@ -265,39 +298,37 @@ class PatternServer:
 
     # -- dispatch ----------------------------------------------------------
 
-    async def _dispatch(self, op: Any, request: dict, rid: Any) -> dict:
-        if op not in protocol.OPS:
-            raise protocol.ProtocolError(f"unknown op {op!r}", code="unknown_op")
-        metrics.counter(f"serve.{op}.requests").inc()
-        with tracing.span(f"serve.{op}"):
-            if op == "score":
-                return await self._handle_score(request, rid)
-            if op == "predict":
-                return await self._handle_predict(request, rid)
-            if op == "health":
-                return protocol.ok_response(
-                    rid,
-                    status="ok",
-                    version=self.store.current.version,
-                    uptime_s=(
-                        time.monotonic() - self._started_at
-                        if self._started_at is not None
-                        else 0.0
-                    ),
-                )
-            if op == "stats":
-                return protocol.ok_response(rid, stats=self.stats())
-            if op == "describe":
-                return protocol.ok_response(rid, **self.store.current.describe())
-            if op == "swap":
-                return await self._handle_swap(request, rid)
-            # op == "shutdown"
-            if not self.config.allow_shutdown:
-                raise protocol.ProtocolError(
-                    "shutdown is disabled on this server", code="forbidden"
-                )
-            self._shutdown.set()
-            return protocol.ok_response(rid, stopping=True)
+    async def _dispatch(
+        self, op: str, request: dict, rid: Any, ctx: tracing.SpanContext | None
+    ) -> dict:
+        if op == "score":
+            return await self._handle_score(request, rid, ctx)
+        if op == "predict":
+            return await self._handle_predict(request, rid, ctx)
+        if op == "health":
+            return protocol.ok_response(
+                rid,
+                status="ok",
+                version=self.store.current.version,
+                uptime_s=(
+                    time.monotonic() - self._started_at
+                    if self._started_at is not None
+                    else 0.0
+                ),
+            )
+        if op == "stats":
+            return protocol.ok_response(rid, stats=self.stats())
+        if op == "describe":
+            return protocol.ok_response(rid, **self.store.current.describe())
+        if op == "swap":
+            return await self._handle_swap(request, rid)
+        # op == "shutdown"
+        if not self.config.allow_shutdown:
+            raise protocol.ProtocolError(
+                "shutdown is disabled on this server", code="forbidden"
+            )
+        self._shutdown.set()
+        return protocol.ok_response(rid, stopping=True)
 
     def _deadline(self, request: dict) -> float | None:
         timeout_ms = protocol.parse_timeout_ms(
@@ -307,13 +338,16 @@ class PatternServer:
             return None
         return time.monotonic() + timeout_ms / 1000.0
 
-    async def _handle_score(self, request: dict, rid: Any) -> dict:
+    async def _handle_score(
+        self, request: dict, rid: Any, ctx: tracing.SpanContext | None
+    ) -> dict:
         snapshot = self.store.current
         patterns, measure = protocol.parse_score(request, snapshot.grid.n_cells)
         values = await self._batcher.submit(
             (id(snapshot), measure),
             _ScoreWork(snapshot, measure, patterns),
             deadline=self._deadline(request),
+            ctx=ctx,
         )
         return protocol.ok_response(
             rid,
@@ -322,7 +356,9 @@ class PatternServer:
             version=snapshot.version,
         )
 
-    async def _handle_predict(self, request: dict, rid: Any) -> dict:
+    async def _handle_predict(
+        self, request: dict, rid: Any, ctx: tracing.SpanContext | None
+    ) -> dict:
         snapshot = self.store.current
         recent, sigma = protocol.parse_predict(request)
         try:
@@ -330,6 +366,7 @@ class PatternServer:
                 (id(snapshot), "predict"),
                 _PredictWork(snapshot, recent, sigma),
                 deadline=self._deadline(request),
+                ctx=ctx,
             )
         except OverloadedError as exc:
             # Degrade, don't refuse: a tracking client needs an answer every
@@ -373,12 +410,20 @@ class PatternServer:
     async def _evaluate_batch(self, key: Any, payloads: list[Any]) -> list[Any]:
         faults.fire("serve.batch.handler", key=key, n_items=len(payloads))
         loop = asyncio.get_running_loop()
+        # The batcher publishes the in-flight batch's span context; passing
+        # it explicitly keeps the eval span parented correctly from inside
+        # the executor thread (the ambient stack belongs to the loop thread).
+        ctx = self._batcher.batch_context
         if isinstance(payloads[0], _ScoreWork):
             return await loop.run_in_executor(
-                self._executor, _evaluate_score_batch, payloads
+                self._executor, _evaluate_score_batch, payloads, ctx
             )
         return await loop.run_in_executor(
-            self._executor, _evaluate_predict_batch, payloads, self.config.fallback_model
+            self._executor,
+            _evaluate_predict_batch,
+            payloads,
+            self.config.fallback_model,
+            ctx,
         )
 
     # -- introspection -----------------------------------------------------
@@ -396,7 +441,47 @@ class PatternServer:
             "swaps": self.store.swaps,
             "queue_depth": self._batcher.queue_depth,
             "batcher": self._batcher.stats.as_dict(),
+            "rss_peak_bytes": manifest.peak_rss_bytes(),
+            "latency": self._latency_stats(),
         }
+
+    def _latency_stats(self) -> dict:
+        """Per-op latency quantiles from the metrics registry.
+
+        Empty when metrics are disabled (the batcher counters above are
+        always on, so ``repro top`` still has a dashboard without them).
+        Each op reports all-time quantiles plus the last-60s rolling
+        window, which decays after load stops -- unlike all-time p99,
+        which remembers every spike forever.
+        """
+        registry = metrics.get_registry()
+        out: dict = {}
+        for op in protocol.OPS:
+            hist = registry.find_histogram(f"serve.{op}.latency_ns")
+            if hist is None or hist.count == 0:
+                continue
+            entry: dict = {
+                "count": hist.count,
+                "mean_ms": hist.mean / 1e6,
+                "max_ms": hist.max / 1e6,
+            }
+            if isinstance(hist, metrics.QuantileHistogram):
+                entry["all_time_ms"] = {
+                    k: v / 1e6 for k, v in hist.quantiles().items()
+                }
+            if isinstance(hist, metrics.SlidingQuantileHistogram):
+                window = hist.window_snapshot()
+                entry["window"] = {
+                    "window_s": window["window_s"],
+                    "count": window["count"],
+                    "rate_per_s": window["rate_per_s"],
+                    "quantiles_ms": {
+                        k: v / 1e6 for k, v in window["quantiles"].items()
+                    },
+                    "exemplars": window["exemplars"],
+                }
+            out[op] = entry
+        return out
 
 
 class _ScoreWork:
@@ -417,7 +502,9 @@ class _PredictWork:
         self.sigma = sigma
 
 
-def _evaluate_score_batch(works: list[_ScoreWork]) -> list[np.ndarray]:
+def _evaluate_score_batch(
+    works: list[_ScoreWork], ctx: tracing.SpanContext | None = None
+) -> list[np.ndarray]:
     """One engine call for a whole batch: concatenate, evaluate, split.
 
     Every work item shares the batch key, hence the same snapshot and
@@ -427,8 +514,8 @@ def _evaluate_score_batch(works: list[_ScoreWork]) -> list[np.ndarray]:
     snapshot = works[0].snapshot
     engine = snapshot.engine
     flat = [p for work in works for p in work.patterns]
-    with tracing.span(
-        "serve.eval.score", n_requests=len(works), n_patterns=len(flat)
+    with tracing.span_at(
+        ctx, "serve.eval.score", n_requests=len(works), n_patterns=len(flat)
     ):
         if works[0].measure == "nm":
             values = engine.nm_batch(flat)
@@ -443,11 +530,13 @@ def _evaluate_score_batch(works: list[_ScoreWork]) -> list[np.ndarray]:
 
 
 def _evaluate_predict_batch(
-    works: list[_PredictWork], fallback_model: str
+    works: list[_PredictWork],
+    fallback_model: str,
+    ctx: tracing.SpanContext | None = None,
 ) -> list[tuple[np.ndarray, str]]:
     """Pattern-confirmed next positions, motion-model fallback otherwise."""
     out: list[tuple[np.ndarray, str]] = []
-    with tracing.span("serve.eval.predict", n_requests=len(works)):
+    with tracing.span_at(ctx, "serve.eval.predict", n_requests=len(works)):
         for work in works:
             library = work.snapshot.library
             position = None

@@ -1,0 +1,211 @@
+"""Quantile-histogram tests: merges, the error bound, the sliding window.
+
+Pins the two promises the serving telemetry leans on: (1) the 1.2x
+geometric bucket scheme bounds the quantile estimate within a factor of
+``sqrt(1.2)`` of the true empirical quantile, and (2) the rolling window
+of :class:`~repro.obs.metrics.SlidingQuantileHistogram` decays after load
+stops while the all-time view never forgets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    _QUANTILE_BUCKET_BASE,
+    MetricsRegistry,
+    QuantileHistogram,
+    SlidingQuantileHistogram,
+    _quantile_from_buckets,
+)
+
+
+def _bucket_quantile(histogram: QuantileHistogram, q: float) -> float:
+    """Quantile straight off the bucket table (no min/max clamping).
+
+    ``merge_buckets`` alone does not advance ``count`` -- the registry
+    merge path fixes count/total/min/max up separately -- so these tests
+    walk the buckets directly with the true merged count.
+    """
+    count = sum(histogram._buckets.values())
+    return _quantile_from_buckets(
+        histogram._buckets, count, 0.0, float("inf"), q
+    )
+
+
+class FakeClock:
+    """Hand-driven monotonic clock for deterministic epoch rotation."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# -- merge_buckets -------------------------------------------------------------
+
+
+class TestMergeBuckets:
+    def test_disjoint_ranges(self):
+        low = QuantileHistogram("h")
+        high = QuantileHistogram("h")
+        for _ in range(100):
+            low.observe(1.0)
+        for _ in range(100):
+            high.observe(1000.0)
+        low.merge_buckets(dict(high._buckets))
+        # The bucket tables are disjoint, so the merged table holds both
+        # populations and the quantiles straddle them.
+        assert sum(low._buckets.values()) == 200
+        assert _bucket_quantile(low, 0.25) < 2.0
+        assert _bucket_quantile(low, 0.99) > 500.0
+
+    def test_overlapping_ranges(self):
+        a = QuantileHistogram("h")
+        b = QuantileHistogram("h")
+        for v in (1.0, 2.0, 4.0):
+            a.observe(v)
+            b.observe(v)
+        before = dict(a._buckets)
+        a.merge_buckets(dict(b._buckets))
+        assert a._buckets == {bucket: 2 * n for bucket, n in before.items()}
+
+    def test_registry_merge_snapshot_roundtrip(self):
+        src = MetricsRegistry(enabled=True)
+        for v in (1.0, 10.0, 100.0):
+            src.quantile_histogram("lat", unit="ns").observe(v)
+        dst = MetricsRegistry(enabled=True)
+        dst.quantile_histogram("lat", unit="ns").observe(5.0)
+        dst.merge_snapshot(src.snapshot())
+        merged = dst.snapshot()["histograms"]["lat"]
+        assert merged["count"] == 4
+        assert merged["min"] == 1.0 and merged["max"] == 100.0
+        # String bucket keys from the JSON snapshot merge as ints.
+        histogram = dst.quantile_histogram("lat", unit="ns")
+        assert all(isinstance(b, int) for b in histogram._buckets)
+
+    def test_merge_string_keys(self):
+        h = QuantileHistogram("h")
+        h.observe(3.0)
+        h.merge_buckets({"6": 5})  # bucket 6 = values around 1.2^6 ~ 3
+        assert sum(h._buckets.values()) == 6
+
+
+# -- error bound ---------------------------------------------------------------
+
+
+#: One bucket spans a 1.2x range; the reported geometric midpoint is at
+#: most sqrt(1.2) away from any value in the bucket (~ +/-9.5%).  The
+#: tiny slack absorbs float error in the log-floor bucket assignment.
+_ERROR_FACTOR = math.sqrt(_QUANTILE_BUCKET_BASE) * (1.0 + 1e-6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-6, max_value=1e12),
+        min_size=1,
+        max_size=200,
+    ),
+    q=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+)
+def test_quantile_error_bound(values, q):
+    """The estimate is within sqrt(base) of the true empirical quantile."""
+    histogram = QuantileHistogram("h")
+    for v in values:
+        histogram.observe(v)
+    estimate = histogram.quantile(q)
+    true = sorted(values)[math.ceil(q * len(values)) - 1]
+    assert true / _ERROR_FACTOR <= estimate <= true * _ERROR_FACTOR
+
+
+def test_quantile_underflow_reports_zero():
+    histogram = QuantileHistogram("h")
+    histogram.observe(0.0)
+    histogram.observe(-5.0)
+    assert histogram.quantile(0.5) == 0.0
+
+
+# -- sliding window ------------------------------------------------------------
+
+
+class TestSlidingWindow:
+    def make(self, window_s=60.0, n_epochs=6):
+        clock = FakeClock()
+        histogram = SlidingQuantileHistogram(
+            "h", window_s=window_s, n_epochs=n_epochs, clock=clock
+        )
+        return histogram, clock
+
+    def test_window_decays_all_time_persists(self):
+        histogram, clock = self.make()
+        for v in (10.0, 20.0, 30.0):
+            histogram.observe(v)
+        assert histogram.window_count() == 3
+        assert histogram.window_quantile(0.5) == pytest.approx(20.0, rel=0.1)
+        clock.advance(61.0)
+        assert histogram.window_count() == 0
+        assert histogram.window_quantile(0.5) == 0.0
+        # The inherited all-time view never forgets.
+        assert histogram.count == 3
+        assert histogram.quantile(0.5) == pytest.approx(20.0, rel=0.1)
+
+    def test_partial_decay_keeps_recent_epochs(self):
+        histogram, clock = self.make(window_s=60.0, n_epochs=6)
+        histogram.observe(100.0)
+        clock.advance(30.0)  # 3 of 6 epochs expire under the old value
+        histogram.observe(1.0)
+        assert histogram.window_count() == 2
+        clock.advance(40.0)  # the first observation ages out, not the second
+        assert histogram.window_count() == 1
+        assert histogram.window_quantile(1.0) == pytest.approx(1.0, rel=0.1)
+
+    def test_long_idle_gap_resets_ring(self):
+        histogram, clock = self.make()
+        histogram.observe(5.0)
+        clock.advance(1e6)
+        assert histogram.window_count() == 0
+        histogram.observe(7.0)
+        assert histogram.window_count() == 1
+
+    def test_exemplars_tail_first_newest_wins(self):
+        histogram, clock = self.make()
+        histogram.observe(1.0, exemplar="fast-old")
+        histogram.observe(1000.0, exemplar="slow")
+        clock.advance(15.0)  # next observations land in a newer epoch
+        histogram.observe(1.0, exemplar="fast-new")
+        exemplars = histogram.window_exemplars()
+        assert exemplars[0] == "slow"  # highest bucket = the tail
+        assert "fast-new" in exemplars and "fast-old" not in exemplars
+
+    def test_window_snapshot_shape(self):
+        histogram, _ = self.make()
+        histogram.observe(10.0, exemplar="t1")
+        snapshot = histogram.window_snapshot()
+        assert snapshot["window_s"] == 60.0
+        assert snapshot["count"] == 1
+        assert snapshot["rate_per_s"] == pytest.approx(1 / 60.0)
+        assert set(snapshot["quantiles"]) == {"p50", "p95", "p99"}
+        assert snapshot["exemplars"] == ["t1"]
+
+    def test_registry_snapshot_includes_window(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.sliding_quantile_histogram("lat", unit="ns").observe(42.0)
+        data = registry.snapshot()["histograms"]["lat"]
+        assert "window" in data and data["window"]["count"] == 1
+
+    def test_find_histogram_never_creates(self):
+        registry = MetricsRegistry(enabled=True)
+        assert registry.find_histogram("absent") is None
+        registry.sliding_quantile_histogram("present")
+        assert registry.find_histogram("present") is not None
+        disabled = MetricsRegistry(enabled=False)
+        assert disabled.find_histogram("anything") is None

@@ -1,0 +1,275 @@
+"""Tests for telemetry export (repro.obs.export) and SLO evaluation.
+
+Covers the delta/rate math against an injectable clock, JSONL rotation,
+the Prometheus text artifact, series loading strictness, SLO spec
+parsing and the burn-rate arithmetic on synthetic series.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.export import (
+    TELEMETRY_KIND,
+    TelemetryExporter,
+    _prom_name,
+    load_series,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SLObjective,
+    evaluate_slos,
+    load_slo_spec,
+    render_slo_report,
+)
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+@pytest.fixture
+def exporter(tmp_path, registry):
+    clock = FakeClock()
+    exporter = TelemetryExporter(
+        tmp_path, registry=registry, interval_s=10.0, clock=clock
+    )
+    exporter.clock = clock  # test handle
+    return exporter
+
+
+class TestExportRecords:
+    def test_counter_deltas_and_rates(self, exporter, registry):
+        registry.counter("serve.score.requests").inc(100)
+        first = exporter.export_once()
+        assert first["counters"]["serve.score.requests"] == {
+            "value": 100,
+            "delta": 100,
+            "rate_per_s": pytest.approx(10.0),  # first interval = interval_s
+        }
+        registry.counter("serve.score.requests").inc(50)
+        exporter.clock.t += 10.0
+        second = exporter.export_once()
+        entry = second["counters"]["serve.score.requests"]
+        assert entry == {
+            "value": 150,
+            "delta": 50,
+            "rate_per_s": pytest.approx(5.0),
+        }
+        assert second["seq"] == first["seq"] + 1
+        assert second["kind"] == TELEMETRY_KIND
+
+    def test_histogram_window_included(self, exporter, registry):
+        registry.sliding_quantile_histogram("serve.score.latency_ns", unit="ns").observe(
+            5e6, exemplar="t1"
+        )
+        record = exporter.export_once()
+        hist = record["histograms"]["serve.score.latency_ns"]
+        assert hist["count"] == 1 and hist["unit"] == "ns"
+        assert hist["window"]["count"] == 1
+        assert hist["window"]["exemplars"] == ["t1"]
+
+    def test_series_file_and_load(self, exporter, registry):
+        registry.counter("c").inc()
+        exporter.export_once()
+        exporter.clock.t += 10.0
+        exporter.export_once()
+        records = load_series(exporter.series_path)
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_rotation_keeps_one_generation(self, tmp_path, registry):
+        clock = FakeClock()
+        exporter = TelemetryExporter(
+            tmp_path, registry=registry, interval_s=1.0, max_bytes=1, clock=clock
+        )
+        registry.counter("c").inc()
+        for _ in range(3):
+            clock.t += 1.0
+            exporter.export_once()
+        rotated = exporter.series_path.with_name("telemetry.jsonl.1")
+        assert rotated.exists()
+        # Two generations of history: each export rotated the previous
+        # record out, so seq 1 fell off and 2 (rotated) + 3 (live) load
+        # oldest-first.
+        records = load_series(exporter.series_path)
+        assert [r["seq"] for r in records] == [2, 3]
+
+    def test_prometheus_text(self, exporter, registry):
+        registry.counter("serve.score.requests").inc(7)
+        registry.gauge("serve.queue_depth").set(3)
+        registry.sliding_quantile_histogram("serve.score.latency_ns", unit="ns").observe(2e6)
+        exporter.export_once()
+        text = exporter.prom_path.read_text()
+        assert "# TYPE repro_serve_score_requests counter" in text
+        assert "repro_serve_score_requests 7" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "repro_serve_score_latency_ns_count 1" in text
+        assert 'quantile="0.99"' in text
+        assert 'window="60.0s"' in text
+
+    def test_thread_start_stop(self, tmp_path, registry):
+        exporter = TelemetryExporter(
+            tmp_path, registry=registry, interval_s=0.05
+        )
+        registry.counter("c").inc()
+        exporter.start()
+        exporter.start()  # idempotent
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while exporter.exported_records == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        exporter.stop()
+        assert exporter.exported_records >= 1
+        assert load_series(exporter.series_path)
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryExporter(tmp_path, interval_s=0.0)
+
+    def test_defaults_to_global_registry(self, tmp_path):
+        exporter = TelemetryExporter(tmp_path)
+        assert exporter.registry is metrics.get_registry()
+
+
+class TestLoadSeriesStrictness:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_series(tmp_path / "absent.jsonl") == []
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(ValueError, match="not a telemetry record"):
+            load_series(path)
+
+    def test_malformed_json_raises_with_location(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"kind": "telemetry", "seq": 1}\n{nope\n')
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:2"):
+            load_series(path)
+
+
+def test_prom_name_sanitisation():
+    assert _prom_name("serve.score.latency_ns") == "repro_serve_score_latency_ns"
+    assert _prom_name("9lives") == "repro__9lives"
+
+
+# -- SLO -----------------------------------------------------------------------
+
+
+def _record(ts, seq, requests, shed=0, p99_ns=None, count=None):
+    """Synthetic telemetry record with one op's counters/histogram."""
+    record = {
+        "kind": TELEMETRY_KIND,
+        "seq": seq,
+        "ts_unix": ts,
+        "interval_s": 10.0,
+        "counters": {
+            "serve.score.requests": {"value": 0, "delta": requests, "rate_per_s": 0.0},
+            "serve.shed.queue_full": {"value": 0, "delta": shed, "rate_per_s": 0.0},
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    if p99_ns is not None:
+        record["histograms"]["serve.score.latency_ns"] = {
+            "count": count if count is not None else requests,
+            "mean": 0.0,
+            "max": 0.0,
+            "unit": "ns",
+            "window": {"quantiles": {"p50": p99_ns, "p95": p99_ns, "p99": p99_ns}},
+        }
+    return record
+
+
+class TestSLO:
+    def test_spec_loading(self, tmp_path):
+        spec = {
+            "objectives": [
+                {"name": "avail", "kind": "availability", "objective": 0.99},
+                {
+                    "name": "lat",
+                    "kind": "latency",
+                    "objective": 0.95,
+                    "op": "score",
+                    "threshold_ms": 20.0,
+                },
+            ]
+        }
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(spec))
+        objectives = load_slo_spec(path)
+        assert [o.name for o in objectives] == ["avail", "lat"]
+        assert objectives[1].quantile == "p99"
+
+    def test_spec_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            load_slo_spec({"objectives": [{"name": "x", "kind": "availability",
+                                           "objective": 0.9, "bogus": 1}]})
+        with pytest.raises(ValueError):
+            load_slo_spec({"objectives": []})
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="latency", objective=0.9, op=None,
+                        threshold_ms=10.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="availability", objective=1.5)
+
+    def test_availability_violation_and_burn(self):
+        records = [
+            _record(ts=0.0, seq=1, requests=100, shed=0),
+            _record(ts=10.0, seq=2, requests=100, shed=50),
+        ]
+        objective = SLObjective(name="avail", kind="availability", objective=0.9)
+        (result,) = evaluate_slos(records, (objective,))
+        assert result["events_total"] == 200 and result["events_bad"] == 50
+        assert not result["ok"]
+        # error rate 0.25 against a 0.1 budget = burning 2.5 budgets/period
+        assert result["burn_rates"]["overall"] == pytest.approx(2.5)
+
+    def test_latency_whole_interval_attribution(self):
+        slow = 100 * 1e6  # 100ms
+        fast = 1 * 1e6
+        records = [
+            _record(0.0, 1, requests=10, p99_ns=fast, count=10),
+            _record(10.0, 2, requests=10, p99_ns=slow, count=20),
+        ]
+        objective = SLObjective(
+            name="lat", kind="latency", objective=0.5, op="score", threshold_ms=50.0
+        )
+        (result,) = evaluate_slos(records, (objective,))
+        # First interval: 10 good. Second: delta of 10, all bad.
+        assert result["events_total"] == 20 and result["events_bad"] == 10
+        assert result["ok"]  # 50% error rate == 50% budget exactly
+
+    def test_all_good_series_is_ok(self):
+        records = [_record(float(i * 10), i + 1, requests=50, p99_ns=1e6,
+                           count=(i + 1) * 50) for i in range(3)]
+        results = evaluate_slos(records, DEFAULT_OBJECTIVES)
+        assert all(r["ok"] for r in results)
+        assert all(r["events_bad"] == 0 for r in results)
+
+    def test_empty_series(self):
+        results = evaluate_slos([], DEFAULT_OBJECTIVES)
+        assert all(r["events_total"] == 0 and r["ok"] for r in results)
+
+    def test_render_report(self):
+        records = [_record(0.0, 1, requests=100, shed=100)]
+        results = evaluate_slos(
+            records, (SLObjective(name="avail", kind="availability", objective=0.999),)
+        )
+        text = render_slo_report(results)
+        assert "VIOLATED" in text and "avail" in text
+        assert render_slo_report([]).startswith("slo report: no objectives")

@@ -1,0 +1,174 @@
+"""Hardening tests for ``repro report``: empty, merged and odd artifacts.
+
+An empty trace file, a metrics-enabled-but-idle snapshot and a telemetry
+series must all render something explicit instead of raising; malformed
+records must still raise (CI strictness); several trace files must merge
+into one tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.report import (
+    load_trace,
+    render_file,
+    render_files,
+    render_metrics_report,
+    render_series_report,
+    render_trace_report,
+)
+from repro.obs.tracing import FileSink
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    tracing.disable_tracing()
+    yield
+    tracing.disable_tracing()
+
+
+class TestEmptyArtifacts:
+    def test_zero_byte_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_bytes(b"")
+        assert load_trace(path) == []
+        assert "no spans recorded" in render_file(path)
+
+    def test_blank_lines_only(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n\n   \n")
+        assert "no spans recorded" in render_file(path)
+
+    def test_empty_metrics_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"counters": {}, "gauges": {}, "histograms": {}}))
+        assert "no metrics recorded" in render_file(path)
+
+    def test_bare_empty_object(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("{}")
+        assert "no metrics recorded" in render_file(path)
+
+    def test_empty_span_list_renders(self):
+        assert render_trace_report([]) == "trace: no spans recorded"
+        assert "no records" in render_series_report([])
+
+
+class TestStrictness:
+    def test_malformed_line_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="not JSON|missing"):
+            load_trace(path)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="not a span record"):
+            load_trace(path)
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span", "name": "x"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            load_trace(path)
+
+    def test_unrecognised_object_raises(self, tmp_path):
+        path = tmp_path / "stuff.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="not a recognised"):
+            render_file(path)
+
+
+def _emit_trace(path, names, trace_id=None):
+    """Write a small real trace via the tracing layer itself."""
+    tracing.configure_tracing(sink=FileSink(path), trace_id=trace_id)
+    tracer = tracing.get_tracer()
+    for name in names:
+        with tracer.span(name):
+            pass
+    tracing.disable_tracing()
+    return tracer.trace_id
+
+
+class TestMergedTraces:
+    def test_two_files_one_tree(self, tmp_path):
+        client = tmp_path / "client.jsonl"
+        server = tmp_path / "server.jsonl"
+        trace_id = _emit_trace(client, ["client.request"])
+        _emit_trace(server, ["serve.score", "serve.batch"], trace_id=trace_id)
+        out = render_files([str(client), str(server)])
+        assert f"trace {trace_id}: 3 spans" in out
+        for name in ("client.request", "serve.score", "serve.batch"):
+            assert name in out
+
+    def test_mixed_trace_ids_labelled(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _emit_trace(a, ["x"])
+        _emit_trace(b, ["y"])
+        out = render_files([str(a), str(b)])
+        assert "2 trace ids" in out
+
+    def test_single_path_dispatches(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _emit_trace(path, ["phase"])
+        assert render_files([str(path)]) == render_file(path)
+
+    def test_span_tree_rendered_for_small_traces(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracing.configure_tracing(sink=FileSink(path))
+        tracer = tracing.get_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracing.disable_tracing()
+        out = render_file(path)
+        assert "span tree:" in out
+        # The child is indented one level deeper than its parent.
+        tree = out.split("span tree:\n", 1)[1]
+        lines = {line.lstrip().split("  ")[0]: len(line) - len(line.lstrip())
+                 for line in tree.splitlines()}
+        assert lines["inner"] == lines["outer"] + 2
+
+
+class TestMetricsRendering:
+    def test_populated_snapshot(self, tmp_path):
+        snapshot = {
+            "counters": {"requests": 5},
+            "gauges": {"depth": 2.0},
+            "histograms": {
+                "lat": {"count": 3, "mean": 1.5, "unit": "ns",
+                        "quantiles": {"p50": 1.0, "p95": 2.0, "p99": 2.0}}
+            },
+        }
+        out = render_metrics_report(snapshot)
+        assert "requests" in out and "depth" in out and "lat" in out
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        assert render_file(path) == out
+
+    def test_snapshot_with_extra_sections(self, tmp_path):
+        # `mine --metrics-out` appends e.g. kernel_backend to the snapshot.
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"counters": {"c": 1}, "kernel_backend": {}}))
+        assert "c" in render_file(path)
+
+    def test_telemetry_series_renders(self, tmp_path):
+        record = {
+            "kind": "telemetry", "seq": 1, "ts_unix": 0.0, "interval_s": 10.0,
+            "counters": {"serve.score.requests":
+                         {"value": 4, "delta": 4, "rate_per_s": 0.4}},
+            "gauges": {},
+            "histograms": {},
+        }
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(json.dumps(record) + "\n" + json.dumps(
+            {**record, "seq": 2, "ts_unix": 10.0}) + "\n")
+        out = render_file(path)
+        assert "telemetry series: 2 records" in out
+        assert "serve.score.requests" in out

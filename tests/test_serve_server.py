@@ -270,7 +270,7 @@ def test_predict_degrades_to_model_under_overload(snapshot):
         server, _ = _serve(snapshot)
         host, port = await server.start()
 
-        async def refuse(key, payload, deadline=None):
+        async def refuse(key, payload, deadline=None, ctx=None):
             raise OverloadedError("queue_full")
 
         server._batcher.submit = refuse  # force the degradation path

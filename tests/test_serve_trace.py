@@ -1,0 +1,258 @@
+"""Wire trace propagation through the serving layer (real sockets).
+
+A traced loadgen request must produce ONE span tree: the client's
+``client.request`` span parents the server's ``serve.<op>`` request span,
+which parents queue/batch/eval/respond children -- all sharing the
+caller's trace id.  Untraced requests must not emit request spans into
+the caller's trace, and malformed ``trace`` fields are a protocol error,
+not a server crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments.datasets import zebranet_dataset
+from repro.obs import metrics, tracing
+from repro.obs.tracing import BufferSink
+from repro.serve import (
+    PatternServer,
+    ServeConfig,
+    ServingSnapshot,
+    SnapshotStore,
+    protocol,
+)
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    dataset = zebranet_dataset(n_trajectories=12, n_ticks=25, seed=3)
+    return ServingSnapshot.from_dataset(dataset, version="v-trace")
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    tracing.disable_tracing()
+    registry = metrics.get_registry()
+    registry.disable()
+    registry.reset()
+    yield
+    tracing.disable_tracing()
+    registry = metrics.get_registry()
+    registry.disable()
+    registry.reset()
+
+
+async def _roundtrip(snapshot, requests, config=None):
+    """Serve, send `requests` on one connection, collect the responses."""
+    server = PatternServer(SnapshotStore(snapshot), config or ServeConfig())
+    host, port = await server.start()
+    try:
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        responses = []
+        for request in requests:
+            writer.write(protocol.encode(request))
+            await writer.drain()
+            responses.append(protocol.decode_line(await reader.readline()))
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    finally:
+        await server.stop()
+    return responses
+
+
+def _by_id(records):
+    return {r["span"]: r for r in records}
+
+
+class TestWirePropagation:
+    def test_joined_span_tree(self, snapshot):
+        sink = BufferSink()
+        tracing.configure_tracing(sink=sink)
+
+        async def run():
+            config = LoadgenConfig(
+                host="127.0.0.1", requests=6, concurrency=2, op="score",
+                trace=True,
+            )
+            server = PatternServer(SnapshotStore(snapshot), ServeConfig())
+            host, port = await server.start()
+            try:
+                config.port = port
+                return await run_loadgen(config)
+            finally:
+                await server.stop()
+
+        report = asyncio.run(run())
+        assert report["ok"] == 6
+        trace_id = report["trace_id"]
+        spans = [r for r in sink.records if r["trace"] == trace_id]
+        by_name: dict[str, list] = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["loadgen.run"]) == 1
+        assert len(by_name["client.request"]) == 6
+        assert len(by_name["serve.score"]) == 6
+        assert len(by_name["serve.queue"]) == 6
+        assert by_name["serve.batch"] and by_name["serve.eval.score"]
+        # One respond per traced request (the untraced describe request
+        # responds under the server's own run span, same in-process trace).
+        score_ids = {r["span"] for r in by_name["serve.score"]}
+        responds = [
+            r for r in by_name["serve.respond"] if r["parent"] in score_ids
+        ]
+        assert len(responds) == 6
+
+        ids = _by_id(spans)
+        # Chain: eval <- batch <- (a) score request <- client <- root.
+        eval_span = by_name["serve.eval.score"][0]
+        batch = ids[eval_span["parent"]]
+        assert batch["name"] == "serve.batch"
+        request_span = ids[batch["parent"]]
+        assert request_span["name"] == "serve.score"
+        client = ids[request_span["parent"]]
+        assert client["name"] == "client.request"
+        root = ids[client["parent"]]
+        assert root["name"] == "loadgen.run"
+        # Queue wait and respond are children of the request span.
+        queue = by_name["serve.queue"][0]
+        assert ids[queue["parent"]]["name"] == "serve.score"
+        assert ids[responds[0]["parent"]]["name"] == "serve.score"
+
+    def test_loadgen_report_records(self, snapshot):
+        sink = BufferSink()
+        tracing.configure_tracing(sink=sink)
+
+        async def run():
+            server = PatternServer(SnapshotStore(snapshot), ServeConfig())
+            host, port = await server.start()
+            try:
+                return await run_loadgen(LoadgenConfig(
+                    host=host, port=port, requests=4, concurrency=2,
+                    op="score", trace=True,
+                ))
+            finally:
+                await server.stop()
+
+        report = asyncio.run(run())
+        assert len(report["requests"]) == 4
+        assert all(r["status"] == "ok" for r in report["requests"])
+        assert all("span" in r for r in report["requests"])
+        assert report["shed_reasons"] == {}
+        assert report["degraded_reasons"] == {}
+
+    def test_untraced_loadgen_has_no_trace_report(self, snapshot):
+        async def run():
+            server = PatternServer(SnapshotStore(snapshot), ServeConfig())
+            host, port = await server.start()
+            try:
+                return await run_loadgen(LoadgenConfig(
+                    host=host, port=port, requests=3, concurrency=1,
+                ))
+            finally:
+                await server.stop()
+
+        report = asyncio.run(run())
+        assert "trace_id" not in report
+        assert "requests" not in report
+
+    def test_explicit_trace_field_adopted(self, snapshot):
+        sink = BufferSink()
+        tracing.configure_tracing(sink=sink)
+        request = {
+            "op": "stats", "id": 1,
+            "trace": {"id": "cafecafecafecafe", "span": "abc.1"},
+        }
+        (response,) = asyncio.run(_roundtrip(snapshot, [request]))
+        assert response["ok"]
+        tracing.disable_tracing()
+        adopted = [r for r in sink.records if r["trace"] == "cafecafecafecafe"]
+        names = {r["name"] for r in adopted}
+        assert "serve.stats" in names and "serve.respond" in names
+        stats_span = next(r for r in adopted if r["name"] == "serve.stats")
+        assert stats_span["parent"] == "abc.1"
+
+
+class TestTraceValidation:
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "just-a-string",
+            {"span": "no-id"},
+            {"id": 42},
+            {"id": ""},
+            {"id": "x" * 200},
+            {"id": "ok", "span": 9},
+        ],
+    )
+    def test_malformed_trace_is_bad_request(self, snapshot, trace):
+        request = {"op": "stats", "id": 7, "trace": trace}
+        (response,) = asyncio.run(_roundtrip(snapshot, [request]))
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        assert response["id"] == 7
+
+    def test_server_survives_after_bad_trace(self, snapshot):
+        requests = [
+            {"op": "stats", "id": 1, "trace": "broken"},
+            {"op": "stats", "id": 2},
+        ]
+        responses = asyncio.run(_roundtrip(snapshot, requests))
+        assert responses[0]["error"] == "bad_request"
+        assert responses[1]["ok"] is True
+
+
+class TestStatsLatency:
+    def test_rolling_window_in_stats(self, snapshot):
+        registry = metrics.get_registry()
+        registry.reset()
+        registry.enable()
+
+        async def run():
+            server = PatternServer(SnapshotStore(snapshot), ServeConfig())
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=protocol.MAX_LINE_BYTES
+                )
+                for i in range(3):
+                    writer.write(protocol.encode({"op": "stats", "id": i}))
+                    await writer.drain()
+                    await reader.readline()
+                writer.write(protocol.encode({"op": "stats", "id": 99}))
+                await writer.drain()
+                response = protocol.decode_line(await reader.readline())
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:
+                    pass
+                return response
+            finally:
+                await server.stop()
+
+        response = asyncio.run(run())
+        latency = response["stats"]["latency"]
+        assert "stats" in latency
+        entry = latency["stats"]
+        assert entry["count"] >= 3
+        assert set(entry["all_time_ms"]) == {"p50", "p95", "p99"}
+        window = entry["window"]
+        assert window["count"] >= 3
+        assert window["window_s"] == 60.0
+        assert set(window["quantiles_ms"]) == {"p50", "p95", "p99"}
+        assert response["stats"]["rss_peak_bytes"] > 0
+
+    def test_stats_without_metrics_has_empty_latency(self, snapshot):
+        (response,) = asyncio.run(
+            _roundtrip(snapshot, [{"op": "stats", "id": 1}])
+        )
+        assert response["stats"]["latency"] == {}
