@@ -104,6 +104,18 @@ TELEMETRY_PAIRS = 5
 #: Columnar-store comparison workload (same scale as the parallel sweep).
 STORE_WORKLOAD = dict(n_trajectories=120, n_ticks=80, sigma=0.01, seed=7)
 
+#: Distributed-dispatch comparison: loopback worker pools vs the fork-pool
+#: ParallelNMEngine at a fixed span width, so every pool count is compared
+#: against the *same-width* parallel engine (bit-identical results by
+#: construction) and the measured delta is pure dispatch/wire overhead.
+DIST_POOLS = (1, 2, 4)
+DIST_JOBS = 4
+DIST_N_CANDIDATES = 200
+
+#: Routed-serving comparison: replicas behind one router vs one direct
+#: server, both driven at the standard serving concurrency.
+ROUTER_REPLICAS = 2
+
 #: Out-of-core demonstration: a sparse-hotspot store several times larger
 #: than the parent process's resident-set budget, mined via store-span
 #: workers.  95%+ of snapshots are diffuse (sigma chosen so no cell clears
@@ -640,6 +652,102 @@ def bench_store_rss() -> dict:
     return report
 
 
+def bench_distributed(rounds: int) -> dict:
+    """Loopback worker-pool dispatch overhead vs the fork-pool engine.
+
+    Writes the parallel workload as a ``.tjc`` store, starts
+    :data:`DIST_POOLS` loopback ``WorkerPoolServer`` processes per leg and
+    evaluates one frontier through :class:`DistNMEngine` at a fixed
+    :data:`DIST_JOBS`-span width.  The baseline is a
+    :class:`ParallelNMEngine` at the same width, so results are asserted
+    *bit-identical* and ``dispatch_overhead_vs_parallel`` isolates what
+    the NDJSON socket hop costs over fork pipes.  On a 1-core box every
+    configuration shares the core, so the numbers measure orchestration
+    overhead, not scaling -- ``cpu_count`` is recorded for that reason.
+    """
+    from contextlib import ExitStack
+
+    from repro.dist.coordinator import DistNMEngine
+    from repro.dist.worker import WorkerPoolConfig, WorkerPoolServer
+    from repro.storage import open_store, write_store
+
+    dataset = zebranet_dataset(**PARALLEL_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as tmp:
+        store_path = Path(tmp) / "dataset.tjc"
+        write_store(dataset, store_path)
+        with open_store(store_path) as store:
+            store_dataset = store.dataset()
+
+            t0 = time.perf_counter()
+            par = ParallelNMEngine(dataset, grid, config, jobs=DIST_JOBS)
+            par_build_s = time.perf_counter() - t0
+            try:
+                candidates = _random_candidates(par, DIST_N_CANDIDATES)
+                par_eval_s, reference = _best_of(
+                    lambda: par.nm_batch(candidates), rounds
+                )
+            finally:
+                par.close()
+
+            pools = {}
+            for n_pools in DIST_POOLS:
+                with ExitStack() as stack:
+                    specs = []
+                    for i in range(n_pools):
+                        server = stack.enter_context(
+                            WorkerPoolServer(
+                                WorkerPoolConfig(
+                                    store_path=str(store_path),
+                                    name=f"bench-{i}",
+                                )
+                            )
+                        )
+                        specs.append(f"{server.config.host}:{server.port}")
+                    t0 = time.perf_counter()
+                    engine = stack.enter_context(
+                        DistNMEngine(
+                            store_dataset, grid, config,
+                            pools=specs, jobs=DIST_JOBS,
+                        )
+                    )
+                    build_s = time.perf_counter() - t0
+                    eval_s, values = _best_of(
+                        lambda: engine.nm_batch(candidates), rounds
+                    )
+                    assert np.array_equal(values, reference), (
+                        "distributed evaluation must be bit-identical to the "
+                        "same-width parallel engine"
+                    )
+                pools[str(n_pools)] = {
+                    "build_s": build_s,
+                    "eval_s": eval_s,
+                    "eval_candidates_per_s": (
+                        DIST_N_CANDIDATES / eval_s if eval_s > 0 else float("inf")
+                    ),
+                    "dispatch_overhead_vs_parallel": (
+                        eval_s / par_eval_s if par_eval_s > 0 else float("inf")
+                    ),
+                }
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "workload": {**PARALLEL_WORKLOAD, "cell_size": ENGINE_CELL_SIZE},
+        "jobs": DIST_JOBS,
+        "n_candidates": DIST_N_CANDIDATES,
+        "parallel_baseline": {"build_s": par_build_s, "eval_s": par_eval_s},
+        "bit_identical_to_parallel": True,
+        "pools": pools,
+    }
+
+
+def run_dist(rounds: int = 3) -> dict:
+    """The ``distributed`` report section (suite ``dist``)."""
+    return {"distributed": bench_distributed(rounds)}
+
+
 def run_store(rounds: int = 3) -> dict:
     """The ``columnar_store`` report section (suite ``store``)."""
     return {
@@ -906,12 +1014,123 @@ def bench_serve() -> dict:
     }
 
 
+async def _routed_leg(
+    snapshot, n_replicas: int, serve_kwargs: dict, loadgen_kwargs: dict
+) -> tuple[dict, dict]:
+    """One router lifetime over ``n_replicas`` fresh replicas."""
+    from repro.dist.router import PatternRouter, RouterConfig
+    from repro.serve import LoadgenConfig, PatternServer, ServeConfig, SnapshotStore
+    from repro.serve.loadgen import run_loadgen
+
+    servers = []
+    addresses = []
+    router = None
+    try:
+        for _ in range(n_replicas):
+            server = PatternServer(
+                SnapshotStore(snapshot), ServeConfig(port=0, **serve_kwargs)
+            )
+            addresses.append(await server.start())
+            servers.append(server)
+        router = PatternRouter(RouterConfig(replicas=tuple(addresses)))
+        host, port = await router.start()
+        report = await run_loadgen(
+            LoadgenConfig(host=host, port=port, **loadgen_kwargs)
+        )
+        stats = router.stats()
+    finally:
+        if router is not None:
+            await router.stop()
+        for server in servers:
+            await server.stop()
+    return report, stats
+
+
+def bench_routed_serving() -> dict:
+    """Replica fan-out behind the router vs one direct server.
+
+    ``ROUTER_REPLICAS`` replicas behind a :class:`PatternRouter` against a
+    single direct server, identical load at :data:`SERVE_CONCURRENCY`.
+    With spare cores, two replicas must beat one server (the >=1.5x
+    acceptance bar); on a 1-core box all replicas and the router time-share
+    the core, so the ratio measures pure router dispatch overhead instead
+    and ``note`` explains the gap.  Router sheds must all be explained
+    (zero with healthy replicas and an adequate queue).
+    """
+    from repro.serve import ServingSnapshot
+
+    dataset = zebranet_dataset(**SERVE_WORKLOAD)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        snapshot = ServingSnapshot.from_dataset(
+            dataset,
+            min_prob=ENGINE_MIN_PROB,
+            cache_dir=cache_dir,
+            source="bench",
+        )
+        serve_kwargs = dict(
+            max_batch=64, max_delay_ms=2.0, max_queue=2048,
+            default_timeout_ms=60_000.0,
+        )
+        load = dict(
+            requests=SERVE_REQUESTS,
+            concurrency=SERVE_CONCURRENCY,
+            op="score",
+            measure="nm",
+            patterns_per_request=1,
+            seed=0,
+        )
+        single, _ = asyncio.run(_serve_leg(snapshot, serve_kwargs, load))
+        routed, router_stats = asyncio.run(
+            _routed_leg(snapshot, ROUTER_REPLICAS, serve_kwargs, load)
+        )
+
+    assert single["errors"] == 0 and routed["errors"] == 0
+    assert routed.get("overloaded", 0) == 0, (
+        f"unexplained sheds through the router: {routed}"
+    )
+    speedup = (
+        routed["achieved_qps"] / single["achieved_qps"]
+        if single["achieved_qps"] > 0
+        else float("inf")
+    )
+    router = router_stats.get("router", {})
+    report = {
+        "replicas": ROUTER_REPLICAS,
+        "concurrency": SERVE_CONCURRENCY,
+        "requests": SERVE_REQUESTS,
+        "cpu_count": os.cpu_count(),
+        "single": single,
+        "routed": routed,
+        "throughput_vs_single": speedup,
+        "router_overhead_pct": (1.0 / speedup - 1.0) * 100.0 if speedup else 0.0,
+        "router": {
+            "requests_routed": router.get("requests_routed"),
+            "retries": router.get("retries"),
+            "sheds": router.get("sheds"),
+            "replicas_up": router.get("replicas_up"),
+            "per_replica_forwarded": {
+                name: entry.get("forwarded")
+                for name, entry in (router.get("replicas") or {}).items()
+            },
+        },
+    }
+    if speedup < 1.5:
+        report["note"] = (
+            f"{ROUTER_REPLICAS} replicas reached only {speedup:.2f}x a single "
+            f"server: this box has {os.cpu_count()} core(s), so replicas, "
+            "router and loadgen time-share the CPU and the ratio measures "
+            "router dispatch overhead, not parallel serving capacity"
+        )
+    return report
+
+
 def run_serve() -> dict:
     return {
         "generated_by": "repro.bench",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "serve": bench_serve(),
+        "routed_serving": bench_routed_serving(),
     }
 
 
@@ -928,6 +1147,7 @@ def run(rounds: int = 3) -> dict:
     mining = bench_mining()
     parallel_scaling = bench_parallel_scaling(rounds)
     index_cache = bench_index_cache(rounds)
+    distributed = bench_distributed(rounds)
 
     return {
         "generated_by": "repro.bench",
@@ -951,6 +1171,7 @@ def run(rounds: int = 3) -> dict:
         "mining": mining,
         "parallel_scaling": parallel_scaling,
         "index_cache": index_cache,
+        "distributed": distributed,
     }
 
 
@@ -991,13 +1212,25 @@ def _load_history(output: Path) -> list:
     return [{"git_sha": "unknown", "timestamp": None, "report": previous}]
 
 
+def _host_fingerprint() -> dict:
+    """What makes perf numbers comparable: the machine and the runtime."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
 def _write_report(output: Path, report: dict) -> int:
     """Append ``report`` to ``output``'s history and rewrite the file.
 
-    History entries carry the bench process's own ``peak_rss_bytes``, and
-    -- when the report has a ``columnar_store`` section -- the RSS-demo
-    ``dataset_bytes``, so the perf trajectory records memory alongside
-    time.  Both keys are additive: old entries without them stay valid.
+    History entries carry the bench process's own ``peak_rss_bytes``, a
+    ``host`` fingerprint (cpu count, platform, python version -- perf
+    deltas against an entry from a different machine are noise, and the
+    bench warns when the newest entries straddle hosts), and -- when the
+    report has a ``columnar_store`` section -- the RSS-demo
+    ``dataset_bytes``.  All keys are additive: old entries without them
+    stay valid.
     """
     from repro.obs.manifest import peak_rss_bytes
 
@@ -1006,8 +1239,17 @@ def _write_report(output: Path, report: dict) -> int:
         "git_sha": _git_sha(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "peak_rss_bytes": peak_rss_bytes(),
+        "host": _host_fingerprint(),
         "report": report,
     }
+    if history:
+        previous_host = history[-1].get("host")
+        if previous_host is not None and previous_host != entry["host"]:
+            print(
+                f"warning: previous {output.name} entry was recorded on a "
+                f"different host ({previous_host}); numbers are not "
+                f"comparable with this run's ({entry['host']})"
+            )
     rss = report.get("columnar_store", {}).get("rss") if isinstance(
         report.get("columnar_store"), dict
     ) else None
@@ -1095,6 +1337,31 @@ def _print_store(cs: dict) -> None:
     )
 
 
+def _print_dist(dist: dict) -> None:
+    base = dist["parallel_baseline"]
+    legs = "  ".join(
+        f"{n}p {entry['eval_s'] * 1e3:.0f}ms"
+        f" ({entry['dispatch_overhead_vs_parallel']:.2f}x)"
+        for n, entry in dist["pools"].items()
+    )
+    print(
+        f"distributed:    parallel[{dist['jobs']}] eval "
+        f"{base['eval_s'] * 1e3:.0f}ms; loopback pools eval/overhead: {legs}"
+        f"  (bit-identical)"
+    )
+
+
+def _print_routed(rs: dict) -> None:
+    print(
+        f"routed serving: {rs['replicas']} replicas "
+        f"{rs['routed']['achieved_qps']:.0f} req/s vs single "
+        f"{rs['single']['achieved_qps']:.0f} req/s "
+        f"({rs['throughput_vs_single']:.2f}x, cpus {rs['cpu_count']})"
+    )
+    if rs.get("note"):
+        print(f"                note: {rs['note']}")
+
+
 def _print_engine(report: dict) -> None:
     ib, ce, mi = report["index_build"], report["candidate_eval"], report["mining"]
     print(f"index build:    scalar {ib['scalar_s']:.3f}s  "
@@ -1117,6 +1384,21 @@ def _print_engine(report: dict) -> None:
           f"{ps['serial']['build_s']:.2f}s, build/eval per workers: {scaling}")
     print(f"index cache:    cold {ic['cold_build_s']:.3f}s  "
           f"warm {ic['warm_load_s']:.3f}s  ({ic['speedup']:.1f}x)")
+    if "distributed" in report:
+        _print_dist(report["distributed"])
+
+
+def _existing_sections(output: Path) -> dict:
+    """The top-level sections of a previous report file, minus history."""
+    if not output.exists():
+        return {}
+    try:
+        loaded = json.loads(output.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(loaded, dict):
+        return {}
+    return {k: v for k, v in loaded.items() if k != "history"}
 
 
 def run_suites(
@@ -1132,9 +1414,13 @@ def run_suites(
     ``BENCH_serve.json``; ``store`` runs the columnar-store suite (format
     economics + the out-of-core RSS demonstration) and merges its
     ``columnar_store`` section into ``BENCH_engine.json`` without
-    re-running the engine benches; ``all`` = engine + store + serve.
+    re-running the engine benches; ``dist`` likewise runs only the
+    distributed-dispatch comparison (merged into ``BENCH_engine.json``)
+    plus the routed-serving leg (merged into ``BENCH_serve.json``);
+    ``all`` = engine + store + serve (both of which now include the
+    distributed sections).
     """
-    if suite not in ("all", "engine", "kernels", "serve", "store"):
+    if suite not in ("all", "engine", "kernels", "serve", "store", "dist"):
         raise ValueError(f"unknown bench suite {suite!r}")
     base = Path(output_dir) if output_dir is not None else _repo_root()
     base.mkdir(parents=True, exist_ok=True)
@@ -1158,6 +1444,7 @@ def run_suites(
         output = base / "BENCH_serve.json"
         n = _write_report(output, serve_report)
         _print_serve(serve_report["serve"])
+        _print_routed(serve_report["routed_serving"])
         print(f"wrote {output} ({n} history entries)")
     store_section = run_store(rounds) if suite in ("all", "store") else None
     if suite in ("all", "engine"):
@@ -1174,16 +1461,8 @@ def run_suites(
         # Merge into the existing engine report's top level so the file
         # keeps describing the latest state of every section.
         output = base / "BENCH_engine.json"
-        existing: dict = {}
-        if output.exists():
-            try:
-                loaded = json.loads(output.read_text(encoding="utf-8"))
-                if isinstance(loaded, dict):
-                    existing = {k: v for k, v in loaded.items() if k != "history"}
-            except (OSError, ValueError):
-                existing = {}
         report = {
-            **existing,
+            **_existing_sections(output),
             "generated_by": "repro.bench",
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -1191,6 +1470,35 @@ def run_suites(
         }
         n = _write_report(output, report)
         _print_store(report["columnar_store"])
+        print(f"wrote {output} ({n} history entries)")
+    elif suite == "dist":
+        # Fast iteration on the distributed sections alone: merge the
+        # dispatch comparison into the engine report and the routed leg
+        # into the serving report, re-running neither full suite.
+        dist_section = run_dist(rounds)
+        output = base / "BENCH_engine.json"
+        report = {
+            **_existing_sections(output),
+            "generated_by": "repro.bench",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            **dist_section,
+        }
+        n = _write_report(output, report)
+        _print_dist(report["distributed"])
+        print(f"wrote {output} ({n} history entries)")
+
+        routed = bench_routed_serving()
+        output = base / "BENCH_serve.json"
+        report = {
+            **_existing_sections(output),
+            "generated_by": "repro.bench",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "routed_serving": routed,
+        }
+        n = _write_report(output, report)
+        _print_routed(routed)
         print(f"wrote {output} ({n} history entries)")
     return 0
 
@@ -1212,14 +1520,14 @@ def main() -> None:
     parser.add_argument(
         "--sections",
         default="engine,serve",
-        help="comma-separated sections to run: engine, serve, store",
+        help="comma-separated sections to run: engine, serve, store, dist",
     )
     parser.add_argument(
         "--rounds", type=int, default=3, help="timing rounds per measurement"
     )
     args = parser.parse_args()
     sections = {s.strip() for s in args.sections.split(",") if s.strip()}
-    unknown = sections - {"engine", "serve", "store"}
+    unknown = sections - {"engine", "serve", "store", "dist"}
     if unknown:
         parser.error(f"unknown sections: {sorted(unknown)}")
 
@@ -1227,6 +1535,7 @@ def main() -> None:
         serve_report = run_serve()
         n = _write_report(args.serve_output, serve_report)
         _print_serve(serve_report["serve"])
+        _print_routed(serve_report["routed_serving"])
         print(f"wrote {args.serve_output} ({n} history entries)")
     if "engine" in sections:
         report = run(rounds=args.rounds)
@@ -1238,6 +1547,12 @@ def main() -> None:
         # ``columnar_store`` section into the same report file.
         run_suites(
             suite="store", output_dir=args.output.parent, rounds=args.rounds
+        )
+    if "dist" in sections and "engine" not in sections:
+        # The engine section already includes the distributed comparison;
+        # standalone, merge it (and the routed leg) into the reports.
+        run_suites(
+            suite="dist", output_dir=args.output.parent, rounds=args.rounds
         )
 
 

@@ -637,6 +637,41 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return run_top(config)
 
 
+def _parse_address(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> ``(host, port)`` for worker/router listen flags."""
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import run_worker
+
+    host, port = args.listen
+    run_worker(args.store, host=host, port=port, name=args.name)
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.dist.router import RouterConfig, run_router
+
+    host, port = args.listen
+    config = RouterConfig(
+        host=host,
+        port=port,
+        replicas=tuple(args.replica),
+        stats_interval_s=args.stats_interval,
+    )
+    try:
+        asyncio.run(run_router(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
     import json
 
@@ -684,12 +719,15 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
             quick=args.quick,
             jobs_grid=jobs_grid,
             include_serve=not args.no_serve,
+            include_dist=args.dist,
             backends=args.backends,
         )
         print(report.describe())
         if not report.ok:
             failures += 1
     mode = "quick" if args.quick else "full"
+    if args.dist:
+        mode += "+dist"
     print(
         f"selfcheck ({mode}): {len(seeds) - failures}/{len(seeds)} seeds agree "
         f"across all execution paths"
@@ -1108,6 +1146,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     slo.set_defaults(func=_cmd_slo)
 
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "run a remote worker pool: open the local copy of a .tjc store "
+            "and evaluate (store_hash, lo, hi) spans shipped by a "
+            "DistNMEngine coordinator over NDJSON/TCP"
+        ),
+    )
+    worker.add_argument("store", help="path to this host's copy of the .tjc store")
+    worker.add_argument(
+        "--listen",
+        type=_parse_address,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port; default 127.0.0.1:0)",
+    )
+    worker.add_argument(
+        "--name", default="", help="pool name shown in coordinator logs"
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    router = sub.add_parser(
+        "router",
+        help=(
+            "fan serving requests across PatternServer replicas "
+            "(least-queue-depth routing, fleet-wide snapshot swaps)"
+        ),
+    )
+    router.add_argument(
+        "--listen",
+        type=_parse_address,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port; default 127.0.0.1:0)",
+    )
+    router.add_argument(
+        "--replica",
+        type=_parse_address,
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="replica address (repeat for each PatternServer)",
+    )
+    router.add_argument(
+        "--stats-interval",
+        type=float,
+        default=2.0,
+        dest="stats_interval",
+        help="seconds between replica queue-depth polls (default 2.0)",
+    )
+    router.set_defaults(func=_cmd_router)
+
     selfcheck = sub.add_parser(
         "selfcheck",
         help=(
@@ -1139,6 +1229,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the live-server round-trip path",
     )
     selfcheck.add_argument(
+        "--dist",
+        action="store_true",
+        help=(
+            "additionally check the distributed path: a loopback worker "
+            "pool plus a local fork pool behind DistNMEngine, compared "
+            "bit-for-bit against the same-width parallel engine"
+        ),
+    )
+    selfcheck.add_argument(
         "--backends",
         choices=["default", "all"],
         default="default",
@@ -1158,11 +1257,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["all", "engine", "kernels", "serve", "store"],
+        choices=["all", "engine", "kernels", "serve", "store", "dist"],
         default="all",
         help=(
             "which benchmark family to run (default all = engine + serve + "
-            "store; 'kernels' is the fast backend-comparison loop)"
+            "store; 'kernels' is the fast backend-comparison loop; 'dist' "
+            "re-runs only the distributed dispatch and routed-serving legs)"
         ),
     )
     bench.add_argument(

@@ -197,6 +197,100 @@ def _skew(values: Sequence[float]) -> float:
     return float(max(values) / mean) if mean > 0 else 1.0
 
 
+# -- exact merges -------------------------------------------------------------------
+#
+# NM and match are sums of per-trajectory terms, so per-span results merge
+# by addition.  These module-level functions are the *only* merge
+# implementations: ParallelNMEngine (fork workers) and
+# repro.dist.DistNMEngine (remote pools) both call them, which is what
+# makes the distributed path bit-identical to the single-box parallel one.
+#
+# Determinism contract: every function folds its inputs **in the order
+# given**, and callers pass per-span results in global span order
+# (ascending ``lo``).  Floating-point addition is order-sensitive, so a
+# coordinator must always perform one flat merge over per-span results --
+# never merge partial merges -- and then *which process computed a span*
+# (fork worker, remote pool, or a survivor after a re-dispatch) cannot
+# change a single bit of the reduction.
+
+
+def merge_batch_sums(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Elementwise left-fold sum of per-span ``nm_batch``/``match_batch`` rows.
+
+    ``parts`` must be ordered by span.  The fold is a plain sequential
+    ``out += part`` so the reduction order is a pure function of the span
+    partition, independent of arrival order or worker placement.
+    """
+    arrays = [np.asarray(p) for p in parts]
+    out = arrays[0].copy()
+    for part in arrays[1:]:
+        out += part
+    return out
+
+
+def merge_per_trajectory(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate per-span per-trajectory arrays back into dataset order."""
+    return np.concatenate([np.asarray(p) for p in parts])
+
+
+def merge_scalar_sums(parts: Sequence[float]) -> float:
+    """Left-fold sum of per-span scalar totals (gap-pattern NM)."""
+    total = 0.0
+    for part in parts:
+        total += float(part)
+    return total
+
+
+def merge_singular_tables(
+    tables: Sequence[dict[int, float]],
+    span_sizes: Sequence[int],
+    floor: float,
+    n_total: int,
+) -> dict[int, float]:
+    """Merge per-span singular tables with floor completion.
+
+    A span where a cell is inactive contributes the floor once per span
+    trajectory -- the same accounting the out-of-core engine uses.
+    ``floor`` is ``min_log_prob`` for NM tables and ``exp(min_log_prob)``
+    for match tables; ``tables`` and ``span_sizes`` must be in span order.
+    """
+    totals: dict[int, float] = {}
+    counted: dict[int, int] = {}
+    for table, n_span in zip(tables, span_sizes):
+        for cell, value in table.items():
+            totals[cell] = totals.get(cell, 0.0) + value
+            counted[cell] = counted.get(cell, 0) + n_span
+    return {
+        cell: total + floor * (n_total - counted[cell])
+        for cell, total in totals.items()
+    }
+
+
+def merge_extension_tables(
+    span_tables: Sequence[ExtensionTables],
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Merge one prefix's per-span extension tables into full-dataset ones.
+
+    Each span reports its extension tables *plus* the base totals an
+    inactive cell would score there; a cell missing from a span's table
+    contributes that span's base -- making the merged table exactly the
+    full-dataset one.  ``span_tables`` must be in span order.
+    """
+    nm_merged: dict[int, float] = {}
+    match_merged: dict[int, float] = {}
+    active: set[int] = set()
+    for t in span_tables:
+        active.update(t.nm_by_cell)
+    for cell in active:
+        nm_merged[cell] = sum(
+            t.nm_by_cell.get(cell, t.nm_base_total) for t in span_tables
+        )
+        match_merged[cell] = sum(
+            t.match_by_cell.get(cell, t.match_base_total) for t in span_tables
+        )
+    return nm_merged, match_merged
+
+
 # -- the worker process ---------------------------------------------------------------
 
 
@@ -773,7 +867,7 @@ class ParallelNMEngine:
         if not patterns:
             return np.empty(0)
         cells_list = [p.cells for p in patterns]
-        return np.sum(self._broadcast(("nm_batch", cells_list)), axis=0)
+        return merge_batch_sums(self._broadcast(("nm_batch", cells_list)))
 
     def match_batch(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
         """Dataset match of a whole candidate batch, in order."""
@@ -781,7 +875,7 @@ class ParallelNMEngine:
         if not patterns:
             return np.empty(0)
         cells_list = [p.cells for p in patterns]
-        return np.sum(self._broadcast(("match_batch", cells_list)), axis=0)
+        return merge_batch_sums(self._broadcast(("match_batch", cells_list)))
 
     def nm_many(self, patterns: Sequence[TrajectoryPattern]) -> np.ndarray:
         """NM of several patterns, in order (alias of :meth:`nm_batch`)."""
@@ -797,11 +891,13 @@ class ParallelNMEngine:
 
     def nm_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
         """Eq. 4 per trajectory; shard arrays concatenate in dataset order."""
-        return np.concatenate(self._broadcast(("nm_per_traj", pattern.cells)))
+        return merge_per_trajectory(self._broadcast(("nm_per_traj", pattern.cells)))
 
     def match_per_trajectory(self, pattern: TrajectoryPattern) -> np.ndarray:
         """Un-normalised match per trajectory, in dataset order."""
-        return np.concatenate(self._broadcast(("match_per_traj", pattern.cells)))
+        return merge_per_trajectory(
+            self._broadcast(("match_per_traj", pattern.cells))
+        )
 
     def best_window(
         self, pattern: TrajectoryPattern, traj_index: int
@@ -824,34 +920,17 @@ class ParallelNMEngine:
         shard trajectory -- the same accounting the out-of-core engine uses.
         """
         tables = self._broadcast(("singular_nm", None))
-        floor = self.config.min_log_prob
-        n_total = len(self.dataset)
-        totals: dict[int, float] = {}
-        counted: dict[int, int] = {}
-        for table, n_shard in zip(tables, self._shard_sizes):
-            for cell, value in table.items():
-                totals[cell] = totals.get(cell, 0.0) + value
-                counted[cell] = counted.get(cell, 0) + n_shard
-        return {
-            cell: total + floor * (n_total - counted[cell])
-            for cell, total in totals.items()
-        }
+        return merge_singular_tables(
+            tables, self._shard_sizes, self.config.min_log_prob, len(self.dataset)
+        )
 
     def singular_match_table(self) -> dict[int, float]:
         """Match of every active singular pattern (exact sharded reduction)."""
         tables = self._broadcast(("singular_match", None))
         floor_p = float(np.exp(self.config.min_log_prob))
-        n_total = len(self.dataset)
-        totals: dict[int, float] = {}
-        counted: dict[int, int] = {}
-        for table, n_shard in zip(tables, self._shard_sizes):
-            for cell, value in table.items():
-                totals[cell] = totals.get(cell, 0.0) + value
-                counted[cell] = counted.get(cell, 0) + n_shard
-        return {
-            cell: total + floor_p * (n_total - counted[cell])
-            for cell, total in totals.items()
-        }
+        return merge_singular_tables(
+            tables, self._shard_sizes, floor_p, len(self.dataset)
+        )
 
     # -- extension tables ----------------------------------------------------------
 
@@ -878,24 +957,10 @@ class ParallelNMEngine:
         per_shard: list[list[ExtensionTables]] = self._broadcast(
             ("ext_tables", cells_list)
         )
-        out: list[tuple[dict[int, float], dict[int, float]]] = []
-        for i in range(len(patterns)):
-            shard_tables = [tables[i] for tables in per_shard]
-            nm_merged: dict[int, float] = {}
-            match_merged: dict[int, float] = {}
-            active: set[int] = set()
-            for t in shard_tables:
-                active.update(t.nm_by_cell)
-            for cell in active:
-                nm_merged[cell] = sum(
-                    t.nm_by_cell.get(cell, t.nm_base_total) for t in shard_tables
-                )
-                match_merged[cell] = sum(
-                    t.match_by_cell.get(cell, t.match_base_total)
-                    for t in shard_tables
-                )
-            out.append((nm_merged, match_merged))
-        return out
+        return [
+            merge_extension_tables([tables[i] for tables in per_shard])
+            for i in range(len(patterns))
+        ]
 
     # -- gap patterns ------------------------------------------------------------
 
@@ -906,7 +971,7 @@ class ParallelNMEngine:
         bests sum exactly.  :func:`repro.core.wildcards.nm_gap_pattern`
         dispatches here automatically.
         """
-        return float(sum(self._broadcast(("gap_nm", pattern))))
+        return merge_scalar_sums(self._broadcast(("gap_nm", pattern)))
 
     # -- lifecycle ----------------------------------------------------------------
 

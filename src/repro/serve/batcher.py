@@ -279,29 +279,39 @@ class MicroBatcher:
 
     async def _run(self) -> None:
         while True:
-            lead = await self._next_item()
-            batch = [lead]
-            close_on = "size"
-            deadline_close = lead.enqueued + self.max_delay
-            while len(batch) < self.max_batch:
-                if self._queue:
-                    if self._queue[0].key != lead.key:
-                        close_on = "boundary"
+            batch: list[_Item] = []
+            try:
+                lead = await self._next_item()
+                batch = [lead]
+                close_on = "size"
+                deadline_close = lead.enqueued + self.max_delay
+                while len(batch) < self.max_batch:
+                    if self._queue:
+                        if self._queue[0].key != lead.key:
+                            close_on = "boundary"
+                            break
+                        batch.append(self._queue.popleft())
+                        continue
+                    remaining = deadline_close - self._clock()
+                    if remaining <= 0:
+                        close_on = "delay"
                         break
-                    batch.append(self._queue.popleft())
-                    continue
-                remaining = deadline_close - self._clock()
-                if remaining <= 0:
-                    close_on = "delay"
-                    break
-                self._event.clear()
-                try:
-                    await asyncio.wait_for(self._event.wait(), remaining)
-                except asyncio.TimeoutError:
-                    close_on = "delay"
-                    break
-            metrics.gauge("serve.queue_depth").set(len(self._queue))
-            await self._dispatch(lead.key, batch, close_on)
+                    self._event.clear()
+                    try:
+                        await asyncio.wait_for(self._event.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        close_on = "delay"
+                        break
+                metrics.gauge("serve.queue_depth").set(len(self._queue))
+                await self._dispatch(lead.key, batch, close_on)
+            except asyncio.CancelledError:
+                # close() cancelled the worker after it had popped items
+                # off the queue but before their futures resolved: shed
+                # them explicitly, or their submitters hang forever.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(OverloadedError("shutdown"))
+                raise
 
     def _emit_queue_span(self, item: _Item, now: float, shed: str | None) -> None:
         """Record an item's queue wait as an after-the-fact child span."""

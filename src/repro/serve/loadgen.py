@@ -59,6 +59,9 @@ class LoadgenConfig:
     seed: int = 0
     drain_timeout_s: float = 30.0
     trace: bool = False
+    reconnect_backoff_s: float = 0.25
+    reconnect_cap_s: float = 5.0
+    reconnect_attempts: int = 5
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -88,6 +91,7 @@ class _Tally:
     overloaded: int = 0
     degraded: int = 0
     errors: int = 0
+    reconnects: int = 0
     latencies_ns: list[int] = field(default_factory=list)
     shed_reasons: dict[str, int] = field(default_factory=dict)
     degraded_reasons: dict[str, int] = field(default_factory=dict)
@@ -139,6 +143,32 @@ async def _request_once(reader, writer, request: dict) -> dict:
     if not line:
         raise ConnectionError("server closed the connection")
     return protocol.decode_line(line)
+
+
+async def _connect(config: "LoadgenConfig"):
+    return await asyncio.open_connection(
+        config.host, config.port, limit=protocol.MAX_LINE_BYTES
+    )
+
+
+async def _reconnect(config: "LoadgenConfig", tally: "_Tally"):
+    """Re-establish one connection with capped exponential backoff.
+
+    Returns the new ``(reader, writer)`` pair, or ``None`` after
+    ``reconnect_attempts`` consecutive failures -- a restarting server
+    is ridden out, a gone server is reported, not spun on forever.
+    """
+    backoff = config.reconnect_backoff_s
+    for _ in range(config.reconnect_attempts):
+        await asyncio.sleep(backoff)
+        backoff = min(backoff * 2, config.reconnect_cap_s)
+        try:
+            pair = await _connect(config)
+        except OSError:
+            continue
+        tally.reconnects += 1
+        return pair
+    return None
 
 
 def _begin_request_span(request: dict, root_ctx) -> tuple[dict, Any]:
@@ -211,9 +241,7 @@ async def _closed_loop(
         queue.put_nowait(request)
 
     async def worker() -> None:
-        reader, writer = await asyncio.open_connection(
-            config.host, config.port, limit=protocol.MAX_LINE_BYTES
-        )
+        reader, writer = await _connect(config)
         try:
             while True:
                 try:
@@ -224,7 +252,22 @@ async def _closed_loop(
                 if root_ctx is not None:
                     request, span = _begin_request_span(request, root_ctx)
                 t0 = time.monotonic_ns()
-                response = await _request_once(reader, writer, request)
+                while True:
+                    try:
+                        response = await _request_once(reader, writer, request)
+                        break
+                    except (ConnectionError, OSError):
+                        # Lost mid-request: reconnect and resend (every
+                        # loadgen op is idempotent).
+                        pair = await _reconnect(config, tally)
+                        if pair is None:
+                            response = {
+                                "ok": False,
+                                "error": "connection_lost",
+                                "id": request.get("id"),
+                            }
+                            break
+                        reader, writer = pair
                 tally.record(
                     response, time.monotonic_ns() - t0, op=request["op"], span=span
                 )
@@ -248,11 +291,7 @@ async def _open_loop(
         tally.records = []
     connections = []
     for _ in range(config.concurrency):
-        connections.append(
-            await asyncio.open_connection(
-                config.host, config.port, limit=protocol.MAX_LINE_BYTES
-            )
-        )
+        connections.append(await _connect(config))
     pending: dict[int, tuple[int, str, Any]] = {}  # id -> (send_ns, op, span)
     done = asyncio.Event()
 
@@ -282,13 +321,31 @@ async def _open_loop(
         delay = target - time.monotonic()
         if delay > 0:
             await asyncio.sleep(delay)
-        _, writer = connections[i % len(connections)]
+        index = i % len(connections)
+        _, writer = connections[index]
         span = None
         if root_ctx is not None:
             request, span = _begin_request_span(request, root_ctx)
         pending[request["id"]] = (time.monotonic_ns(), request["op"], span)
-        writer.write(protocol.encode(request))
-        await writer.drain()
+        try:
+            writer.write(protocol.encode(request))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # The connection died; its in-flight responses are lost (the
+            # drain pass below accounts for them).  Reconnect this slot
+            # and resend the current request on the fresh connection.
+            pair = await _reconnect(config, tally)
+            if pair is None:
+                continue
+            connections[index] = pair
+            readers.append(
+                asyncio.get_running_loop().create_task(read_responses(pair[0]))
+            )
+            try:
+                pair[1].write(protocol.encode(request))
+                await pair[1].drain()
+            except (ConnectionError, OSError):
+                continue
     try:
         await asyncio.wait_for(done.wait(), timeout=config.drain_timeout_s)
     except asyncio.TimeoutError:
@@ -370,6 +427,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
         "overloaded": tally.overloaded,
         "degraded": tally.degraded,
         "errors": tally.errors,
+        "reconnects": tally.reconnects,
         "duration_s": duration,
         "achieved_qps": tally.completed / duration if duration > 0 else 0.0,
         "latency": _percentiles(tally.latencies_ns),

@@ -13,8 +13,14 @@ per-op fields.  ``trace`` is an optional ``{"id": <trace-id>,
 "span": <parent-span-id>?}`` object (:meth:`SpanContext.to_wire`): when
 present *and* the server has tracing enabled, the server parents its
 spans for this request under the caller's span, so one ``repro report``
-renders the joined client+server tree.  Per-op fields:
+renders the joined client+server tree.  Any request may carry ``v``, a
+protocol version pin checked by :func:`check_version`.  Per-op fields:
 
+* ``hello`` -- ``version`` (protocol version pin, default the server's
+  own) and ``require`` (list of capability names); the reply advertises
+  ``version`` + ``capabilities`` and mismatches are structured
+  ``bad_request`` errors carrying ``client_version``/``server_version``
+  or ``missing``;
 * ``score`` -- ``patterns`` (list of cell-id lists; ``-1`` is the wildcard),
   ``measure`` (``"nm"`` default, or ``"match"``);
 * ``predict`` -- ``recent`` (list of ``[x, y]`` position reports, oldest
@@ -57,18 +63,47 @@ MAX_RECENT_POINTS = 4096
 MAX_TRACE_ID_CHARS = 128
 
 #: The ops a client may send.
-OPS = ("score", "predict", "health", "stats", "describe", "swap", "shutdown")
+OPS = (
+    "hello",
+    "score",
+    "predict",
+    "health",
+    "stats",
+    "describe",
+    "swap",
+    "shutdown",
+)
 
 MEASURES = ("nm", "match")
 
+#: Version of this wire protocol.  A ``hello`` carrying a different
+#: ``version`` -- or any request carrying a different ``v`` field -- is
+#: rejected with a structured ``bad_request`` naming both sides, so a
+#: stale client learns *what* to upgrade instead of chasing op-level
+#: validation errors.
+PROTOCOL_VERSION = 1
+
+#: What this protocol revision can do: every op, plus the cross-cutting
+#: request features.  Clients list required capabilities in ``hello``;
+#: anything the server lacks is named in the rejection.
+CAPABILITIES = OPS + ("trace", "deadline", "pipelining")
+
 
 class ProtocolError(Exception):
-    """A malformed or disallowed request; maps onto an error response."""
+    """A malformed or disallowed request; maps onto an error response.
 
-    def __init__(self, detail: str, code: str = "bad_request") -> None:
+    ``fields`` are extra structured keys merged into the error response
+    (e.g. ``server_version`` on a version mismatch) so machine clients
+    do not have to parse ``detail`` prose.
+    """
+
+    def __init__(
+        self, detail: str, code: str = "bad_request", **fields: Any
+    ) -> None:
         super().__init__(detail)
         self.code = code
         self.detail = detail
+        self.fields = fields
 
 
 def encode(obj: dict) -> bytes:
@@ -105,6 +140,58 @@ def error_response(
         response["detail"] = detail
     response.update(fields)
     return response
+
+
+def check_version(request: dict) -> None:
+    """Reject a request pinned to a different protocol revision.
+
+    The ``v`` field is optional -- absent means "whatever the server
+    speaks", which keeps old clients working -- but when present it must
+    match :data:`PROTOCOL_VERSION` exactly.
+    """
+    raw = request.get("v")
+    if raw is None:
+        return
+    if not isinstance(raw, int) or isinstance(raw, bool):
+        raise ProtocolError("v must be an integer protocol version")
+    if raw != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: client v{raw}, server "
+            f"v{PROTOCOL_VERSION}",
+            client_version=raw,
+            server_version=PROTOCOL_VERSION,
+        )
+
+
+def parse_hello(request: dict) -> tuple[int, tuple[str, ...]]:
+    """Validate a ``hello`` handshake: version pin + required capabilities.
+
+    Returns ``(client_version, required_capabilities)``.  A version other
+    than :data:`PROTOCOL_VERSION`, or a required capability this server
+    does not advertise, raises a structured ``bad_request`` naming the
+    mismatch (``client_version``/``server_version`` or ``missing``).
+    """
+    version = request.get("version", PROTOCOL_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("version must be an integer")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: client v{version}, server "
+            f"v{PROTOCOL_VERSION}",
+            client_version=version,
+            server_version=PROTOCOL_VERSION,
+        )
+    raw = request.get("require", [])
+    if not isinstance(raw, list) or not all(isinstance(c, str) for c in raw):
+        raise ProtocolError("require must be a list of capability names")
+    missing = tuple(c for c in raw if c not in CAPABILITIES)
+    if missing:
+        raise ProtocolError(
+            f"unsupported capabilities: {', '.join(missing)}",
+            missing=list(missing),
+            capabilities=list(CAPABILITIES),
+        )
+    return version, tuple(raw)
 
 
 def request_id(request: dict) -> Any:

@@ -226,6 +226,7 @@ class PatternServer:
                     raise protocol.ProtocolError(
                         f"unknown op {op!r}", code="unknown_op"
                     )
+                protocol.check_version(request)
                 inbound = protocol.parse_trace(request)
                 metrics.counter(f"serve.{op}.requests").inc()
                 # The request span adopts the caller's wire context when one
@@ -240,7 +241,9 @@ class PatternServer:
                     response = await self._dispatch(op, request, rid, req_ctx)
             except protocol.ProtocolError as exc:
                 metrics.counter("serve.errors.bad_request").inc()
-                response = protocol.error_response(rid, exc.code, exc.detail)
+                response = protocol.error_response(
+                    rid, exc.code, exc.detail, **exc.fields
+                )
             except OverloadedError as exc:
                 metrics.counter("serve.errors.overloaded").inc()
                 response = protocol.error_response(
@@ -301,6 +304,14 @@ class PatternServer:
     async def _dispatch(
         self, op: str, request: dict, rid: Any, ctx: tracing.SpanContext | None
     ) -> dict:
+        if op == "hello":
+            protocol.parse_hello(request)
+            return protocol.ok_response(
+                rid,
+                version=protocol.PROTOCOL_VERSION,
+                capabilities=list(protocol.CAPABILITIES),
+                snapshot_version=self.store.current.version,
+            )
         if op == "score":
             return await self._handle_score(request, rid, ctx)
         if op == "predict":

@@ -30,6 +30,11 @@ from pathlib import Path
 #: ANSI: clear screen + home, for the refreshing display.
 _CLEAR = "\x1b[2J\x1b[H"
 
+#: Backoff schedule when the stats source is unreachable in loop mode:
+#: doubling from the base, capped -- mirrors the router's reconnect pacing.
+_BACKOFF_BASE_S = 0.25
+_BACKOFF_CAP_S = 5.0
+
 
 @dataclass
 class TopConfig:
@@ -99,8 +104,15 @@ def _latency_rows(latency: dict) -> list[str]:
     return lines
 
 
-def render_stats_frame(stats: dict, prev: dict | None, dt_s: float | None) -> str:
-    """One dashboard frame from a ``stats`` op response."""
+def render_stats_frame(
+    stats: dict, prev: dict | None, dt_s: float | None, reconnects: int = 0
+) -> str:
+    """One dashboard frame from a ``stats`` op response.
+
+    ``reconnects`` is the dashboard's own count of polls it lost and
+    recovered from -- shown so a flapping server is visible even when
+    its stats look healthy between the gaps.
+    """
     uptime = stats.get("uptime_s", 0.0)
     served = stats.get("requests_served", 0)
     if prev is not None and dt_s and dt_s > 0:
@@ -118,7 +130,8 @@ def render_stats_frame(stats: dict, prev: dict | None, dt_s: float | None) -> st
         f" (swaps: {stats.get('swaps', 0)})"
         f"  uptime {uptime:.0f}s  rss {_fmt_bytes(stats.get('rss_peak_bytes'))}",
         f"  requests {served}  qps {qps_label}"
-        f"  queue depth {stats.get('queue_depth', 0)}",
+        f"  queue depth {stats.get('queue_depth', 0)}"
+        + (f"  reconnects {reconnects}" if reconnects else ""),
         f"  batches {batcher.get('batches', 0)}"
         f"  mean size {batcher.get('mean_batch_size', 0.0):.1f}"
         f"  max size {batcher.get('max_batch_size', 0)}"
@@ -209,6 +222,8 @@ def run_top(config: TopConfig, out=None) -> int:
     prev: dict | None = None
     prev_t: float | None = None
     frames = 0
+    reconnects = 0
+    backoff: float | None = None  # None = healthy, poll at interval_s
     while True:
         frame: str | None = None
         error: str | None = None
@@ -227,14 +242,27 @@ def run_top(config: TopConfig, out=None) -> int:
             else:
                 now = time.monotonic()
                 dt = now - prev_t if prev_t is not None else None
-                frame = render_stats_frame(stats, prev, dt)
+                if backoff is not None:
+                    reconnects += 1  # recovered from a lost server
+                    backoff = None
+                frame = render_stats_frame(stats, prev, dt, reconnects)
                 prev = stats
                 prev_t = now
         if frame is None:
             if config.once:
                 print(f"repro top: {error}", file=out)
                 return 1
-            frame = f"repro top: {error} (retrying)"
+            # Lost the source: keep the dashboard alive, back off the
+            # polling exponentially (capped) instead of hammering a
+            # server that is mid-restart.
+            backoff = (
+                _BACKOFF_BASE_S if backoff is None
+                else min(backoff * 2, _BACKOFF_CAP_S)
+            )
+            frame = (
+                f"repro top: {error}"
+                f" (retrying in {backoff:.2f}s, reconnects {reconnects})"
+            )
         if config.once:
             print(frame, file=out)
             return 0
@@ -243,6 +271,6 @@ def run_top(config: TopConfig, out=None) -> int:
         if config.max_frames is not None and frames >= config.max_frames:
             return 0
         try:
-            time.sleep(config.interval_s)
+            time.sleep(config.interval_s if backoff is None else backoff)
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             return 0

@@ -88,6 +88,12 @@ ULP_BUDGETS = {
     # compared against *its own* in-RAM parallel run -- also bit-identical
     # (the re-association budget already lives on the ``parallel`` paths).
     "store-parallel": 0,
+    # The distributed coordinator partitions on the same boundaries and
+    # re-uses the parallel tier's merge functions in one flat fold over
+    # global span order; the NDJSON wire round-trips float64 exactly
+    # (shortest-repr).  Compared against the same-width parallel run:
+    # a socket hop must not move a bit, whichever pool computed a span.
+    "dist": 0,
     # Kernel-backend paths (``--backends all``).  ``kernel`` covers
     # float64 engines on alternative backends building their *own* index:
     # compiled Prob kernels use libm ``erf`` (<= 2 ULPs from scipy in
@@ -267,6 +273,7 @@ def run_oracle(
     quick: bool = False,
     jobs_grid: Sequence[int] = (1, 2, 4),
     include_serve: bool = True,
+    include_dist: bool = False,
     work_dir: str | Path | None = None,
     budgets: dict[str, int] | None = None,
     backends: str = "default",
@@ -277,6 +284,12 @@ def run_oracle(
     temporary directory is used (and removed) when it is ``None``.
     ``include_serve=False`` skips the live-server round-trip (the one path
     needing an event loop), for callers already inside one.
+
+    ``include_dist=True`` adds the distributed coordinator paths
+    (``repro selfcheck --dist``): for each width in ``jobs_grid`` a
+    :class:`~repro.dist.coordinator.DistNMEngine` mixing one local fork
+    pool with one loopback socket worker pool scores the frontier,
+    compared bit-for-bit against the same-width in-RAM parallel run.
 
     ``backends="all"`` additionally scores the frontier on every kernel
     backend x dtype combination (``repro selfcheck --backends all``):
@@ -423,6 +436,47 @@ def run_oracle(
                             detail=f"{spar.n_shards} spans vs parallel[{jobs}]",
                         )
                     )
+
+            # Path 8 (``--dist``): the distributed coordinator over mixed
+            # pools -- one local fork pool plus one socket worker pool on
+            # loopback -- at every width, against the same-width in-RAM
+            # parallel run.  The coordinator shards on the same trajectory
+            # boundaries and folds per-span results in the same global
+            # order, so a socket in the middle must not move a bit.
+            if include_dist:
+                from repro.dist.coordinator import DistNMEngine
+                from repro.dist.worker import WorkerPoolConfig, WorkerPoolServer
+
+                with WorkerPoolServer(
+                    WorkerPoolConfig(store_path=str(store_file), name="oracle")
+                ) as pool_server:
+                    pool = f"{pool_server.config.host}:{pool_server.port}"
+                    for jobs in jobs_grid:
+                        with DistNMEngine(
+                            store_dataset,
+                            setup.grid,
+                            cfg,
+                            pools=["local", pool],
+                            jobs=jobs,
+                        ) as dist_engine:
+                            nm_ram, match_ram = par_results[jobs]
+                            checks.append(
+                                PathCheck(
+                                    path=f"dist[{jobs}]",
+                                    budget_ulps=budgets["dist"],
+                                    nm_ulps=max_ulps(
+                                        nm_ram, dist_engine.nm_batch(frontier)
+                                    ),
+                                    match_ulps=max_ulps(
+                                        match_ram,
+                                        dist_engine.match_batch(frontier),
+                                    ),
+                                    detail=(
+                                        f"{len(dist_engine.pool_names)} pools"
+                                        f" vs parallel[{jobs}]"
+                                    ),
+                                )
+                            )
 
     # Path 6: every kernel backend x dtype combination beyond the numpy
     # float64 baseline.  Each engine builds its own index (so a compiled

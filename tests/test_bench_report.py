@@ -1,0 +1,73 @@
+"""Bench report plumbing: history entries, host metadata, section merges.
+
+Only the JSON bookkeeping is tested here -- the timed sections themselves
+are exercised by ``repro bench`` runs, not unit tests.
+"""
+
+import json
+
+from repro import bench
+
+
+class TestHostFingerprint:
+    def test_fields(self):
+        host = bench._host_fingerprint()
+        assert set(host) == {"cpu_count", "platform", "python"}
+        assert host["cpu_count"] >= 1
+        assert host["python"].count(".") == 2
+
+    def test_history_entries_carry_host(self, tmp_path):
+        output = tmp_path / "BENCH_engine.json"
+        bench._write_report(output, {"candidate_eval": {"speedup": 2.0}})
+        data = json.loads(output.read_text())
+        (entry,) = data["history"]
+        assert entry["host"] == bench._host_fingerprint()
+        assert entry["report"]["candidate_eval"]["speedup"] == 2.0
+
+    def test_cross_host_comparison_warns(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_engine.json"
+        bench._write_report(output, {"a": 1})
+        assert "warning" not in capsys.readouterr().out
+
+        # Same host appends silently.
+        bench._write_report(output, {"a": 2})
+        assert "warning" not in capsys.readouterr().out
+
+        # Rewrite the newest entry as if it came from another machine.
+        data = json.loads(output.read_text())
+        data["history"][-1]["host"] = {
+            "cpu_count": 256,
+            "platform": "somewhere-else",
+            "python": "3.11.7",
+        }
+        output.write_text(json.dumps(data))
+        bench._write_report(output, {"a": 3})
+        out = capsys.readouterr().out
+        assert "warning" in out and "different host" in out
+        assert len(json.loads(output.read_text())["history"]) == 3
+
+    def test_entries_without_host_stay_valid(self, tmp_path, capsys):
+        # Pre-metadata history entries must neither warn nor break.
+        output = tmp_path / "BENCH_engine.json"
+        output.write_text(
+            json.dumps(
+                {"a": 0, "history": [{"git_sha": "abc", "report": {"a": 0}}]}
+            )
+        )
+        bench._write_report(output, {"a": 1})
+        assert "warning" not in capsys.readouterr().out
+
+
+class TestExistingSections:
+    def test_merge_preserves_other_sections(self, tmp_path):
+        output = tmp_path / "BENCH_engine.json"
+        bench._write_report(output, {"candidate_eval": {"speedup": 2.0}})
+        existing = bench._existing_sections(output)
+        assert "candidate_eval" in existing
+        assert "history" not in existing
+
+    def test_missing_or_corrupt_file_is_empty(self, tmp_path):
+        assert bench._existing_sections(tmp_path / "nope.json") == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert bench._existing_sections(bad) == {}

@@ -1,0 +1,231 @@
+"""PatternRouter: one address in front of N replicas, one generation.
+
+No pytest-asyncio in the environment, so each test drives its own loop
+with ``asyncio.run`` (same convention as ``test_serve_server.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.dist.router import PatternRouter, RouterConfig, publish_snapshot
+from repro.experiments.datasets import zebranet_dataset
+from repro.serve import (
+    PatternServer,
+    ServeConfig,
+    ServingSnapshot,
+    SnapshotStore,
+    protocol,
+)
+from repro.trajectory.io import save_dataset_jsonl
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zebranet_dataset(n_trajectories=12, n_ticks=20, seed=5)
+
+
+@pytest.fixture(scope="module")
+def snapshot(dataset):
+    return ServingSnapshot.from_dataset(dataset, version="v-base")
+
+
+class _Client:
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host, port):
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        self.writer.write(protocol.encode(payload))
+        await self.writer.drain()
+        return protocol.decode_line(await self.reader.readline())
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+class _Tier:
+    """Two replicas + a router + one client, torn down in order."""
+
+    def __init__(self, snapshot, stats_interval_s=0.2):
+        self.snapshot = snapshot
+        self.stats_interval_s = stats_interval_s
+
+    async def __aenter__(self):
+        self.servers = [
+            PatternServer(SnapshotStore(self.snapshot), ServeConfig())
+            for _ in range(2)
+        ]
+        self.addresses = [await s.start() for s in self.servers]
+        self.router = PatternRouter(
+            RouterConfig(
+                replicas=tuple(self.addresses),
+                stats_interval_s=self.stats_interval_s,
+            )
+        )
+        host, port = await self.router.start()
+        self.client = await _Client.connect(host, port)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.client.close()
+        await self.router.stop()
+        for server in self.servers:
+            await server.stop()
+
+
+def test_hello_and_forwarded_ops(snapshot):
+    cells = snapshot.engine.active_cells
+    bbox = snapshot.grid.bbox
+    mid = [(bbox.min_x + bbox.max_x) / 2, (bbox.min_y + bbox.max_y) / 2]
+
+    async def scenario():
+        async with _Tier(snapshot) as tier:
+            c = tier.client
+            resp = await c.request({"op": "hello", "id": 1})
+            assert resp["ok"] and resp["router"] is True
+            assert resp["replicas"] == [True, True]
+            assert resp["version"] == protocol.PROTOCOL_VERSION
+
+            resp = await c.request(
+                {"op": "score", "id": 2, "patterns": [[cells[0]], [cells[1]]]}
+            )
+            assert resp["ok"] and resp["id"] == 2 and len(resp["values"]) == 2
+
+            resp = await c.request(
+                {"op": "predict", "id": 3, "recent": [mid, mid], "sigma": 1.0}
+            )
+            assert resp["ok"]
+            assert (await c.request({"op": "health", "id": 4}))["ok"]
+            assert (await c.request({"op": "describe", "id": 5}))["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_sequential_requests_spread_across_replicas(snapshot):
+    cells = snapshot.engine.active_cells
+
+    async def scenario():
+        async with _Tier(snapshot) as tier:
+            for i in range(20):
+                resp = await tier.client.request(
+                    {"op": "score", "id": i, "patterns": [[cells[0]]]}
+                )
+                assert resp["ok"]
+            stats = await tier.client.request({"op": "stats", "id": 99})
+            router = stats["stats"]["router"]
+            forwarded = [
+                router["replicas"][name]["forwarded"]
+                for name in sorted(router["replicas"])
+            ]
+            # Round-robin tie-break: a zero-concurrency client still uses
+            # both replicas instead of pinning the first.
+            assert sum(forwarded) >= 20
+            assert all(count >= 8 for count in forwarded), forwarded
+            assert router["replicas_up"] == 2
+            assert stats["stats"]["requests_served"] >= 20
+
+    asyncio.run(scenario())
+
+
+def test_swap_broadcast_lands_one_generation_on_all_replicas(
+    snapshot, dataset, tmp_path
+):
+    src = tmp_path / "snap"
+    src.mkdir()
+    save_dataset_jsonl(dataset, str(src / "dataset.jsonl"))
+    (src / "serve.json").write_text(json.dumps({"version": "v2"}))
+    dest = publish_snapshot(src, tmp_path / "generations", "7")
+    assert dest.name == "gen-7"
+    staged = json.loads((dest / "serve.json").read_text())
+    assert staged["version"] == "v2+gen-7"
+
+    async def scenario():
+        async with _Tier(snapshot) as tier:
+            resp = await tier.client.request(
+                {"op": "swap", "id": 1, "path": str(dest)}
+            )
+            assert resp["ok"], resp
+            assert resp["version"] == "v2+gen-7"
+            assert set(resp["replicas"].values()) == {"v2+gen-7"}
+
+    asyncio.run(scenario())
+
+
+def test_publish_snapshot_refuses_duplicate_generation(dataset, tmp_path):
+    src = tmp_path / "snap"
+    src.mkdir()
+    save_dataset_jsonl(dataset, str(src / "dataset.jsonl"))
+    publish_snapshot(src, tmp_path / "generations", "1")
+    with pytest.raises(FileExistsError):
+        publish_snapshot(src, tmp_path / "generations", "1")
+
+
+def test_shutdown_refused_and_version_checked(snapshot):
+    async def scenario():
+        async with _Tier(snapshot) as tier:
+            resp = await tier.client.request({"op": "shutdown", "id": 1})
+            assert not resp["ok"] and resp["error"] == "forbidden"
+            resp = await tier.client.request(
+                {"op": "score", "id": 2, "v": 99, "patterns": [[0]]}
+            )
+            assert not resp["ok"] and resp["error"] == "bad_request"
+            assert resp["server_version"] == protocol.PROTOCOL_VERSION
+            assert resp["client_version"] == 99
+
+    asyncio.run(scenario())
+
+
+def test_replica_death_fails_over_and_reconnects(snapshot):
+    cells = snapshot.engine.active_cells
+
+    async def scenario():
+        async with _Tier(snapshot) as tier:
+            c = tier.client
+            host, port = tier.addresses[0]
+            await tier.servers[0].stop()
+            await asyncio.sleep(0.1)
+            # Tier keeps serving on the survivor.
+            resp = await c.request({"op": "score", "id": 1, "patterns": [[cells[0]]]})
+            assert resp["ok"], resp
+            stats = await c.request({"op": "stats", "id": 2})
+            assert stats["stats"]["router"]["replicas_up"] == 1
+
+            # Replica returns on the same address; reconnect loop finds it.
+            revived = PatternServer(
+                SnapshotStore(snapshot), ServeConfig(host=host, port=port)
+            )
+            await revived.start()
+            tier.servers[0] = revived
+            for _ in range(50):
+                await asyncio.sleep(0.2)
+                stats = await c.request({"op": "stats", "id": 3})
+                if stats["stats"]["router"]["replicas_up"] == 2:
+                    break
+            router = stats["stats"]["router"]
+            assert router["replicas_up"] == 2
+            assert any(
+                replica["reconnects"] >= 1
+                for replica in router["replicas"].values()
+            )
+
+    asyncio.run(scenario())
+
+
+def test_router_requires_replicas():
+    with pytest.raises(ValueError):
+        RouterConfig()

@@ -121,3 +121,44 @@ def test_values_field_converts_numpy_scalars():
     values = protocol.values_field(np.array([1.5, 2.5]))
     assert values == [1.5, 2.5]
     assert all(type(v) is float for v in values)
+
+
+def test_check_version_accepts_absent_and_current():
+    protocol.check_version({})  # absent v: whatever the server speaks
+    protocol.check_version({"v": protocol.PROTOCOL_VERSION})
+
+
+def test_check_version_rejects_mismatch_with_both_versions_named():
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.check_version({"v": protocol.PROTOCOL_VERSION + 1})
+    assert exc.value.code == "bad_request"
+    assert exc.value.fields["client_version"] == protocol.PROTOCOL_VERSION + 1
+    assert exc.value.fields["server_version"] == protocol.PROTOCOL_VERSION
+
+
+@pytest.mark.parametrize("bad", [True, 1.5, "1", []])
+def test_check_version_rejects_non_integer(bad):
+    with pytest.raises(protocol.ProtocolError):
+        protocol.check_version({"v": bad})
+
+
+def test_parse_hello_defaults_and_capabilities():
+    version, require = protocol.parse_hello({})
+    assert version == protocol.PROTOCOL_VERSION
+    assert require == ()
+    _, require = protocol.parse_hello({"require": ["score", "trace"]})
+    assert require == ("score", "trace")
+    assert set(protocol.OPS) <= set(protocol.CAPABILITIES)
+
+
+def test_parse_hello_rejects_unknown_capability_naming_it():
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_hello({"require": ["score", "time-travel"]})
+    assert exc.value.fields["missing"] == ["time-travel"]
+    assert exc.value.fields["capabilities"] == list(protocol.CAPABILITIES)
+
+
+def test_parse_hello_rejects_version_skew():
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_hello({"version": 99})
+    assert exc.value.fields["server_version"] == protocol.PROTOCOL_VERSION

@@ -466,3 +466,111 @@ def test_loadgen_open_loop_reports_rate(snapshot):
     assert report["completed"] == 30
     assert report["errors"] == 0
     assert report["achieved_qps"] > 0
+
+
+def test_hello_handshake_and_version_pinning(snapshot):
+    async def scenario():
+        server, _ = _serve(snapshot)
+        host, port = await server.start()
+        client = await _Client.connect(host, port)
+        resp = await client.request(
+            {"op": "hello", "id": 1, "require": ["score", "pipelining"]}
+        )
+        assert resp["ok"]
+        assert resp["version"] == protocol.PROTOCOL_VERSION
+        assert set(protocol.OPS) <= set(resp["capabilities"])
+        assert resp["snapshot_version"] == "v-base"
+
+        # Unsupported required capability: structured refusal.
+        resp = await client.request(
+            {"op": "hello", "id": 2, "require": ["time-travel"]}
+        )
+        assert not resp["ok"] and resp["error"] == "bad_request"
+        assert resp["missing"] == ["time-travel"]
+
+        # Any op pinned to a wrong version is refused with both versions.
+        resp = await client.request({"op": "health", "id": 3, "v": 99})
+        assert not resp["ok"] and resp["error"] == "bad_request"
+        assert resp["client_version"] == 99
+        assert resp["server_version"] == protocol.PROTOCOL_VERSION
+        # ...and an explicit correct pin works.
+        resp = await client.request(
+            {"op": "health", "id": 4, "v": protocol.PROTOCOL_VERSION}
+        )
+        assert resp["ok"]
+        await client.close()
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_loadgen_reconnects_across_server_restart(snapshot):
+    async def scenario():
+        server, _ = _serve(snapshot)
+        host, port = await server.start()
+
+        replacement_server, _ = _serve(snapshot, ServeConfig(host=host, port=port))
+
+        async def bounce():
+            # Wait for the run to make progress, then bounce the server.
+            for _ in range(100):
+                await asyncio.sleep(0.02)
+                if server.stats()["requests_served"] >= 5:
+                    break
+            await server.stop()
+            await replacement_server.start()
+
+        bounce_task = asyncio.get_running_loop().create_task(bounce())
+        report = await run_loadgen(
+            LoadgenConfig(
+                host=host,
+                port=port,
+                requests=60,
+                concurrency=2,
+                reconnect_backoff_s=0.05,
+                reconnect_cap_s=0.2,
+                reconnect_attempts=20,
+            )
+        )
+        await bounce_task
+        await replacement_server.stop()
+        return report
+
+    report = asyncio.run(scenario())
+    assert report["completed"] == report["sent"] == 60
+    assert report["reconnects"] >= 1
+    assert report["errors"] == 0
+
+
+def test_loadgen_gives_up_after_reconnect_attempts(snapshot):
+    async def scenario():
+        server, _ = _serve(snapshot)
+        host, port = await server.start()
+
+        async def kill():
+            for _ in range(100):
+                await asyncio.sleep(0.02)
+                if server.stats()["requests_served"] >= 3:
+                    break
+            await server.stop()
+
+        kill_task = asyncio.get_running_loop().create_task(kill())
+        report = await run_loadgen(
+            LoadgenConfig(
+                host=host,
+                port=port,
+                requests=40,
+                concurrency=2,
+                reconnect_backoff_s=0.01,
+                reconnect_cap_s=0.02,
+                reconnect_attempts=2,
+            )
+        )
+        await kill_task
+        return report
+
+    report = asyncio.run(scenario())
+    # The server never came back: every unanswered request is reported
+    # as an error, none silently dropped.
+    assert report["completed"] == report["sent"] == 40
+    assert report["errors"] >= 1

@@ -209,3 +209,48 @@ class TestSeriesMode:
     def test_bad_interval_rejected(self):
         with pytest.raises(ValueError):
             TopConfig(interval_s=0.0)
+
+
+class TestReconnectBackoff:
+    def test_frame_shows_reconnects_when_nonzero(self):
+        frame = render_stats_frame(_STATS, None, None)
+        assert "reconnects" not in frame
+        frame = render_stats_frame(_STATS, None, None, reconnects=3)
+        assert "reconnects 3" in frame
+
+    def test_loop_mode_backs_off_exponentially_when_unreachable(self):
+        out = io.StringIO()
+        config = TopConfig(
+            host="127.0.0.1", port=1, interval_s=0.01, max_frames=3
+        )
+        rc = run_top(config, out=out)
+        assert rc == 0
+        text = out.getvalue()
+        # Three failed polls: backoff doubles from the base each frame.
+        assert "retrying in 0.25s" in text
+        assert "retrying in 0.50s" in text
+        assert "retrying in 1.00s" in text
+        assert "reconnects 0" in text
+
+    def test_recovery_increments_reconnects(self, monkeypatch):
+        """fail -> succeed: the success frame counts one reconnect."""
+        from repro.serve import top as top_module
+
+        calls = {"n": 0}
+
+        def flaky_fetch(host, port, timeout_s=5.0):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ConnectionRefusedError("first poll fails")
+            return dict(_STATS)
+
+        monkeypatch.setattr(top_module, "fetch_stats", flaky_fetch)
+        out = io.StringIO()
+        config = TopConfig(
+            host="127.0.0.1", port=1, interval_s=0.01, max_frames=2
+        )
+        rc = run_top(config, out=out)
+        assert rc == 0
+        text = out.getvalue()
+        assert "retrying in 0.25s" in text   # the failed poll backs off
+        assert "reconnects 1" in text        # the recovery is counted

@@ -184,3 +184,43 @@ class TestSelfcheckCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "FAIL" in out
+
+
+class TestDistOraclePath:
+    def test_dist_checks_present_and_zero_ulps(self):
+        # The distributed path folds per-span results in global span order,
+        # exactly like the same-width parallel engine, and the NDJSON wire
+        # round-trips float64 exactly -- so the budget is zero, and it holds
+        # even with a real socket hop in the mix.
+        report = run_oracle(
+            DEFAULT_SEEDS[0],
+            quick=True,
+            jobs_grid=(1, 2),
+            include_serve=False,
+            include_dist=True,
+        )
+        dist_checks = [c for c in report.checks if c.path.startswith("dist[")]
+        assert {c.path for c in dist_checks} == {"dist[1]", "dist[2]"}
+        for check in dist_checks:
+            assert check.budget_ulps == 0
+            assert check.nm_ulps == 0, check.describe()
+            assert check.match_ulps == 0, check.describe()
+        assert report.ok, "\n" + report.describe()
+
+    def test_dist_flag_via_cli(self, capsys):
+        code = cli.main(
+            [
+                "selfcheck",
+                "--quick",
+                "--dist",
+                "--seeds",
+                "101",
+                "--jobs-grid",
+                "1",
+                "--no-serve",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dist[1]" in out
+        assert "quick+dist" in out
