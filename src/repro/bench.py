@@ -748,6 +748,119 @@ def run_dist(rounds: int = 3) -> dict:
     return {"distributed": bench_distributed(rounds)}
 
 
+#: Incremental-maintenance workload: dataset size and the delta fraction
+#: the acceptance target speaks about (appends of <= 5% of the rows should
+#: beat a full rebuild by >= 5x).
+INCREMENTAL_WORKLOAD = dict(n_trajectories=200, n_ticks=60, sigma=0.01, seed=13)
+INCREMENTAL_DELTA_FRACTION = 0.05
+INCREMENTAL_MINE_K = 8
+
+
+def bench_incremental(rounds: int) -> dict:
+    """Append-vs-rebuild cost of the incremental index, plus warm mining.
+
+    One engine is built over all but the last ~5% of trajectories; each
+    round re-installs that base index from its prebuilt arrays (cheap,
+    array-speed) and times a single :meth:`IncrementalIndexer.append` of
+    the held-out tail, against the cost of rebuilding the full index from
+    scratch.  The folded result is asserted bit-identical to the rebuild.
+    The mining leg compares a cold top-k run with one warm-started from the
+    base dataset's converged frontier.
+    """
+    from repro.core.incremental import IncrementalIndexer
+    from repro.trajectory.dataset import TrajectoryDataset
+
+    dataset = zebranet_dataset(**INCREMENTAL_WORKLOAD)
+    grid = dataset.make_grid(ENGINE_CELL_SIZE)
+    config = EngineConfig(delta=ENGINE_CELL_SIZE, min_prob=ENGINE_MIN_PROB)
+    trajs = list(dataset)
+    n_delta = max(1, int(len(trajs) * INCREMENTAL_DELTA_FRACTION))
+    base_dataset = TrajectoryDataset(trajs[:-n_delta])
+    delta_trajs = trajs[-n_delta:]
+
+    base = NMEngine(base_dataset, grid, config)
+    base_arrays = base.index_arrays()
+    rebuild_s, full_engine = _best_of(
+        lambda: NMEngine(dataset, grid, config), rounds
+    )
+
+    append_s = float("inf")
+    evict_s = float("inf")
+    indexer = None
+    for _ in range(rounds):
+        engine = NMEngine(base_dataset, grid, config, prebuilt=base_arrays)
+        indexer = IncrementalIndexer(engine)
+        t0 = time.perf_counter()
+        indexer.append(delta_trajs)
+        append_s = min(append_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        indexer.evict(n_delta)
+        evict_s = min(evict_s, time.perf_counter() - t0)
+    # Correctness guard on the timed artefact itself: re-fold once and
+    # compare against the from-scratch build.
+    engine = NMEngine(base_dataset, grid, config, prebuilt=base_arrays)
+    IncrementalIndexer(engine).append(delta_trajs)
+    bit_identical = all(
+        np.array_equal(a, b)
+        for a, b in zip(engine.index_arrays(), full_engine.index_arrays())
+    )
+
+    previous = TrajPatternMiner(base, k=INCREMENTAL_MINE_K).mine()
+    t0 = time.perf_counter()
+    cold = TrajPatternMiner(full_engine, k=INCREMENTAL_MINE_K).mine()
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = TrajPatternMiner(
+        full_engine, k=INCREMENTAL_MINE_K, warm_state=previous.warm_state
+    ).mine()
+    warm_s = time.perf_counter() - t0
+    topk_identical = [
+        (p.cells, nm) for p, nm in cold.as_pairs()
+    ] == [(p.cells, nm) for p, nm in warm.as_pairs()]
+
+    delta_rows = sum(len(t) for t in delta_trajs)
+    return {
+        "n_trajectories": len(trajs),
+        "total_rows": dataset.total_snapshots(),
+        "delta_trajectories": n_delta,
+        "delta_rows": delta_rows,
+        "delta_fraction": delta_rows / dataset.total_snapshots(),
+        "full_rebuild_s": rebuild_s,
+        "append_s": append_s,
+        "evict_s": evict_s,
+        "append_speedup": rebuild_s / append_s if append_s > 0 else float("inf"),
+        "bit_identical": bit_identical,
+        "mining": {
+            "k": INCREMENTAL_MINE_K,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "cold_iterations": cold.stats.iterations,
+            "warm_iterations": warm.stats.iterations,
+            "warm_seeds": len(previous.warm_state),
+            "topk_identical": topk_identical,
+        },
+    }
+
+
+def run_incremental(rounds: int = 3) -> dict:
+    """The ``incremental`` report section (suite ``incremental``)."""
+    return {"incremental": bench_incremental(rounds)}
+
+
+def _print_incremental(section: dict) -> None:
+    mining = section["mining"]
+    print(
+        f"incremental:    append {section['append_s'] * 1e3:.1f}ms vs rebuild "
+        f"{section['full_rebuild_s'] * 1e3:.0f}ms "
+        f"({section['append_speedup']:.1f}x, "
+        f"{section['delta_fraction'] * 100:.1f}% delta, "
+        f"bit-identical={section['bit_identical']}); "
+        f"warm mine {mining['warm_s'] * 1e3:.0f}ms/"
+        f"{mining['warm_iterations']}it vs cold "
+        f"{mining['cold_s'] * 1e3:.0f}ms/{mining['cold_iterations']}it"
+    )
+
+
 def run_store(rounds: int = 3) -> dict:
     """The ``columnar_store`` report section (suite ``store``)."""
     return {
@@ -1417,10 +1530,13 @@ def run_suites(
     re-running the engine benches; ``dist`` likewise runs only the
     distributed-dispatch comparison (merged into ``BENCH_engine.json``)
     plus the routed-serving leg (merged into ``BENCH_serve.json``);
+    ``incremental`` runs the append-vs-rebuild and warm-mining comparison
+    and merges its ``incremental`` section into ``BENCH_engine.json``;
     ``all`` = engine + store + serve (both of which now include the
     distributed sections).
     """
-    if suite not in ("all", "engine", "kernels", "serve", "store", "dist"):
+    valid = ("all", "engine", "kernels", "serve", "store", "dist", "incremental")
+    if suite not in valid:
         raise ValueError(f"unknown bench suite {suite!r}")
     base = Path(output_dir) if output_dir is not None else _repo_root()
     base.mkdir(parents=True, exist_ok=True)
@@ -1470,6 +1586,21 @@ def run_suites(
         }
         n = _write_report(output, report)
         _print_store(report["columnar_store"])
+        print(f"wrote {output} ({n} history entries)")
+    elif suite == "incremental":
+        # Same merge discipline as ``store``/``dist``: refresh only this
+        # section of the engine report.
+        inc_section = run_incremental(rounds)
+        output = base / "BENCH_engine.json"
+        report = {
+            **_existing_sections(output),
+            "generated_by": "repro.bench",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            **inc_section,
+        }
+        n = _write_report(output, report)
+        _print_incremental(report["incremental"])
         print(f"wrote {output} ({n} history entries)")
     elif suite == "dist":
         # Fast iteration on the distributed sections alone: merge the

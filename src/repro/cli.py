@@ -498,7 +498,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro import obs
-    from repro.serve import PatternServer, ServeConfig, ServingSnapshot, SnapshotStore
+    from repro.serve import (
+        IngestConfig,
+        PatternServer,
+        ServeConfig,
+        ServingSnapshot,
+        SnapshotStore,
+    )
 
     obs.configure(
         log_level=args.log_level,
@@ -535,15 +541,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         allow_shutdown=not args.no_shutdown,
         cache_dir=args.cache_dir,
     )
+    ingest = None
+    if args.ingest:
+        ingest = IngestConfig(
+            k=args.ingest_k,
+            remine_every=args.ingest_every,
+            window=args.ingest_window,
+            min_length=args.ingest_min_length,
+        )
 
     async def run() -> None:
-        server = PatternServer(SnapshotStore(snapshot), config)
+        server = PatternServer(SnapshotStore(snapshot), config, ingest=ingest)
         host, port = await server.start()
         print(
             f"serving snapshot {snapshot.version} on {host}:{port} "
             f"(batch<={config.max_batch}, window {config.max_delay_ms}ms, "
             f"queue<={config.max_queue}, backend "
-            f"{snapshot.engine.backend_name}/{snapshot.engine.backend_dtype})",
+            f"{snapshot.engine.backend_name}/{snapshot.engine.backend_dtype}"
+            + (
+                f", ingest k={ingest.k} every {ingest.remine_every} batch(es)"
+                + (f" window {ingest.window}" if ingest.window else "")
+                if ingest is not None
+                else ""
+            )
+            + ")",
             flush=True,
         )
         await server.serve_until_shutdown()
@@ -1037,6 +1058,41 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="cache_dir",
         help="persistent index cache; makes snapshot loads/swaps warm-start",
     )
+    serve.add_argument(
+        "--ingest",
+        action="store_true",
+        help="enable the 'ingest' op: fold live report batches into an "
+        "incremental index and republish snapshots on a cadence",
+    )
+    serve.add_argument(
+        "--ingest-k",
+        type=int,
+        default=8,
+        dest="ingest_k",
+        help="top-k re-mined on each republish (default 8)",
+    )
+    serve.add_argument(
+        "--ingest-every",
+        type=int,
+        default=1,
+        dest="ingest_every",
+        help="republish cadence in ingest batches (default 1 = every batch)",
+    )
+    serve.add_argument(
+        "--ingest-window",
+        type=int,
+        default=None,
+        dest="ingest_window",
+        help="sliding window: max resident trajectories; the oldest beyond "
+        "it are evicted after each append (default unbounded)",
+    )
+    serve.add_argument(
+        "--ingest-min-length",
+        type=int,
+        default=1,
+        dest="ingest_min_length",
+        help="minimum pattern length for the re-mine (default 1)",
+    )
     _add_backend_arguments(serve)
     serve.add_argument("--log-level", default=None, dest="log_level")
     serve.add_argument("--trace-out", default=None, dest="trace_out")
@@ -1257,7 +1313,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["all", "engine", "kernels", "serve", "store", "dist"],
+        choices=["all", "engine", "kernels", "serve", "store", "dist", "incremental"],
         default="all",
         help=(
             "which benchmark family to run (default all = engine + serve + "

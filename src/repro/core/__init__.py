@@ -12,8 +12,15 @@
 * :mod:`~repro.core.groups` -- pattern-group discovery (sections 3.4, 4.2).
 """
 
-from repro.core.engine import EngineConfig, ExtensionTables, NMEngine, build_engine
+from repro.core.engine import (
+    EngineConfig,
+    ExtensionTables,
+    NMEngine,
+    StaleIndexError,
+    build_engine,
+)
 from repro.core.groups import PatternGroup, discover_pattern_groups
+from repro.core.incremental import IncrementalIndexer
 from repro.core.index_cache import cache_key, load_index, save_index
 from repro.core.measures import (
     match_pattern_trajectory,
@@ -24,7 +31,7 @@ from repro.core.measures import (
     nm_pattern_window,
 )
 from repro.core.pattern import WILDCARD, TrajectoryPattern
-from repro.core.trajpattern import MiningResult, TrajPatternMiner
+from repro.core.trajpattern import MiningResult, TrajPatternMiner, WarmStartState
 from repro.core.parameters import SuggestedParameters, suggest_parameters
 from repro.core.results_io import load_mining_result, save_mining_result
 from repro.core.parallel import ParallelNMEngine, shard_dataset
@@ -44,6 +51,9 @@ __all__ = [
     "save_index",
     "TrajPatternMiner",
     "MiningResult",
+    "WarmStartState",
+    "IncrementalIndexer",
+    "StaleIndexError",
     "PatternGroup",
     "discover_pattern_groups",
     "Gap",

@@ -77,6 +77,23 @@ _BATCH_SCORE_BUDGET = 1 << 24
 _log = logs.get_logger("engine")
 
 
+def _row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sums whose values do not depend on the number of rows.
+
+    ``matrix.sum(axis=1)`` picks a pairwise-summation blocking that varies
+    with the outer dimension, so the same row can total to ULP-different
+    values depending on how many patterns share the batch.  Candidate
+    measures must be batch-composition-invariant -- warm-started mining
+    re-evaluates lone frontier seeds and has to land on exactly the floats
+    the cold run's wider batches produced -- so each row is reduced
+    independently (``np.add.reduceat`` sums every segment sequentially,
+    regardless of how many segments there are).
+    """
+    n, width = matrix.shape
+    flat = np.ascontiguousarray(matrix).reshape(-1)
+    return np.add.reduceat(flat, np.arange(0, n * width, width))
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Tuning knobs of the sparse probability index.
@@ -232,6 +249,15 @@ class ExtensionTables:
         return self.nm_by_cell, self.match_by_cell
 
 
+class StaleIndexError(RuntimeError):
+    """An evaluation pinned to an index epoch ran after the index changed.
+
+    Raised instead of silently scoring the old index: callers that captured
+    derived state (a miner mid-run, a cached column) must observe in-place
+    append/evict mutations, not race them.
+    """
+
+
 class NMEngine:
     """Evaluates NM / match of patterns over a whole dataset (see module docs)."""
 
@@ -275,6 +301,10 @@ class NMEngine:
         self.n_evaluations = 0  # instrumentation for the scalability benches
         self.n_batches = 0  # batched-evaluation rounds (see nm_batch)
         self.index_cache_hit = False  # True when the index came from disk
+        # Monotone counter bumped by every (re)install; in-place index
+        # mutation (incremental append/evict) must go through _install_index
+        # so epoch-pinned consumers can detect staleness via require_epoch.
+        self.index_epoch = 0
 
         # Flat segment index (filled by _install_index when entries exist).
         # Per-cell lookup is (cell ids, bounds) over the sorted flat arrays
@@ -516,6 +546,49 @@ class NMEngine:
             np.asarray(cells), np.asarray(rows), np.asarray(vals)
         )
 
+    def require_epoch(self, epoch: int) -> None:
+        """Fail fast when the caller's pinned ``index_epoch`` is stale.
+
+        Consumers that snapshot derived index state (the miner captures the
+        epoch at the start of a run) call this before every evaluation batch
+        so an incremental append/evict landing mid-run raises instead of
+        silently mixing scores from two index generations.
+        """
+        if epoch != self.index_epoch:
+            raise StaleIndexError(
+                f"index epoch changed from {epoch} to {self.index_epoch}; "
+                "the index was mutated in place under an active consumer"
+            )
+
+    def replace_index(
+        self,
+        dataset: TrajectoryDataset,
+        cells: np.ndarray,
+        rows: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        """Adopt a new dataset plus matching entry triples, in place.
+
+        This is the single mutation point the incremental maintenance layer
+        (``repro.core.incremental``) goes through: it rewrites the
+        dataset-shape state (lengths/starts/row->trajectory map) together
+        with the flat index so both change under one ``index_epoch`` bump.
+        The caller guarantees the triples were computed over ``dataset``
+        with this engine's grid and config.
+        """
+        if len(dataset) == 0:
+            raise ValueError("cannot install an index over an empty dataset")
+        self.dataset = dataset
+        lengths = dataset.lengths()
+        self._lengths = lengths
+        self._starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        self._total_rows = int(lengths.sum())
+        self._row_traj = np.repeat(
+            np.arange(len(dataset), dtype=np.int64), lengths
+        )
+        self.index_cache_hit = False
+        self._install_index(np.asarray(cells), np.asarray(rows), np.asarray(vals))
+
     def _install_index(
         self, all_cells: np.ndarray, all_rows: np.ndarray, all_vals: np.ndarray
     ) -> None:
@@ -527,10 +600,15 @@ class NMEngine:
         skips the lexsort, keeping warm starts array-speed.
         """
         # Installing (or re-installing) invalidates everything derived
-        # from the previous flat arrays.
+        # from the previous flat arrays.  _valid_cache keys on window width
+        # but its payload is built from _row_traj/_lengths/_starts, which the
+        # incremental path rewrites together with the index -- it must drop
+        # here too, not only the per-cell structures.
+        self.index_epoch += 1
         self._seg_max = None
         self._entry_bounds = None
         self._column_cache.clear()
+        self._valid_cache.clear()
         if not len(all_cells):
             self._cell_ids = np.empty(0, dtype=np.int64)
             self._cell_bounds = np.zeros(1, dtype=np.int64)
@@ -828,13 +906,13 @@ class NMEngine:
                 # Baseline floor * n_spec plus the best (>= 0) deviation.
                 maxes = dev_max[:, eligible] + floor * spec[:, None]
                 if kind == "nm":
-                    totals = maxes.sum(axis=1)
+                    totals = _row_sums(maxes)
                     normalised = np.divide(
                         totals, spec, out=np.zeros(len(sub)), where=spec > 0
                     )
                     out[sub] = normalised + floor * (n_traj - len(eligible))
                 else:
-                    out[sub] = np.exp(maxes).sum(axis=1) + np.exp(floor * spec) * (
+                    out[sub] = _row_sums(np.exp(maxes)) + np.exp(floor * spec) * (
                         n_traj - len(eligible)
                     )
                 self.n_batches += 1

@@ -140,6 +140,23 @@ class StreamingNMEngine:
         # keys themselves -- the span cache above is their cache.
         config = replace(self.config, jobs=1, cache_dir=None)
         with open_store(self.path) as store:
+            # The store is re-opened per scan, so an atomic replace of the
+            # file (same path, new contents -- a live ingest pipeline
+            # republishing its report log does exactly this) is picked up
+            # here: the pinned content hash must follow, or span cache keys
+            # would keep naming the *old* contents' entries and silently
+            # serve stale indexes over the new rows.
+            if store.content_hash != self._store_hash:
+                _log.info(
+                    "store contents changed; refreshing span cache identity",
+                    extra={
+                        "path": str(self.path),
+                        "old_hash": self._store_hash[:12],
+                        "new_hash": store.content_hash[:12],
+                    },
+                )
+                self._store_hash = store.content_hash
+                self._n_store_traj = store.n_trajectories
             offsets = store.row_offsets
             for lo in range(0, store.n_trajectories, self.chunk_size):
                 hi = min(lo + self.chunk_size, store.n_trajectories)

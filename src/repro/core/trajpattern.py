@@ -146,6 +146,26 @@ class MinerStats:
         return self.metrics.histogram("miner.eval_ns", unit="ns").total_seconds
 
 
+@dataclass(frozen=True)
+class WarmStartState:
+    """Converged frontier of a previous run, reusable as mining seeds.
+
+    ``seeds`` are the cell sequences (length >= 2; singulars are re-seeded
+    from the alphabet anyway) that were live in the previous run's book --
+    the high set plus the surviving lows.  Seeding is answer-preserving by
+    construction: every seed is *evaluated exactly* before the main loop, so
+    ``omega`` starts as a valid lower bound on the true k-th best NM and
+    bound pruning stays provably safe.  On a lightly-changed dataset the
+    previous winners land near their old scores, the threshold starts high,
+    and convergence takes a fraction of the cold iterations.
+    """
+
+    seeds: tuple[Cells, ...]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
 @dataclass
 class MiningResult:
     """Outcome of a mining run: ranked patterns, optional groups, stats."""
@@ -155,6 +175,7 @@ class MiningResult:
     omega: float
     stats: MinerStats
     groups: list[PatternGroup] | None = None
+    warm_state: WarmStartState | None = None
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -191,6 +212,11 @@ class TrajPatternMiner:
         Lazy bound-based candidate scoring (ablation A2; see module docs).
     max_iterations:
         Safety valve; the algorithm converges well before this in practice.
+    warm_state:
+        Optional :class:`WarmStartState` from a previous run (its
+        ``MiningResult.warm_state``).  Seeds are evaluated exactly before
+        the main loop, so the mined top-k is identical to a cold run over
+        the same dataset -- only the iteration count shrinks.
     """
 
     def __init__(
@@ -202,6 +228,7 @@ class TrajPatternMiner:
         use_extension_pruning: bool = True,
         use_bound_pruning: bool = True,
         max_iterations: int = 64,
+        warm_state: WarmStartState | None = None,
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
@@ -218,6 +245,12 @@ class TrajPatternMiner:
         self.use_extension_pruning = use_extension_pruning
         self.use_bound_pruning = use_bound_pruning
         self.max_iterations = max_iterations
+        self.warm_state = warm_state
+        # Pinned at the start of every run; evaluation batches check it so
+        # an in-place index mutation mid-mine raises StaleIndexError instead
+        # of silently scoring a mix of index generations.  None for engines
+        # without epochs (parallel/distributed front-ends).
+        self._engine_epoch: int | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -249,6 +282,7 @@ class TrajPatternMiner:
     def _mine(self, discover_groups: bool, gamma: float | None) -> MiningResult:
         stats = MinerStats()
         t0 = time.perf_counter()
+        self._engine_epoch = getattr(self.engine, "index_epoch", None)
         book = PatternBook(self.k, self.min_length)
 
         # Seeding: all singular patterns over the active alphabet.  Inactive
@@ -271,6 +305,8 @@ class TrajPatternMiner:
 
         if self.min_length > 1:
             self._warm_start(book, stats)
+        if self.warm_state is not None:
+            self._seed_warm_state(book, stats)
         book.update_omega()
         high = book.high_patterns()
 
@@ -350,12 +386,25 @@ class TrajPatternMiner:
             if gamma is None:
                 gamma = 3.0 * self.engine.dataset.max_sigma()
             groups = discover_pattern_groups(patterns, self.engine.grid, gamma)
+        # Export the converged frontier so a follow-up run over a
+        # lightly-changed dataset can seed from it instead of rediscovering
+        # the threshold.  Only the patterns that *set* the threshold are
+        # worth carrying: the high set and the answer itself -- evaluating
+        # them exactly starts the next run's omega at (about) this run's
+        # k-th best.  Anything broader backfires: the bounded membership
+        # runs to tens of thousands of never-promoted candidates on large
+        # alphabets, and re-evaluating those costs more than a cold run.
+        frontier = set(high) | {c for c, _ in top}
+        warm_seeds = tuple(
+            sorted(cells for cells in frontier if len(cells) >= 2)
+        )
         return MiningResult(
             patterns=patterns,
             nm_values=nm_values,
             omega=book.omega,
             stats=stats,
             groups=groups,
+            warm_state=WarmStartState(seeds=warm_seeds),
         )
 
     # -- warm start for the min-length variant ----------------------------------------
@@ -389,6 +438,23 @@ class TrajPatternMiner:
             for gram, _ in frequent[: self.WARM_START_CAP]
             if not book.is_evaluated(gram)
         ]
+        self._evaluate_batch(book, seeds, stats)
+
+    def _seed_warm_state(self, book: PatternBook, stats: MinerStats) -> None:
+        """Evaluate the previous run's frontier exactly as mining seeds.
+
+        Like :meth:`_warm_start`, this only ever *raises* the starting
+        ``omega`` with exact scores -- it introduces no bounds and skips
+        nothing, so the mined top-k is identical to a cold run (the
+        ``incremental`` oracle path pins warm == cold exactly).
+        """
+        seeds = [
+            tuple(int(c) for c in cells)
+            for cells in self.warm_state.seeds
+            if len(cells) >= 2
+            and (self.max_length is None or len(cells) <= self.max_length)
+        ]
+        seeds = [cells for cells in seeds if not book.is_evaluated(cells)]
         self._evaluate_batch(book, seeds, stats)
 
     # -- convergence ------------------------------------------------------------------
@@ -440,6 +506,8 @@ class TrajPatternMiner:
         """Score a candidate list through the engine's batched path."""
         if not to_evaluate:
             return
+        if self._engine_epoch is not None:
+            self.engine.require_epoch(self._engine_epoch)
         with tracing.span("miner.evaluate", n_candidates=len(to_evaluate)):
             with stats.metrics.timer("miner.eval_ns"):
                 nm_values = self.engine.nm_batch(

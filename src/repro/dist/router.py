@@ -483,6 +483,8 @@ class PatternRouter:
             return protocol.ok_response(rid, stats=self.stats())
         if op == "swap":
             return await self._broadcast_swap(request, rid)
+        if op == "ingest":
+            return await self._broadcast_ingest(request, rid)
         if op == "shutdown":
             raise protocol.ProtocolError(
                 "shutdown via the router is disabled; stop replicas directly",
@@ -535,6 +537,60 @@ class PatternRouter:
             "swap did not land on every replica",
             replicas={
                 name: (o.get("version") if o.get("ok") else o.get("detail"))
+                for name, o in outcomes.items()
+            },
+        )
+
+    async def _broadcast_ingest(self, request: dict, rid) -> dict:
+        """Fold one report batch into every replica's live index.
+
+        Ingest is a *mutation*, so like ``swap`` it goes to the whole fleet
+        rather than one replica: each replica folds the same batch into its
+        own incremental engine and -- because folds are deterministic and
+        batches arrive in router order -- republishes the same generation.
+        Generation agreement is checked the way swap checks versions; a
+        partial fold is reported per replica so the operator never serves a
+        fleet with diverged live state.
+        """
+        protocol.parse_ingest(request)  # reject garbage before touching the fleet
+        outcomes: dict[str, dict] = {}
+        for replica in self.replicas:
+            if not replica.up:
+                outcomes[replica.name] = {"ok": False, "detail": "replica down"}
+                continue
+            try:
+                response = await self._roundtrip(
+                    replica,
+                    {"op": "ingest", "reports": request.get("reports")},
+                    timeout=self.config.swap_timeout_s,
+                )
+                outcomes[replica.name] = response
+            except (ConnectionError, asyncio.TimeoutError) as exc:
+                outcomes[replica.name] = {"ok": False, "detail": str(exc)}
+        generations = {
+            o.get("generation") for o in outcomes.values() if o.get("ok")
+        }
+        all_ok = all(o.get("ok") for o in outcomes.values())
+        if all_ok and len(generations) == 1:
+            metrics.counter("router.ingests").inc()
+            first_ok = next(o for o in outcomes.values() if o.get("ok"))
+            return protocol.ok_response(
+                rid,
+                appended=first_ok.get("appended"),
+                evicted=first_ok.get("evicted"),
+                republished=first_ok.get("republished"),
+                generation=generations.pop(),
+                version=first_ok.get("version"),
+                replicas={
+                    name: o.get("generation") for name, o in outcomes.items()
+                },
+            )
+        return protocol.error_response(
+            rid,
+            "internal",
+            "ingest did not land on every replica",
+            replicas={
+                name: (o.get("generation") if o.get("ok") else o.get("detail"))
                 for name, o in outcomes.items()
             },
         )

@@ -106,6 +106,52 @@ class TrackingLog:
             means, self.config.sigma, object_id=self.object_id
         )
 
+    def to_report(self, interpolated: bool = False) -> dict:
+        """The wire form of this log for a live server's ``ingest`` op.
+
+        Exactly the report object :func:`repro.serve.protocol.parse_ingest`
+        validates: ``{"object_id", "points", "sigma"}``, JSON-safe plain
+        floats.  ``interpolated`` sends the offline mining view
+        (:meth:`to_interpolated_trajectory`) instead of the live estimates.
+        """
+        trajectory = (
+            self.to_interpolated_trajectory()
+            if interpolated
+            else self.to_trajectory()
+        )
+        return trajectory_to_report(trajectory)
+
+
+def trajectory_to_report(trajectory: UncertainTrajectory) -> dict:
+    """Serialise one uncertain trajectory as an ``ingest`` report object."""
+    sigmas = np.asarray(trajectory.sigmas, dtype=float)
+    sigma: float | list[float]
+    if sigmas.ndim == 0 or np.all(sigmas == sigmas.flat[0]):
+        sigma = float(sigmas.flat[0])
+    else:
+        sigma = [float(s) for s in sigmas]
+    return {
+        "object_id": trajectory.object_id,
+        "points": [[float(x), float(y)] for x, y in trajectory.means],
+        "sigma": sigma,
+    }
+
+
+def trajectory_from_report(report: dict) -> UncertainTrajectory:
+    """Rebuild the uncertain trajectory a report object describes.
+
+    The inverse of :func:`trajectory_to_report` for offline consumers
+    (drivers replaying an NDJSON report log into a from-scratch mine); the
+    live server goes through the stricter
+    :func:`repro.serve.protocol.parse_ingest` instead.
+    """
+    sigma = report["sigma"]
+    return UncertainTrajectory(
+        np.asarray(report["points"], dtype=float),
+        np.asarray(sigma, dtype=float) if isinstance(sigma, list) else float(sigma),
+        object_id=str(report.get("object_id", "")),
+    )
+
 
 def dead_reckon(
     path: GroundTruthPath,

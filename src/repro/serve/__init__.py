@@ -35,11 +35,12 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
 )
-from repro.serve.server import PatternServer, ServeConfig
+from repro.serve.server import IngestConfig, PatternServer, ServeConfig
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
 
 __all__ = [
     "BatchStats",
+    "IngestConfig",
     "LoadgenConfig",
     "MAX_LINE_BYTES",
     "MicroBatcher",

@@ -61,6 +61,9 @@ MAX_PATTERNS_PER_REQUEST = 1024
 MAX_PATTERN_LENGTH = 64
 MAX_RECENT_POINTS = 4096
 MAX_TRACE_ID_CHARS = 128
+MAX_REPORTS_PER_BATCH = 256
+MAX_REPORT_POINTS = 4096
+MAX_OBJECT_ID_CHARS = 256
 
 #: The ops a client may send.
 OPS = (
@@ -71,6 +74,7 @@ OPS = (
     "stats",
     "describe",
     "swap",
+    "ingest",
     "shutdown",
 )
 
@@ -302,6 +306,94 @@ def parse_swap(request: dict) -> str:
     if not isinstance(path, str) or not path:
         raise ProtocolError("path must be a non-empty string")
     return path
+
+
+def parse_ingest(request: dict) -> list:
+    """Validate an ``ingest`` request: a batch of trajectory reports.
+
+    ``reports`` is a non-empty list of ``{"points": [[x, y], ...],
+    "sigma": <number or per-point list>, "object_id"?: str}`` objects --
+    exactly what :meth:`repro.mobility.reporting.TrackingLog.to_report`
+    emits.  Returns fully-constructed
+    :class:`~repro.trajectory.trajectory.UncertainTrajectory` instances;
+    any malformed report raises :class:`ProtocolError` (``bad_request``)
+    before the server touches the live index.
+    """
+    from repro.trajectory.trajectory import UncertainTrajectory
+
+    raw = request.get("reports")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("reports must be a non-empty list of report objects")
+    if len(raw) > MAX_REPORTS_PER_BATCH:
+        raise ProtocolError(f"at most {MAX_REPORTS_PER_BATCH} reports per batch")
+    trajectories = []
+    for i, report in enumerate(raw):
+        if not isinstance(report, dict):
+            raise ProtocolError(f"reports[{i}] must be an object")
+        points = report.get("points")
+        if not isinstance(points, list) or not points:
+            raise ProtocolError(
+                f"reports[{i}].points must be a non-empty list of [x, y]"
+            )
+        if len(points) > MAX_REPORT_POINTS:
+            raise ProtocolError(
+                f"reports[{i}]: at most {MAX_REPORT_POINTS} points per report"
+            )
+        for j, point in enumerate(points):
+            if (
+                not isinstance(point, list)
+                or len(point) != 2
+                or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in point
+                )
+            ):
+                raise ProtocolError(f"reports[{i}].points[{j}] must be [x, y] numbers")
+        means = np.asarray(points, dtype=float)
+        if not np.all(np.isfinite(means)):
+            raise ProtocolError(f"reports[{i}].points contain non-finite coordinates")
+        sigma = report.get("sigma")
+        if isinstance(sigma, list):
+            if len(sigma) != len(points):
+                raise ProtocolError(
+                    f"reports[{i}].sigma list must match the number of points"
+                )
+            if not all(
+                isinstance(v, (int, float))
+                and not isinstance(v, bool)
+                and np.isfinite(v)
+                and v > 0
+                for v in sigma
+            ):
+                raise ProtocolError(
+                    f"reports[{i}].sigma values must be positive finite numbers"
+                )
+            sigmas = np.asarray(sigma, dtype=float)
+        elif (
+            isinstance(sigma, (int, float))
+            and not isinstance(sigma, bool)
+            and np.isfinite(sigma)
+            and sigma > 0
+        ):
+            sigmas = float(sigma)
+        else:
+            raise ProtocolError(
+                f"reports[{i}].sigma must be a positive finite number or list"
+            )
+        object_id = report.get("object_id", "")
+        if not isinstance(object_id, str):
+            raise ProtocolError(f"reports[{i}].object_id must be a string")
+        if len(object_id) > MAX_OBJECT_ID_CHARS:
+            raise ProtocolError(
+                f"reports[{i}].object_id longer than {MAX_OBJECT_ID_CHARS} chars"
+            )
+        try:
+            trajectories.append(
+                UncertainTrajectory(means, sigmas, object_id=object_id)
+            )
+        except ValueError as exc:
+            raise ProtocolError(f"reports[{i}]: {exc}") from exc
+    return trajectories
 
 
 def values_field(values: Sequence[float]) -> list[float]:

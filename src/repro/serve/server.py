@@ -32,17 +32,22 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 import numpy as np
 
+from repro.apps.prediction import PatternLibrary
+from repro.core.engine import NMEngine
+from repro.core.incremental import IncrementalIndexer
+from repro.core.trajpattern import TrajPatternMiner
 from repro.mobility.models import make_model
 from repro.obs import logs, manifest, metrics, tracing
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, OverloadedError
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
 from repro.testkit import faults
+from repro.trajectory.dataset import TrajectoryDataset
 
 _log = logs.get_logger("serve.server")
 
@@ -78,12 +83,164 @@ class ServeConfig:
             raise ValueError("max_inflight_per_conn must be at least 1")
 
 
+@dataclass
+class IngestConfig:
+    """Live-stream ingestion knobs (the ``ingest`` op is off without one).
+
+    ``remine_every`` is the republish cadence in ingest batches: every
+    N-th batch triggers a warm-started re-mine and a snapshot swap (1 =
+    republish on every batch).  ``window`` bounds resident trajectories --
+    after each append the oldest beyond the window are evicted (sliding
+    window over arrival order); ``None`` keeps everything.  ``k`` /
+    ``min_length`` parameterise the top-k re-mine that feeds the published
+    pattern library.
+    """
+
+    k: int = 8
+    remine_every: int = 1
+    window: int | None = None
+    min_length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.remine_every < 1:
+            raise ValueError("remine_every must be positive")
+        if self.window is not None and self.window < 1:
+            raise ValueError("window must be positive")
+        if self.min_length < 1:
+            raise ValueError("min_length must be at least 1")
+
+
+class _LiveIngest:
+    """The server's live mining state: one engine folded in place.
+
+    Owns an :class:`IncrementalIndexer` over a private engine seeded from
+    the boot snapshot (eager dataset copy, shared prebuilt index arrays --
+    folds allocate fresh arrays, so the boot generation's index is never
+    written to).  All methods run on the server's single evaluation
+    thread; the event loop serialises ingest requests with a lock.
+    """
+
+    def __init__(
+        self,
+        snapshot: ServingSnapshot,
+        config: IngestConfig,
+        cache_dir: str | None,
+    ) -> None:
+        # An eager copy detaches the live dataset from a store-backed boot
+        # snapshot, so retiring that generation can close its file handle.
+        dataset = TrajectoryDataset(
+            list(snapshot.dataset), metadata={"origin": snapshot.version}
+        )
+        engine_config = replace(snapshot.engine.config, cache_dir=None)
+        engine = NMEngine(
+            dataset,
+            snapshot.grid,
+            engine_config,
+            prebuilt=snapshot.engine.index_arrays(),
+        )
+        self.indexer = IncrementalIndexer(engine, window=config.window)
+        self.config = config
+        self.cache_dir = cache_dir
+        self.base_version = snapshot.version
+        self.generation = 0
+        self.batches = 0
+        self.warm_state = None
+        self.last_mine_iterations = 0
+        self.last_mine_s = 0.0
+
+    def fold(
+        self, reports: list
+    ) -> tuple[dict[str, Any], ServingSnapshot | None]:
+        """Append one report batch; re-mine and build a snapshot on cadence."""
+        stats = self.indexer.append(reports)
+        self.batches += 1
+        summary: dict[str, Any] = {
+            "appended": stats["appended"],
+            "evicted": stats["evicted"],
+            "n_trajectories": stats["n_trajectories"],
+            "total_snapshots": stats["total_snapshots"],
+            "generation": self.generation,
+            "republished": False,
+        }
+        if self.batches % self.config.remine_every != 0:
+            return summary, None
+        engine = self.indexer.engine
+        miner = TrajPatternMiner(
+            engine,
+            k=self.config.k,
+            min_length=self.config.min_length,
+            warm_state=self.warm_state,
+        )
+        result = miner.mine()
+        self.warm_state = result.warm_state
+        self.last_mine_iterations = result.stats.iterations
+        self.last_mine_s = result.stats.wall_time_s
+        self.generation += 1
+        if self.cache_dir is not None:
+            # Recomputes the content key over the *current* dataset -- an
+            # in-place append must never overwrite the boot dataset's entry.
+            self.indexer.persist(self.cache_dir)
+        # The published engine shares the live index arrays without copying:
+        # the next fold replaces the live arrays wholesale instead of
+        # mutating them, so a published generation stays frozen.
+        dataset = engine.dataset
+        published = NMEngine(
+            dataset, engine.grid, engine.config, prebuilt=engine.index_arrays()
+        )
+        library = PatternLibrary(
+            result.patterns, engine.grid, delta=engine.config.delta
+        )
+        snapshot = ServingSnapshot(
+            f"{self.base_version}+g{self.generation}",
+            dataset,
+            engine.grid,
+            published,
+            library=library,
+            source="<ingest>",
+        )
+        summary.update(
+            republished=True,
+            generation=self.generation,
+            version=snapshot.version,
+            mine_iterations=result.stats.iterations,
+            omega=result.omega,
+            top_k=[
+                {"cells": [int(c) for c in p.cells], "nm": float(nm)}
+                for p, nm in result.as_pairs()
+            ],
+        )
+        return summary, snapshot
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "batches": self.batches,
+            "n_trajectories": len(self.indexer.engine.dataset),
+            "total_snapshots": self.indexer.engine.dataset.total_snapshots(),
+            "index_epoch": self.indexer.engine.index_epoch,
+            "appends": self.indexer.appends,
+            "evictions": self.indexer.evictions,
+            "last_mine_iterations": self.last_mine_iterations,
+            "last_mine_s": self.last_mine_s,
+        }
+
+
 class PatternServer:
     """Serve scoring / prediction / admin queries for a snapshot store."""
 
-    def __init__(self, store: SnapshotStore, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        store: SnapshotStore,
+        config: ServeConfig | None = None,
+        ingest: IngestConfig | None = None,
+    ) -> None:
         self.store = store
         self.config = config or ServeConfig()
+        self.ingest_config = ingest
+        self._ingest_state: _LiveIngest | None = None
+        self._ingest_lock = asyncio.Lock()
         self._server: asyncio.base_events.Server | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-eval"
@@ -330,9 +487,15 @@ class PatternServer:
         if op == "stats":
             return protocol.ok_response(rid, stats=self.stats())
         if op == "describe":
-            return protocol.ok_response(rid, **self.store.current.describe())
+            snapshot = self.store.acquire()
+            try:
+                return protocol.ok_response(rid, **snapshot.describe())
+            finally:
+                self.store.release(snapshot)
         if op == "swap":
             return await self._handle_swap(request, rid)
+        if op == "ingest":
+            return await self._handle_ingest(request, rid)
         # op == "shutdown"
         if not self.config.allow_shutdown:
             raise protocol.ProtocolError(
@@ -352,14 +515,20 @@ class PatternServer:
     async def _handle_score(
         self, request: dict, rid: Any, ctx: tracing.SpanContext | None
     ) -> dict:
-        snapshot = self.store.current
-        patterns, measure = protocol.parse_score(request, snapshot.grid.n_cells)
-        values = await self._batcher.submit(
-            (id(snapshot), measure),
-            _ScoreWork(snapshot, measure, patterns),
-            deadline=self._deadline(request),
-            ctx=ctx,
-        )
+        # Pin the admitted generation until evaluation finishes: a swap
+        # landing mid-batch retires the old snapshot, and a store-backed one
+        # closes its file handle the moment the last pin drops.
+        snapshot = self.store.acquire()
+        try:
+            patterns, measure = protocol.parse_score(request, snapshot.grid.n_cells)
+            values = await self._batcher.submit(
+                (id(snapshot), measure),
+                _ScoreWork(snapshot, measure, patterns),
+                deadline=self._deadline(request),
+                ctx=ctx,
+            )
+        finally:
+            self.store.release(snapshot)
         return protocol.ok_response(
             rid,
             measure=measure,
@@ -370,9 +539,9 @@ class PatternServer:
     async def _handle_predict(
         self, request: dict, rid: Any, ctx: tracing.SpanContext | None
     ) -> dict:
-        snapshot = self.store.current
-        recent, sigma = protocol.parse_predict(request)
+        snapshot = self.store.acquire()
         try:
+            recent, sigma = protocol.parse_predict(request)
             result = await self._batcher.submit(
                 (id(snapshot), "predict"),
                 _PredictWork(snapshot, recent, sigma),
@@ -392,6 +561,8 @@ class PatternServer:
                 reason=exc.reason,
                 version=snapshot.version,
             )
+        finally:
+            self.store.release(snapshot)
         position, source = result
         return protocol.ok_response(
             rid,
@@ -415,6 +586,39 @@ class PatternServer:
         return protocol.ok_response(
             rid, version=snapshot.version, previous=previous.version
         )
+
+    async def _handle_ingest(self, request: dict, rid: Any) -> dict:
+        if self.ingest_config is None:
+            raise protocol.ProtocolError(
+                "ingest is not enabled on this server", code="forbidden"
+            )
+        reports = protocol.parse_ingest(request)
+        loop = asyncio.get_running_loop()
+        # One fold at a time: report batches are order-dependent (the
+        # sliding window evicts in arrival order) and the live engine is a
+        # single mutable structure.  The fold itself runs on the evaluation
+        # thread, serialised with score/predict batches.
+        async with self._ingest_lock:
+            if self._ingest_state is None:
+                boot = self.store.acquire()
+                try:
+                    self._ingest_state = await loop.run_in_executor(
+                        self._executor,
+                        _LiveIngest,
+                        boot,
+                        self.ingest_config,
+                        self.config.cache_dir,
+                    )
+                finally:
+                    self.store.release(boot)
+            summary, snapshot = await loop.run_in_executor(
+                self._executor, self._ingest_state.fold, reports
+            )
+        if snapshot is not None:
+            self.store.swap(snapshot)
+            metrics.counter("serve.ingest.republished").inc()
+        metrics.counter("serve.ingest.reports").inc(len(reports))
+        return protocol.ok_response(rid, **summary)
 
     # -- evaluation --------------------------------------------------------
 
@@ -454,6 +658,11 @@ class PatternServer:
             "batcher": self._batcher.stats.as_dict(),
             "rss_peak_bytes": manifest.peak_rss_bytes(),
             "latency": self._latency_stats(),
+            "ingest": (
+                self._ingest_state.stats()
+                if self._ingest_state is not None
+                else None
+            ),
         }
 
     def _latency_stats(self) -> dict:

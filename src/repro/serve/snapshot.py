@@ -90,6 +90,11 @@ class ServingSnapshot:
         "engine",
         "library",
         "delta",
+        "owned_store",
+        "_ref_lock",
+        "_refs",
+        "_retired",
+        "_closed",
     )
 
     def __init__(
@@ -100,6 +105,7 @@ class ServingSnapshot:
         engine: NMEngine,
         library: PatternLibrary | None = None,
         source: str = "<memory>",
+        owned_store: Any | None = None,
     ) -> None:
         self.version = version
         self.dataset = dataset
@@ -108,6 +114,87 @@ class ServingSnapshot:
         self.library = library
         self.delta = engine.config.delta
         self.source = source
+        # Resource lifecycle: a store-backed snapshot owns the open ``.tjc``
+        # handle its lazy dataset reads through.  Dropping the snapshot
+        # reference alone leaks the fd/mmap, so retirement is refcounted:
+        # ``retain``/``release`` bracket every admission that may still read
+        # the dataset, ``retire`` marks the generation replaced, and the
+        # store closes exactly once, when both have happened.
+        self.owned_store = owned_store
+        self._ref_lock = threading.Lock()
+        self._refs = 0
+        self._retired = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def retain(self) -> "ServingSnapshot":
+        """Pin the snapshot for one in-flight admission; pair with release."""
+        with self._ref_lock:
+            # Only a snapshot whose backing store is actually gone must
+            # refuse work; a retired in-memory generation swapped back in
+            # (tests and blue/green flips do this) is still fully readable.
+            if self._closed and self.owned_store is not None:
+                raise RuntimeError(
+                    f"snapshot {self.version} is closed; cannot admit new work"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one admission pin; closes a retired snapshot once drained."""
+        with self._ref_lock:
+            if self._refs <= 0:
+                raise RuntimeError(
+                    f"snapshot {self.version}: release without matching retain"
+                )
+            self._refs -= 1
+            should_close = self._retired and self._refs == 0 and not self._closed
+            if should_close:
+                self._closed = True
+        if should_close:
+            self._close_store()
+
+    def retire(self) -> None:
+        """Mark the generation replaced; closes now or when in-flight drains."""
+        with self._ref_lock:
+            if self._retired:
+                return
+            self._retired = True
+            should_close = self._refs == 0 and not self._closed
+            if should_close:
+                self._closed = True
+        if should_close:
+            self._close_store()
+
+    @property
+    def closed(self) -> bool:
+        """True once the owned store (if any) has been closed."""
+        with self._ref_lock:
+            return self._closed
+
+    @property
+    def inflight(self) -> int:
+        """Current number of unreleased admissions (introspection/tests)."""
+        with self._ref_lock:
+            return self._refs
+
+    def _close_store(self) -> None:
+        if self.owned_store is None:
+            return
+        try:
+            self.owned_store.close()
+        except Exception:  # noqa: BLE001 - closing must never kill serving
+            _log.warning(
+                "snapshot store close failed",
+                extra={"version": self.version, "source": self.source},
+                exc_info=True,
+            )
+        else:
+            _log.info(
+                "snapshot store closed",
+                extra={"version": self.version, "source": self.source},
+            )
 
     # -- construction ------------------------------------------------------
 
@@ -127,6 +214,7 @@ class ServingSnapshot:
         dtype: str = "float64",
         version: str | None = None,
         source: str = "<memory>",
+        owned_store: Any | None = None,
     ) -> "ServingSnapshot":
         """Build a snapshot from an in-memory dataset.
 
@@ -169,7 +257,13 @@ class ServingSnapshot:
                 min_prefix=min_prefix,
             )
         snapshot = cls(
-            version, dataset, grid, engine, library=library, source=source
+            version,
+            dataset,
+            grid,
+            engine,
+            library=library,
+            source=source,
+            owned_store=owned_store,
         )
         _log.info(
             "snapshot built",
@@ -238,10 +332,13 @@ class ServingSnapshot:
                 )
         else:
             dataset_path = path
+        owned_store = None
         if is_store_path(dataset_path):
-            # Lazy store-backed dataset: the StoreDataset pins the open
-            # store handle for the snapshot's lifetime.
-            dataset = open_store(dataset_path).dataset()
+            # Lazy store-backed dataset: the snapshot owns the open store
+            # handle and closes it on refcounted retirement (see __init__),
+            # so a republish-every-minute server does not leak fds.
+            owned_store = open_store(dataset_path)
+            dataset = owned_store.dataset()
         else:
             dataset = load_dataset_jsonl(dataset_path)
         kwargs: dict[str, Any] = {"backend": backend, "dtype": dtype}
@@ -258,6 +355,7 @@ class ServingSnapshot:
             patterns_path=patterns_path,
             cache_dir=cache_dir,
             source=str(path),
+            owned_store=owned_store,
             **kwargs,
         )
 
@@ -297,8 +395,13 @@ class SnapshotStore:
 
     ``swap`` replaces the reference under a lock and returns the previous
     generation; readers grab :attr:`current` without locking (attribute
-    reads are atomic in CPython) and keep their reference for the life of
-    the request, which is what makes swaps invisible to in-flight work.
+    reads are atomic in CPython) for metadata, while evaluation paths that
+    may still *read the dataset* after a swap go through
+    :meth:`acquire`/:meth:`release` -- the pin is taken under the same lock
+    as ``swap``, so a retiring generation can never close its backing store
+    between admission and evaluation.  ``swap`` retires the replaced
+    generation: its store-backed resources close once the last in-flight
+    admission drains (immediately when there are none).
     """
 
     def __init__(self, snapshot: ServingSnapshot) -> None:
@@ -310,8 +413,18 @@ class SnapshotStore:
     def current(self) -> ServingSnapshot:
         return self._current
 
+    def acquire(self) -> ServingSnapshot:
+        """Pin and return the current generation; pair with :meth:`release`."""
+        with self._lock:
+            return self._current.retain()
+
+    @staticmethod
+    def release(snapshot: ServingSnapshot) -> None:
+        """Drop an :meth:`acquire` pin (closes a drained retired generation)."""
+        snapshot.release()
+
     def swap(self, snapshot: ServingSnapshot) -> ServingSnapshot:
-        """Install ``snapshot``; returns the generation it replaced."""
+        """Install ``snapshot``; retires and returns the replaced generation."""
         with self._lock:
             previous = self._current
             self._current = snapshot
@@ -320,4 +433,5 @@ class SnapshotStore:
             "snapshot swapped",
             extra={"from": previous.version, "to": snapshot.version},
         )
+        previous.retire()
         return previous

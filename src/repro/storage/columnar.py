@@ -621,6 +621,16 @@ class TrajectoryStore:
         self._closed = True
         self._xy_mmap = None
         self._sigma_mmap = None
+        # The per-trajectory columns are np.memmap instances, each holding
+        # its own mapping of the file: dropping the references here is what
+        # lets a retired serving snapshot release every fd it owns, not
+        # just the footer handle.  Consumers that already took views keep
+        # the underlying mappings alive through numpy's base chain.
+        self._lengths = None
+        self._row_offsets = None
+        self._start_times = None
+        self._dts = None
+        self._object_ids = None
         self._chunk_cache.clear()
         try:
             self._fh.close()

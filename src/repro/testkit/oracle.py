@@ -39,9 +39,12 @@ import numpy as np
 
 from repro.core import kernels, measures
 from repro.core.engine import NMEngine
+from repro.core.incremental import IncrementalIndexer
 from repro.core.parallel import ParallelNMEngine
 from repro.core.pattern import WILDCARD, TrajectoryPattern
 from repro.core.streaming import StreamingNMEngine
+from repro.core.trajpattern import TrajPatternMiner
+from repro.trajectory.dataset import TrajectoryDataset
 from repro.serve import protocol
 from repro.serve.server import PatternServer, ServeConfig
 from repro.serve.snapshot import ServingSnapshot, SnapshotStore
@@ -102,6 +105,12 @@ ULP_BUDGETS = {
     # evaluation kernels themselves are bit-identical over a shared index
     # (pinned at 0 ULPs in tests/test_kernels.py, not here).
     "kernel": 4096,
+    # Incremental index maintenance splices already-computed entries into
+    # already-sorted arrays -- no value is recomputed, so the index after
+    # any append/evict sequence must be *bit-identical* to a from-scratch
+    # build over the surviving trajectories, and warm-started mining must
+    # return the cold run's exact top-k.
+    "incremental": 0,
     # ``kernel32`` paths run the evaluation kernels in float32 and are
     # compared in *float32* ULPs against the float64 baseline rounded to
     # float32.  Accumulating ~100-snapshot windows in float32 costs a few
@@ -399,6 +408,74 @@ def run_oracle(
                 stream.nm_many(frontier),
                 stream.match_many(frontier),
                 detail=f"{stream.n_chunks_scanned} chunks",
+            )
+        )
+
+        # Path 5b: incremental index maintenance.  Build over a prefix,
+        # fold the remaining trajectories in as two report waves, evict the
+        # oldest -- the live engine must agree with a from-scratch build of
+        # the surviving dataset bit-for-bit (budget 0), and the flat arrays
+        # themselves must be identical.  The frontier is scored on both
+        # engines directly (nm_ref covers the *full* dataset, not this one).
+        trajs = list(setup.dataset)
+        n_base = max(2, len(trajs) - 4)
+        n_evict = min(2, n_base - 1)
+        base_dataset = TrajectoryDataset(trajs[:n_base])
+        indexer = IncrementalIndexer(NMEngine(base_dataset, setup.grid, cfg))
+        wave_split = n_base + (len(trajs) - n_base) // 2
+        indexer.append(trajs[n_base:wave_split])
+        indexer.append(trajs[wave_split:])
+        indexer.evict(n_evict)
+        live = indexer.engine
+        final_dataset = TrajectoryDataset(trajs[n_evict:])
+        fresh = NMEngine(final_dataset, setup.grid, cfg)
+        arrays_equal = all(
+            np.array_equal(a, b)
+            for a, b in zip(live.index_arrays(), fresh.index_arrays())
+        )
+        inc_check = PathCheck(
+            path="incremental",
+            budget_ulps=budgets["incremental"],
+            nm_ulps=max_ulps(fresh.nm_batch(frontier), live.nm_batch(frontier)),
+            match_ulps=max_ulps(
+                fresh.match_batch(frontier), live.match_batch(frontier)
+            ),
+            detail=(
+                f"{indexer.appends} appends + {n_evict} evicted; arrays "
+                + ("identical" if arrays_equal else "DIVERGED")
+            ),
+        )
+        if not arrays_equal:
+            inc_check = replace(inc_check, nm_ulps=_ULPS_INCOMPARABLE)
+        checks.append(inc_check)
+
+        # Path 5c: warm-started mining over the incremental engine must
+        # return exactly the cold top-k (patterns and NM values) over the
+        # same final dataset -- seeding only raises the starting threshold.
+        mine_k = 4
+        previous = TrajPatternMiner(
+            NMEngine(base_dataset, setup.grid, cfg), k=mine_k
+        ).mine()
+        warm_run = TrajPatternMiner(
+            live, k=mine_k, warm_state=previous.warm_state
+        ).mine()
+        cold_run = TrajPatternMiner(fresh, k=mine_k).mine()
+        warm_pairs = [(p.cells, nm) for p, nm in warm_run.as_pairs()]
+        cold_pairs = [(p.cells, nm) for p, nm in cold_run.as_pairs()]
+        identical = warm_pairs == cold_pairs
+        checks.append(
+            PathCheck(
+                path="incremental[warm-mine]",
+                budget_ulps=budgets["incremental"],
+                nm_ulps=0 if identical else _ULPS_INCOMPARABLE,
+                match_ulps=0,
+                detail=(
+                    f"warm {warm_run.stats.iterations} vs cold "
+                    f"{cold_run.stats.iterations} iterations, "
+                    f"{len(previous.warm_state)} seeds"
+                    if identical
+                    else "top-k DIVERGED"
+                ),
             )
         )
 

@@ -112,11 +112,19 @@ class TestRunOracle:
             "parallel",
             "parallel",
             "streaming",
+            "incremental",
+            "incremental",
             "store",
             "store-parallel",
             "store-parallel",
             "serve",
         ]
+        incremental = next(c for c in report.checks if c.path == "incremental")
+        assert incremental.budget_ulps == 0  # the merge is bit-exact or fail
+        warm_mine = next(
+            c for c in report.checks if c.path == "incremental[warm-mine]"
+        )
+        assert warm_mine.budget_ulps == 0
         store = next(c for c in report.checks if c.path == "store")
         assert store.budget_ulps == 0  # bit-exact or fail
         warm = next(c for c in report.checks if c.path == "cache-warm")
